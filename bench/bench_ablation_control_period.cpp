@@ -1,0 +1,60 @@
+// Ablation: the control cycle period.
+//
+// The manager samples, classifies and actuates once per control period.
+// Short periods react faster but measure ΔP over a noisier window (which
+// starves the change-based HRI policy of signal); long periods let spikes
+// run uncontrolled between cycles. The paper does not state Tianhe-1A's
+// cycle; our default is 4 s.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pcap;
+  using namespace pcap::bench;
+
+  print_header(
+      "Ablation: control cycle period (default 4 s)",
+      "short cycles denoise poorly for HRI; long cycles react too late");
+
+  cluster::ExperimentConfig base = cluster::paper_scenario();
+  base.training = Seconds{2 * 3600.0};
+  base.measured = Seconds{6 * 3600.0};
+  base.provision = calibrate_provision(base);
+  std::printf("calibrated provision P_Max = %.0f W\n", base.provision.value());
+
+  const std::vector<std::uint64_t> seeds = {42, 1234};
+  common::ThreadPool pool;
+
+  cluster::ExperimentConfig none = base;
+  none.manager = "none";
+  const AveragedResult baseline = average_over_seeds(none, seeds, pool);
+
+  metrics::Table table({"policy", "period (s)", "perf", "CPLJ",
+                        "P_max vs none", "dPxT reduction", "red (s)"});
+  for (const char* policy : {"mpc", "hri"}) {
+    for (const double period : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+      cluster::ExperimentConfig cfg = base;
+      cfg.manager = policy;
+      cfg.cluster.control_period = Seconds{period};
+      const AveragedResult r = average_over_seeds(cfg, seeds, pool);
+      table.cell(policy)
+          .cell(period, 0)
+          .cell(r.performance, 4)
+          .cell_percent(r.lossless_fraction)
+          .cell_percent(1.0 - r.p_max_w / baseline.p_max_w)
+          .cell_percent(baseline.delta_pxt > 0.0
+                            ? 1.0 - r.delta_pxt / baseline.delta_pxt
+                            : 0.0)
+          .cell(r.red_s, 0);
+      table.end_row();
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nexpected shape: HRI's dPxT suppression improves from 1 s to ~4 s\n"
+      "(its per-cycle power delta rises above sampling noise) and both\n"
+      "policies lose peak control at 16 s.\n");
+  return 0;
+}

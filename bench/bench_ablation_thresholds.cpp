@@ -1,0 +1,77 @@
+// Ablation: the 7% / 16% threshold margins (§III.A).
+//
+// The paper derives P_H = 93% and P_L = 84% of P_peak from Fan et al.'s
+// observed 7%-16% gap between achieved and theoretical aggregate power.
+// This bench sweeps alternative (red, yellow) margin pairs to show the
+// trade-off the chosen pair balances: tight margins protect the provision
+// but throttle constantly; loose margins preserve performance but let
+// overspending through.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pcap;
+  using namespace pcap::bench;
+
+  print_header(
+      "Ablation: threshold margins (paper: red 7%, yellow 16%)",
+      "P_H = (1-red)*P_peak, P_L = (1-yellow)*P_peak; the paper picks "
+      "7%/16% from Fan et al.");
+
+  cluster::ExperimentConfig base = cluster::paper_scenario();
+  base.training = Seconds{2 * 3600.0};
+  base.measured = Seconds{6 * 3600.0};
+  base.provision = calibrate_provision(base);
+  base.manager = "mpc";
+  std::printf("calibrated provision P_Max = %.0f W\n", base.provision.value());
+
+  const std::vector<std::uint64_t> seeds = {42, 1234};
+  common::ThreadPool pool;
+
+  cluster::ExperimentConfig none = base;
+  none.manager = "none";
+  const AveragedResult baseline = average_over_seeds(none, seeds, pool);
+
+  struct Margins {
+    double red;
+    double yellow;
+    const char* note;
+  };
+  const Margins sweep[] = {
+      {0.02, 0.06, "very loose"},
+      {0.04, 0.10, "loose"},
+      {0.07, 0.16, "paper"},
+      {0.10, 0.22, "tight"},
+      {0.15, 0.30, "very tight"},
+  };
+
+  metrics::Table table({"red", "yellow", "note", "perf", "CPLJ",
+                        "P_max vs none", "dPxT reduction", "yellow (s)",
+                        "red (s)"});
+  for (const Margins& m : sweep) {
+    cluster::ExperimentConfig cfg = base;
+    cfg.red_margin = m.red;
+    cfg.yellow_margin = m.yellow;
+    const AveragedResult r = average_over_seeds(cfg, seeds, pool);
+    table.cell_percent(m.red, 0)
+        .cell_percent(m.yellow, 0)
+        .cell(m.note)
+        .cell(r.performance, 4)
+        .cell_percent(r.lossless_fraction)
+        .cell_percent(1.0 - r.p_max_w / baseline.p_max_w)
+        .cell_percent(baseline.delta_pxt > 0.0
+                          ? 1.0 - r.delta_pxt / baseline.delta_pxt
+                          : 0.0)
+        .cell(r.yellow_s, 0)
+        .cell(r.red_s, 0);
+    table.end_row();
+  }
+  table.print();
+
+  std::printf(
+      "\nexpected shape: moving from loose to tight margins trades\n"
+      "performance for overspend suppression; the paper's 7%%/16%% pair\n"
+      "sits where dPxT is already mostly suppressed while perf stays ~98%%.\n");
+  return 0;
+}

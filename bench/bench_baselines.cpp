@@ -1,0 +1,65 @@
+// Related-work baselines (§I.B) against the paper's architecture:
+//   uniform   — every candidate node throttled indiscriminately (the
+//               "all nodes equally important" strawman the paper rejects)
+//   sla       — Ranganathan-style service-class priority throttling
+//   feedback  — Wang-style proportional cluster power controller
+// All run inside the same cluster with the same thresholds/actuators, so
+// differences are attributable to the selection architecture alone.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pcap;
+  using namespace pcap::bench;
+
+  print_header(
+      "Baselines: subset selection (mpc) vs indiscriminate / related-work "
+      "controllers",
+      "§I.B argues selecting a job-aware subset beats treating all "
+      "nodes as equally important");
+
+  cluster::ExperimentConfig base = cluster::paper_scenario();
+  base.training = Seconds{2 * 3600.0};
+  base.measured = Seconds{6 * 3600.0};
+  base.provision = calibrate_provision(base);
+  std::printf("calibrated provision P_Max = %.0f W\n", base.provision.value());
+
+  const std::vector<std::uint64_t> seeds = {42, 1234};
+  common::ThreadPool pool;
+
+  cluster::ExperimentConfig none = base;
+  none.manager = "none";
+  const AveragedResult baseline = average_over_seeds(none, seeds, pool);
+
+  metrics::Table table({"manager", "perf", "CPLJ", "P_max vs none",
+                        "dPxT reduction", "yellow (s)", "red (s)"});
+  for (const char* manager : {"none", "mpc", "uniform", "sla", "feedback", "budget"}) {
+    AveragedResult r;
+    if (manager == std::string("none")) {
+      r = baseline;
+    } else {
+      cluster::ExperimentConfig cfg = base;
+      cfg.manager = manager;
+      r = average_over_seeds(cfg, seeds, pool);
+    }
+    table.cell(manager)
+        .cell(r.performance, 4)
+        .cell_percent(r.lossless_fraction)
+        .cell_percent(1.0 - r.p_max_w / baseline.p_max_w)
+        .cell_percent(baseline.delta_pxt > 0.0
+                          ? 1.0 - r.delta_pxt / baseline.delta_pxt
+                          : 0.0)
+        .cell(r.yellow_s, 0)
+        .cell(r.red_s, 0);
+    table.end_row();
+  }
+  table.print();
+
+  std::printf(
+      "\nexpected shape: uniform capping controls power at a visibly higher\n"
+      "performance cost (it throttles every job, including those that did\n"
+      "not cause the spike); mpc keeps CPLJ highest for a comparable power\n"
+      "envelope — the paper's core architectural argument.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 6 — Power capping effect at different sizes of A_candidate.
+//
+// The paper normalises P_max and ΔP×T against the unmanaged run
+// (|A_candidate| = 0) and sweeps the candidate-set size for both the MPC
+// and HRI policies, finding diminishing returns beyond ~48 of 128 nodes.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pcap;
+  using namespace pcap::bench;
+
+  print_header(
+      "Figure 6: power capping effect vs |A_candidate| (normalised to "
+      "|A|=0)",
+      "both P_max and dPxT improve with more candidates; gains diminish "
+      "beyond ~48 nodes");
+
+  cluster::ExperimentConfig base = cluster::paper_scenario();
+  base.training = Seconds{2 * 3600.0};
+  base.measured = Seconds{6 * 3600.0};
+  base.provision = calibrate_provision(base);
+  std::printf("calibrated provision P_Max = %.0f W\n", base.provision.value());
+
+  const std::vector<std::uint64_t> seeds = {42, 1234, 777};
+  common::ThreadPool pool;
+
+  // The |A|=0 baseline all rows are normalised against.
+  cluster::ExperimentConfig none = base;
+  none.manager = "none";
+  const AveragedResult baseline = average_over_seeds(none, seeds, pool);
+
+  metrics::Table table({"policy", "|A_candidate|", "P_max (norm)",
+                        "dPxT (norm)", "perf", "mgr util"});
+  for (const char* policy : {"mpc", "hri"}) {
+    double prev_pmax = 1.0;
+    for (const int size : {0, 8, 16, 32, 48, 64, 96, 128}) {
+      AveragedResult r;
+      if (size == 0) {
+        r = baseline;
+        r.manager = policy;
+      } else {
+        cluster::ExperimentConfig cfg = base;
+        cfg.manager = policy;
+        cfg.candidate_count = size;
+        r = average_over_seeds(cfg, seeds, pool);
+      }
+      const double pmax_norm = r.p_max_w / baseline.p_max_w;
+      const double dpxt_norm =
+          baseline.delta_pxt > 0.0 ? r.delta_pxt / baseline.delta_pxt : 0.0;
+      table.cell(policy)
+          .cell(static_cast<std::int64_t>(size))
+          .cell(pmax_norm, 4)
+          .cell(dpxt_norm, 4)
+          .cell(r.performance, 4)
+          .cell_percent(r.manager_utilization, 3);
+      table.end_row();
+      prev_pmax = pmax_norm;
+    }
+    (void)prev_pmax;
+  }
+  table.print();
+
+  std::printf(
+      "\nreading guide: values < 1 mean the capped run improved on the\n"
+      "unmanaged baseline; the paper's diminishing-returns knee shows as\n"
+      "the normalised curves flattening beyond ~48 candidates while the\n"
+      "manager utilisation column keeps growing super-linearly.\n");
+  return 0;
+}

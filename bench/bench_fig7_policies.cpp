@@ -1,0 +1,87 @@
+// Figure 7 — Power capping results of different policies (full candidate
+// set, 128 nodes), plus the §V.D headline claims:
+//   * system performance loss ~2% for both MPC and HRI,
+//   * P_max reduced ~10%,
+//   * ΔP×T reduced by 73% (MPC) and 66% (HRI),
+//   * CPLJ(MPC) > CPLJ(HRI) (paper: by 1.4%),
+//   * the system never enters the red state while capping is active.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pcap;
+  using namespace pcap::bench;
+
+  print_header(
+      "Figure 7: power capping results of different policies "
+      "(|A_candidate| = 128)",
+      "~2% performance loss, ~10% lower P_max, dPxT -73% (MPC) / -66% "
+      "(HRI), CPLJ(MPC) > CPLJ(HRI), never red");
+
+  cluster::ExperimentConfig base = cluster::paper_scenario();
+  base.provision = calibrate_provision(base);
+  std::printf("calibrated provision P_Max = %.0f W (training %.0f h, "
+              "measured %.0f h simulated)\n",
+              base.provision.value(), base.training.value() / 3600.0,
+              base.measured.value() / 3600.0);
+
+  const std::vector<std::uint64_t> seeds = {42, 1234, 777};
+  common::ThreadPool pool;
+
+  cluster::ExperimentConfig none = base;
+  none.manager = "none";
+  const AveragedResult baseline = average_over_seeds(none, seeds, pool);
+
+  metrics::Table table({"policy", "perf", "CPLJ", "P_max (W)", "P_max vs none",
+                        "dPxT", "dPxT reduction", "yellow (s)", "red (s)"});
+  const auto add_row = [&](const AveragedResult& r) {
+    const double pmax_delta = r.p_max_w / baseline.p_max_w - 1.0;
+    const double dpxt_red =
+        baseline.delta_pxt > 0.0 ? 1.0 - r.delta_pxt / baseline.delta_pxt
+                                 : 0.0;
+    table.cell(r.manager)
+        .cell(r.performance, 4)
+        .cell_percent(r.lossless_fraction)
+        .cell(r.p_max_w, 0)
+        .cell_percent(pmax_delta)
+        .cell(r.delta_pxt, 5)
+        .cell_percent(dpxt_red)
+        .cell(r.yellow_s, 0)
+        .cell(r.red_s, 0);
+    table.end_row();
+  };
+
+  add_row(baseline);
+  AveragedResult mpc;
+  AveragedResult hri;
+  for (const char* policy : {"mpc", "hri"}) {
+    cluster::ExperimentConfig cfg = base;
+    cfg.manager = policy;
+    const AveragedResult r = average_over_seeds(cfg, seeds, pool);
+    add_row(r);
+    (policy == std::string("mpc") ? mpc : hri) = r;
+  }
+  table.print();
+
+  std::printf("\nheadline checks vs the paper:\n");
+  std::printf("  performance loss: MPC %.1f%%, HRI %.1f%% (paper ~2%%)\n",
+              (1.0 - mpc.performance) * 100.0, (1.0 - hri.performance) * 100.0);
+  std::printf("  P_max reduction: MPC %.1f%%, HRI %.1f%% (paper ~10%%)\n",
+              (1.0 - mpc.p_max_w / baseline.p_max_w) * 100.0,
+              (1.0 - hri.p_max_w / baseline.p_max_w) * 100.0);
+  std::printf("  dPxT reduction: MPC %.0f%%, HRI %.0f%% (paper 73%% / 66%%)\n",
+              (1.0 - mpc.delta_pxt / baseline.delta_pxt) * 100.0,
+              (1.0 - hri.delta_pxt / baseline.delta_pxt) * 100.0);
+  std::printf("  CPLJ: MPC %.1f%% vs HRI %.1f%% (paper: MPC higher by 1.4%%)"
+              " -> %s\n",
+              mpc.lossless_fraction * 100.0, hri.lossless_fraction * 100.0,
+              mpc.lossless_fraction > hri.lossless_fraction ? "ordering holds"
+                                                            : "MISMATCH");
+  std::printf("  dPxT ordering MPC better than HRI -> %s\n",
+              mpc.delta_pxt <= hri.delta_pxt ? "holds" : "MISMATCH");
+  std::printf("  red state with capping: MPC %.1f s, HRI %.1f s per 12 h "
+              "(paper: never)\n",
+              mpc.red_s, hri.red_s);
+  return 0;
+}

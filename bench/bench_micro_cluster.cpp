@@ -1,0 +1,76 @@
+// Microbenchmarks of the simulation substrate's hot paths: scheduler
+// allocation, telemetry collection, and whole-cluster ticks — the costs
+// that bound how much simulated time the harness can chew per wall
+// second.
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/scenario.hpp"
+#include "hw/node_spec.hpp"
+#include "telemetry/collector.hpp"
+#include "workload/job_generator.hpp"
+
+namespace {
+
+using namespace pcap;
+
+void BM_SchedulerLaunchRelease(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sched::Scheduler sched(std::vector<int>(n, 12), {}, common::Rng(1));
+  auto gen = workload::JobGenerator::paper_default(common::Rng(2),
+                                                   sched.max_job_width(),
+                                                   workload::NpbClass::kC);
+  workload::JobId next = 0;
+  for (auto _ : state) {
+    sched.submit(gen.next(Seconds{0.0}));
+    sched.try_launch(Seconds{0.0});
+    // Finish and retire everything so the pool never exhausts.
+    std::vector<workload::JobId> done;
+    for (const auto id : sched.running_jobs()) {
+      workload::Job* j = sched.find(id);
+      j->advance(Seconds{1e9}, 1.0, Seconds{1e9});
+      done.push_back(id);
+    }
+    for (const auto id : done) sched.on_job_finished(id);
+    benchmark::DoNotOptimize(next);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SchedulerLaunchRelease)->Arg(32)->Arg(128);
+
+void BM_CollectorSweep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<hw::Node> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.emplace_back(static_cast<hw::NodeId>(i), hw::tianhe1a_node_spec());
+  }
+  telemetry::Collector collector({}, common::Rng(3));
+  std::vector<hw::NodeId> ids;
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(static_cast<hw::NodeId>(i));
+  collector.set_candidate_set(ids);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1.0;
+    collector.collect(nodes, Seconds{t}, 16);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CollectorSweep)->RangeMultiplier(4)->Range(8, 512)->Complexity();
+
+void BM_ClusterTick(benchmark::State& state) {
+  cluster::ExperimentConfig cfg = cluster::paper_scenario(5);
+  cluster::Cluster cl(cfg.cluster);
+  cl.run(Seconds{600.0});  // warm: jobs placed, phases active
+  for (auto _ : state) {
+    cl.run(Seconds{1.0});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("128-node cluster, 1 simulated second per iteration");
+}
+BENCHMARK(BM_ClusterTick);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Microbenchmarks: formula (1) evaluation and policy selection cost.
+//
+// The power profile model runs once per candidate node per control cycle
+// on every node agent, and the policy runs on the management node; both
+// must be cheap at 128+ node scale.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "hw/node_spec.hpp"
+#include "power/policy_registry.hpp"
+
+namespace {
+
+using namespace pcap;
+
+hw::OperatingPoint random_op(common::Rng& rng, const hw::NodeSpec& spec) {
+  hw::OperatingPoint op;
+  op.cpu_utilization = rng.uniform();
+  op.mem_used = spec.mem_total * rng.uniform();
+  op.mem_total = spec.mem_total;
+  op.nic_bytes = Bytes{rng.uniform(0.0, 5e9)};
+  op.tau = Seconds{1.0};
+  op.nic_bandwidth = spec.nic_bandwidth;
+  return op;
+}
+
+void BM_Formula1(benchmark::State& state) {
+  const auto spec = hw::tianhe1a_node_spec();
+  common::Rng rng(1);
+  std::vector<hw::OperatingPoint> ops;
+  for (int i = 0; i < 1024; ++i) ops.push_back(random_op(rng, *spec));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Watts p = spec->power_model.power(
+        static_cast<hw::Level>(i % 10), ops[i % ops.size()]);
+    benchmark::DoNotOptimize(p);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Formula1);
+
+void BM_NodeTruePower(benchmark::State& state) {
+  const auto spec = hw::tianhe1a_node_spec();
+  common::Rng rng(2);
+  hw::Node node(0, spec, &rng);
+  node.set_operating_point(random_op(rng, *spec));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node.true_power());
+  }
+}
+BENCHMARK(BM_NodeTruePower);
+
+power::PolicyContext make_context(std::size_t n_nodes, std::size_t n_jobs,
+                                  std::uint64_t seed) {
+  common::Rng rng(seed);
+  power::PolicyContext ctx;
+  ctx.p_low = Watts{1000.0};
+  ctx.system_power = Watts{1100.0};
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    power::NodeView nv;
+    nv.id = static_cast<hw::NodeId>(i);
+    nv.level = static_cast<hw::Level>(rng.uniform_int(1, 9));
+    nv.highest_level = 9;
+    nv.busy = true;
+    nv.power = Watts{rng.uniform(150.0, 400.0)};
+    nv.power_prev = Watts{rng.uniform(150.0, 400.0)};
+    nv.power_one_level_down = nv.power - Watts{15.0};
+    ctx.nodes.push_back(nv);
+  }
+  ctx.index_nodes();
+  for (std::size_t j = 0; j < n_jobs; ++j) {
+    power::JobView jv;
+    jv.id = j;
+    for (std::size_t i = j; i < n_nodes; i += n_jobs) {
+      jv.nodes.push_back(static_cast<hw::NodeId>(i));
+      jv.power += ctx.nodes[i].power;
+      jv.power_prev += ctx.nodes[i].power_prev;
+    }
+    if (!jv.nodes.empty()) ctx.jobs.push_back(std::move(jv));
+  }
+  return ctx;
+}
+
+void BM_PolicySelect(benchmark::State& state, const char* name) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto ctx = make_context(n, std::max<std::size_t>(1, n / 8), 7);
+  const power::PolicyPtr policy = power::make_policy(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->select(ctx));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_SelectMpc(benchmark::State& s) { BM_PolicySelect(s, "mpc"); }
+void BM_SelectMpcC(benchmark::State& s) { BM_PolicySelect(s, "mpc-c"); }
+void BM_SelectHri(benchmark::State& s) { BM_PolicySelect(s, "hri"); }
+void BM_SelectHriC(benchmark::State& s) { BM_PolicySelect(s, "hri-c"); }
+void BM_SelectBfp(benchmark::State& s) { BM_PolicySelect(s, "bfp"); }
+
+BENCHMARK(BM_SelectMpc)->RangeMultiplier(4)->Range(8, 512)->Complexity();
+BENCHMARK(BM_SelectMpcC)->RangeMultiplier(4)->Range(8, 512)->Complexity();
+BENCHMARK(BM_SelectHri)->RangeMultiplier(4)->Range(8, 512)->Complexity();
+BENCHMARK(BM_SelectHriC)->RangeMultiplier(4)->Range(8, 512)->Complexity();
+BENCHMARK(BM_SelectBfp)->RangeMultiplier(4)->Range(8, 512)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Capping the extended NPB mix (EP/CG/LU/BT/SP + MG/FT/IS).
+//
+// The paper evaluates five NPB kernels; the workload library also models
+// the remaining three. FT's all-to-all transposes and IS's bucket
+// redistribution are network-dominated, so their progress barely reacts
+// to DVFS — they are nearly free to throttle. This example shows the
+// per-application impact of capping and the resulting energy picture.
+//
+//   ./build/examples/extended_workloads
+#include <cstdio>
+
+#include "cluster/cluster.hpp"
+#include "cluster/experiment.hpp"
+#include "cluster/scenario.hpp"
+#include "metrics/report.hpp"
+
+int main() {
+  using namespace pcap;
+
+  cluster::ExperimentConfig cfg = cluster::small_scenario(31);
+  cfg.cluster.num_nodes = 48;
+  cfg.cluster.app_suite = workload::npb_extended_suite(workload::NpbClass::kC);
+  cfg.calibration_duration = Seconds{3600.0};
+  cfg.training = Seconds{3600.0};
+  cfg.measured = Seconds{4 * 3600.0};
+  cfg.manager = "mpc";
+
+  const Watts peak =
+      cluster::probe_uncapped_peak(cfg.cluster, cfg.calibration_duration);
+  cfg.provision = peak * cfg.provision_fraction;
+  std::printf("48 nodes, 8-kernel NPB mix, P_Max = %.0f W\n\n",
+              cfg.provision.value());
+
+  // Run capped, collecting per-job records.
+  cluster::Cluster cl(cfg.cluster);
+  cl.set_manager(cluster::make_manager(cfg, cfg.cluster, cfg.provision,
+                                       cl.controllable_nodes()));
+  cl.run(cfg.training);
+  cl.start_recording();
+  cl.run(cfg.measured);
+
+  const auto perf = metrics::summarize_performance(cl.finished_records());
+  std::printf("overall: %zu jobs finished, Performance(cap) = %.4f, "
+              "CPLJ = %.1f%%\n\n",
+              perf.finished_jobs, perf.performance,
+              perf.lossless_fraction * 100.0);
+
+  metrics::Table table({"app", "jobs", "mean slowdown", "mean energy (MJ)",
+                        "mean duration (s)"});
+  for (const auto& s : metrics::summarize_by_app(cl.finished_records())) {
+    table.cell(s.app)
+        .cell(s.jobs)
+        .cell_percent(s.mean_slowdown_percent / 100.0)
+        .cell(s.mean_energy_j / 1e6, 2)
+        .cell(s.mean_duration_s, 0);
+    table.end_row();
+  }
+  table.print();
+
+  std::printf(
+      "\nreading guide: short kernels (IS) show the largest *relative*\n"
+      "slowdown — one throttle episode is a big fraction of a 20 s run —\n"
+      "while long kernels amortise it; per-application energy reflects\n"
+      "duration x node power, so BT/SP/LU dominate the energy bill.\n");
+  return 0;
+}

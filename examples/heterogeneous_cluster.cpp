@@ -1,0 +1,82 @@
+// Power capping on a heterogeneous cluster (§III.B property 1: the
+// algorithm "is applicable to both heterogeneous and homogeneous systems
+// as far as the power states of a node are discrete").
+//
+// The cluster mixes three node types:
+//   * Tianhe-1A boards (10-level DVFS),
+//   * low-power nodes (4-level DVFS, different power envelope),
+//   * a few uncontrollable nodes (no DVFS facility — the paper's
+//     privileged set; they are excluded from A_candidate).
+//
+//   ./build/examples/heterogeneous_cluster
+#include <cstdio>
+
+#include "cluster/experiment.hpp"
+#include "hw/node_spec.hpp"
+#include "metrics/report.hpp"
+
+int main() {
+  using namespace pcap;
+
+  cluster::ExperimentConfig cfg;
+  cfg.cluster.npb_class = workload::NpbClass::kC;
+  cfg.cluster.scheduler.max_procs_per_node = 3;
+  cfg.cluster.seed = 29;
+  for (int i = 0; i < 36; ++i) {
+    if (i % 6 == 5) {
+      cfg.cluster.node_specs.push_back(hw::uncontrollable_node_spec());
+    } else if (i % 3 == 2) {
+      cfg.cluster.node_specs.push_back(hw::low_power_node_spec());
+    } else {
+      cfg.cluster.node_specs.push_back(hw::tianhe1a_node_spec());
+    }
+  }
+  cfg.calibration_duration = Seconds{1800.0};
+  cfg.training = Seconds{1800.0};
+  cfg.measured = Seconds{2 * 3600.0};
+
+  std::size_t tianhe = 0;
+  std::size_t low_power = 0;
+  std::size_t privileged = 0;
+  for (const auto& spec : cfg.cluster.node_specs) {
+    if (!spec->controllable) {
+      ++privileged;
+    } else if (spec->name == "low_power") {
+      ++low_power;
+    } else {
+      ++tianhe;
+    }
+  }
+  std::printf(
+      "cluster: %zu Tianhe-1A boards (10 DVFS levels), %zu low-power nodes "
+      "(4 levels), %zu uncontrollable (privileged set)\n\n",
+      tianhe, low_power, privileged);
+
+  const Watts peak =
+      cluster::probe_uncapped_peak(cfg.cluster, cfg.calibration_duration);
+  cfg.provision = peak * cfg.provision_fraction;
+  std::printf("uncapped peak %.0f W -> P_Max = %.0f W\n\n", peak.value(),
+              cfg.provision.value());
+
+  metrics::Table table({"manager", "candidates", "perf", "CPLJ", "P_max (W)",
+                        "dPxT", "red (s)"});
+  for (const char* manager : {"none", "mpc", "hri"}) {
+    cfg.manager = manager;
+    const cluster::ExperimentResult r = cluster::run_experiment(cfg);
+    table.cell(r.manager)
+        .cell(r.candidate_count)
+        .cell(r.perf.performance, 4)
+        .cell_percent(r.perf.lossless_fraction)
+        .cell(r.p_max.value(), 0)
+        .cell(r.delta_pxt, 5)
+        .cell(r.red_cycles);
+    table.end_row();
+  }
+  table.print();
+
+  std::printf(
+      "\nonly the 30 controllable nodes are in A_candidate; Algorithm 1\n"
+      "throttles across unequal ladders (a low-power node bottoms out after\n"
+      "3 degradations, a Tianhe board after 9) without special-casing.\n");
+  return 0;
+}

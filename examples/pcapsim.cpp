@@ -1,0 +1,130 @@
+// pcapsim — declarative experiment driver.
+//
+// Runs a capping experiment described by an INI config file (keys are
+// documented in src/cluster/config_loader.hpp) and prints the paper's
+// metrics. With no file, runs the built-in paper scenario.
+//
+//   ./build/examples/pcapsim                     # paper scenario, MPC
+//   ./build/examples/pcapsim my_experiment.ini
+//   ./build/examples/pcapsim --print-config      # show effective defaults
+//
+// Example config:
+//   [cluster]
+//   nodes = 64
+//   seed = 7
+//   [manager]
+//   policy = hri-c
+//   dynamic_candidates = true
+//   [experiment]
+//   training_h = 1
+//   measured_h = 3
+//   [telemetry]
+//   loss_rate = 0.05
+#include <cstdio>
+#include <cstring>
+
+#include "cluster/config_loader.hpp"
+#include "common/string_util.hpp"
+#include "cluster/scenario.hpp"
+#include "metrics/report.hpp"
+
+namespace {
+
+void print_effective_defaults() {
+  using namespace pcap;
+  const cluster::ExperimentConfig cfg = cluster::paper_scenario();
+  std::printf(
+      "[cluster]\n"
+      "nodes = %zu\nseed = %llu\ntick_s = %g\ncontrol_period_s = %g\n"
+      "npb_class = D\nmax_procs_per_node = %d\nprivileged_fraction = %g\n"
+      "idle_utilization = %g\nutilization_noise = %g\nramp_tau_s = %g\n\n"
+      "[manager]\n"
+      "policy = %s\ncandidate_count = %d\ndynamic_candidates = false\n"
+      "tg_cycles = %lld\nred_margin = %g\nyellow_margin = %g\n"
+      "adjust_period_cycles = %lld\n\n"
+      "[experiment]\n"
+      "training_h = %g\nmeasured_h = %g\ncalibration_h = %g\n"
+      "provision_w = %g\nprovision_fraction = %g\n\n"
+      "[telemetry]\nloss_rate = 0\ndelay_cycles = 0\n",
+      cfg.cluster.num_nodes,
+      static_cast<unsigned long long>(cfg.cluster.seed),
+      cfg.cluster.tick.value(), cfg.cluster.control_period.value(),
+      cfg.cluster.scheduler.max_procs_per_node,
+      cfg.cluster.privileged_job_fraction, cfg.cluster.idle_utilization,
+      cfg.cluster.utilization_noise_sigma,
+      cfg.cluster.utilization_ramp_tau_s, cfg.manager.c_str(),
+      cfg.candidate_count,
+      static_cast<long long>(cfg.capping.steady_green_cycles),
+      cfg.red_margin, cfg.yellow_margin,
+      static_cast<long long>(cfg.adjust_period_cycles),
+      cfg.training.value() / 3600.0, cfg.measured.value() / 3600.0,
+      cfg.calibration_duration.value() / 3600.0, cfg.provision.value(),
+      cfg.provision_fraction);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pcap;
+
+  if (argc > 1 && std::strcmp(argv[1], "--print-config") == 0) {
+    print_effective_defaults();
+    return 0;
+  }
+
+  cluster::ExperimentConfig cfg;
+  try {
+    cfg = argc > 1 ? cluster::experiment_from_file(argv[1])
+                   : cluster::paper_scenario();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pcapsim: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("pcapsim: %zu nodes, policy %s, training %.1f h, measured "
+              "%.1f h, seed %llu\n",
+              cfg.cluster.num_nodes ? cfg.cluster.num_nodes
+                                    : cfg.cluster.node_specs.size(),
+              cfg.manager.c_str(), cfg.training.value() / 3600.0,
+              cfg.measured.value() / 3600.0,
+              static_cast<unsigned long long>(cfg.cluster.seed));
+
+  const cluster::ExperimentResult r = cluster::run_experiment(cfg);
+
+  metrics::Table table({"metric", "value"});
+  table.cell("manager").cell(r.manager);
+  table.end_row();
+  table.cell("|A_candidate|").cell(r.candidate_count);
+  table.end_row();
+  table.cell("finished jobs").cell(r.perf.finished_jobs);
+  table.end_row();
+  table.cell("Performance(cap)").cell(r.perf.performance, 4);
+  table.end_row();
+  table.cell("CPLJ").cell_percent(r.perf.lossless_fraction);
+  table.end_row();
+  table.cell("mean slowdown").cell_percent(
+      r.perf.mean_slowdown_percent / 100.0);
+  table.end_row();
+  table.cell("P_Max (provision, W)").cell(r.provision.value(), 0);
+  table.end_row();
+  table.cell("P_max observed (W)").cell(r.p_max.value(), 0);
+  table.end_row();
+  table.cell("mean power (W)").cell(r.mean_power.value(), 0);
+  table.end_row();
+  table.cell("energy (MJ)").cell(r.energy.value() / 1e6, 1);
+  table.end_row();
+  table.cell("dPxT").cell(r.delta_pxt, 5);
+  table.end_row();
+  table.cell("P_L / P_H (W)").cell(common::strprintf(
+      "%.0f / %.0f", r.p_low.value(), r.p_high.value()));
+  table.end_row();
+  table.cell("green/yellow/red (s)").cell(common::strprintf(
+      "%zu / %zu / %zu", r.green_cycles, r.yellow_cycles, r.red_cycles));
+  table.end_row();
+  table.cell("never red").cell(r.never_red ? "yes" : "no");
+  table.end_row();
+  table.cell("DVFS transitions").cell(r.transitions);
+  table.end_row();
+  table.print();
+  return 0;
+}

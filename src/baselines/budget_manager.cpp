@@ -1,0 +1,87 @@
+#include "baselines/budget_manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcap::baselines {
+
+BudgetManager::BudgetManager(BudgetParams params, common::Rng rng)
+    : params_(params), collector_(params.collector, rng.fork("budget")) {
+  if (params_.global_budget <= Watts{0.0}) {
+    throw std::invalid_argument("BudgetManager: budget must be > 0");
+  }
+  if (params_.demand_weight < 0.0 || params_.demand_weight > 1.0) {
+    throw std::invalid_argument("BudgetManager: demand weight in [0,1]");
+  }
+  collector_.set_cycle_period(params_.cycle_period);
+}
+
+void BudgetManager::set_candidate_set(const std::vector<hw::NodeId>& ids) {
+  collector_.set_candidate_set(ids);
+}
+
+power::ManagerReport BudgetManager::cycle(Watts measured,
+                                          std::vector<hw::Node>& nodes,
+                                          const sched::Scheduler& scheduler,
+                                          Seconds now) {
+  collector_.collect(nodes, now, scheduler.running_count());
+
+  power::ManagerReport report;
+  report.measured = measured;
+  report.p_low = params_.global_budget;
+  report.p_high = params_.global_budget;
+  report.manager_utilization = collector_.last_cycle_manager_utilization();
+
+  const auto& candidates = collector_.candidate_set();
+  if (candidates.empty()) return report;
+
+  // Cluster level: split the budget — a demand-proportional share plus an
+  // even share (Femal's non-uniform allocation).
+  double total_demand = 0.0;
+  std::vector<double> demand(candidates.size(), 0.0);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (const auto s = collector_.latest(candidates[i])) {
+      demand[i] = std::max(0.0, s->estimated_power.value());
+    }
+    total_demand += demand[i];
+  }
+  const double even_share =
+      params_.global_budget.value() * (1.0 - params_.demand_weight) /
+      static_cast<double>(candidates.size());
+
+  last_budgets_.assign(candidates.size(), Watts{0.0});
+  std::vector<power::LevelCommand> commands;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double proportional =
+        total_demand > 0.0
+            ? params_.global_budget.value() * params_.demand_weight *
+                  demand[i] / total_demand
+            : params_.global_budget.value() * params_.demand_weight /
+                  static_cast<double>(candidates.size());
+    const Watts budget{even_share + proportional};
+    last_budgets_[i] = budget;
+
+    // Node level: highest level whose estimate fits the local budget.
+    const hw::Node& node = nodes.at(candidates[i]);
+    hw::Level chosen = node.spec().ladder.lowest();
+    for (hw::Level l = node.spec().ladder.highest();
+         l >= node.spec().ladder.lowest(); --l) {
+      if (node.estimated_power_at(l) <= budget) {
+        chosen = l;
+        break;
+      }
+    }
+    if (chosen != node.level()) {
+      commands.push_back(power::LevelCommand{candidates[i], chosen});
+    }
+  }
+
+  report.state = measured > params_.global_budget
+                     ? power::PowerState::kYellow
+                     : power::PowerState::kGreen;
+  report.targets = commands.size();
+  report.transitions = controller_.apply(commands, nodes);
+  return report;
+}
+
+}  // namespace pcap::baselines

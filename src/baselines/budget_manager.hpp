@@ -1,0 +1,54 @@
+// Two-level non-uniform power budgeting, after Femal & Freeh (ICAC'05).
+//
+// The cluster-level manager divides a global budget across nodes in
+// proportion to their recent demand (non-uniform allocation: busy nodes
+// get more); each node-level manager then picks the highest DVFS level
+// whose estimated power fits its local budget. This is the classic
+// related-work architecture the paper contrasts with: budgets are
+// enforced continuously on every node, with no green/yellow/red states,
+// no job awareness and no notion of a target subset.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "power/manager.hpp"
+#include "telemetry/collector.hpp"
+
+namespace pcap::baselines {
+
+struct BudgetParams {
+  Watts global_budget{0.0};  ///< total node-level budget to distribute.
+  /// Fraction of the budget distributed demand-proportionally; the rest
+  /// is split evenly (pure even split = uniform allocation).
+  double demand_weight = 0.7;
+  telemetry::CollectorParams collector;
+  Seconds cycle_period{1.0};
+};
+
+class BudgetManager final : public power::PowerManagerBase {
+ public:
+  BudgetManager(BudgetParams params, common::Rng rng);
+
+  [[nodiscard]] std::string name() const override { return "budget"; }
+
+  void set_candidate_set(const std::vector<hw::NodeId>& ids);
+
+  power::ManagerReport cycle(Watts measured, std::vector<hw::Node>& nodes,
+                             const sched::Scheduler& scheduler,
+                             Seconds now) override;
+
+  /// The per-node budgets computed in the last cycle (empty before the
+  /// first cycle). Indexed like the candidate set.
+  [[nodiscard]] const std::vector<Watts>& last_budgets() const {
+    return last_budgets_;
+  }
+
+ private:
+  BudgetParams params_;
+  telemetry::Collector collector_;
+  power::NodeController controller_;
+  std::vector<Watts> last_budgets_;
+};
+
+}  // namespace pcap::baselines

@@ -1,0 +1,100 @@
+#include "baselines/feedback_manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcap::baselines {
+
+FeedbackManager::FeedbackManager(FeedbackParams params, common::Rng rng)
+    : params_(params), collector_(params.collector, rng.fork("feedback")) {
+  if (params_.setpoint <= Watts{0.0}) {
+    throw std::invalid_argument("FeedbackManager: setpoint must be > 0");
+  }
+  if (params_.gain <= 0.0 || params_.hysteresis < 0.0) {
+    throw std::invalid_argument("FeedbackManager: bad gain/hysteresis");
+  }
+  collector_.set_cycle_period(params_.cycle_period);
+}
+
+void FeedbackManager::set_candidate_set(const std::vector<hw::NodeId>& ids) {
+  collector_.set_candidate_set(ids);
+}
+
+power::ManagerReport FeedbackManager::cycle(Watts measured,
+                                            std::vector<hw::Node>& nodes,
+                                            const sched::Scheduler& scheduler,
+                                            Seconds now) {
+  collector_.collect(nodes, now, scheduler.running_count());
+
+  power::ManagerReport report;
+  report.measured = measured;
+  report.p_low = params_.setpoint;
+  report.p_high = params_.setpoint;
+  report.manager_utilization = collector_.last_cycle_manager_utilization();
+
+  struct Actuator {
+    hw::NodeId id;
+    Watts power;
+    Watts saving;  // power shed (or regained) by one step
+    hw::Level level;
+  };
+
+  const double error = (measured - params_.setpoint).value();
+  std::vector<power::LevelCommand> commands;
+
+  if (error > 0.0) {
+    report.state = power::PowerState::kYellow;
+    // Throttle: busiest nodes first until the requested shed is covered.
+    std::vector<Actuator> acts;
+    for (const hw::NodeId id : collector_.candidate_set()) {
+      const auto s = collector_.latest(id);
+      if (!s || !s->busy || s->level == 0) continue;
+      const hw::Node& node = nodes.at(id);
+      acts.push_back(Actuator{
+          id, s->estimated_power,
+          s->estimated_power - node.estimated_power_at(s->level - 1),
+          s->level});
+    }
+    std::stable_sort(acts.begin(), acts.end(),
+                     [](const Actuator& a, const Actuator& b) {
+                       return a.power > b.power;
+                     });
+    double requested = error * params_.gain;
+    for (const Actuator& a : acts) {
+      if (requested <= 0.0) break;
+      commands.push_back(power::LevelCommand{a.id, a.level - 1});
+      requested -= a.saving.value();
+    }
+  } else if (-error > params_.setpoint.value() * params_.hysteresis) {
+    report.state = power::PowerState::kGreen;
+    // Restore headroom: raise throttled nodes, cheapest first, but never
+    // request more watts back than the available slack.
+    std::vector<Actuator> acts;
+    for (const hw::NodeId id : collector_.candidate_set()) {
+      const auto s = collector_.latest(id);
+      if (!s) continue;
+      const hw::Node& node = nodes.at(id);
+      if (s->level >= node.spec().ladder.highest()) continue;
+      acts.push_back(Actuator{
+          id, s->estimated_power,
+          node.estimated_power_at(s->level + 1) - s->estimated_power,
+          s->level});
+    }
+    std::stable_sort(acts.begin(), acts.end(),
+                     [](const Actuator& a, const Actuator& b) {
+                       return a.saving < b.saving;
+                     });
+    double slack = -error - params_.setpoint.value() * params_.hysteresis;
+    for (const Actuator& a : acts) {
+      if (slack <= a.saving.value()) break;
+      commands.push_back(power::LevelCommand{a.id, a.level + 1});
+      slack -= a.saving.value();
+    }
+  }
+
+  report.targets = commands.size();
+  report.transitions = controller_.apply(commands, nodes);
+  return report;
+}
+
+}  // namespace pcap::baselines

@@ -1,0 +1,53 @@
+// Cluster-level proportional feedback power controller, after Wang & Chen
+// (HPCA'08), simplified from their MIMO formulation.
+//
+// Each cycle the controller computes the power error against a setpoint
+// and converts it into a number of one-level frequency steps, distributed
+// over the monitored nodes in descending power order (positive error:
+// throttle; negative error beyond a hysteresis band: restore, busiest
+// nodes last). Unlike the paper's architecture there are no power states,
+// no steady-green timer and no job awareness — every monitored node is an
+// independent actuator.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "power/manager.hpp"
+#include "telemetry/collector.hpp"
+
+namespace pcap::baselines {
+
+struct FeedbackParams {
+  Watts setpoint{0.0};        ///< target system power.
+  double gain = 1.0;          ///< proportional gain on the error (watts
+                              ///< of requested shed per watt of error).
+  double hysteresis = 0.02;   ///< fraction of setpoint below which restore
+                              ///< actions kick in.
+  telemetry::CollectorParams collector;
+  Seconds cycle_period{1.0};
+};
+
+class FeedbackManager final : public power::PowerManagerBase {
+ public:
+  FeedbackManager(FeedbackParams params, common::Rng rng);
+
+  [[nodiscard]] std::string name() const override { return "feedback"; }
+
+  void set_candidate_set(const std::vector<hw::NodeId>& ids);
+
+  power::ManagerReport cycle(Watts measured, std::vector<hw::Node>& nodes,
+                             const sched::Scheduler& scheduler,
+                             Seconds now) override;
+
+  [[nodiscard]] const telemetry::Collector& collector() const {
+    return collector_;
+  }
+
+ private:
+  FeedbackParams params_;
+  telemetry::Collector collector_;
+  power::NodeController controller_;
+};
+
+}  // namespace pcap::baselines

@@ -1,0 +1,59 @@
+#include "baselines/sla_policy.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pcap::baselines {
+
+SlaClass sla_class_of(workload::JobId id) {
+  switch (id % 5) {
+    case 0:
+    case 1:
+      return SlaClass::kBronze;
+    case 2:
+    case 3:
+      return SlaClass::kSilver;
+    default:
+      return SlaClass::kGold;
+  }
+}
+
+std::vector<hw::NodeId> SlaPriorityPolicy::select(
+    const power::PolicyContext& ctx) {
+  struct Entry {
+    const power::JobView* job;
+    std::vector<hw::NodeId> nodes;
+    SlaClass cls;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(ctx.jobs.size());
+  for (const power::JobView& j : ctx.jobs) {
+    auto nodes = power::throttleable_nodes(ctx, j);
+    if (nodes.empty()) continue;
+    entries.push_back(Entry{&j, std::move(nodes), sla_class_of(j.id)});
+  }
+  if (entries.empty()) return {};
+
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.cls != b.cls) return a.cls < b.cls;  // bronze first
+                     return a.job->power > b.job->power;
+                   });
+
+  const Watts needed = ctx.required_saving();
+  std::vector<hw::NodeId> targets;
+  std::unordered_set<hw::NodeId> seen;
+  Watts saved{0.0};
+  for (const Entry& e : entries) {
+    for (const hw::NodeId id : e.nodes) {
+      if (!seen.insert(id).second) continue;
+      targets.push_back(id);
+      const power::NodeView* nv = ctx.node(id);
+      saved += nv->power - nv->power_one_level_down;
+    }
+    if (saved >= needed) break;
+  }
+  return targets;
+}
+
+}  // namespace pcap::baselines

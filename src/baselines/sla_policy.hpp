@@ -1,0 +1,26 @@
+// SLA-priority target selection, after Ranganathan et al. (ISCA'06).
+//
+// Each job carries a service class; when the budget is exceeded the
+// controller throttles the cheapest class first. We derive a deterministic
+// class from the job id (bronze/silver/gold in a 2:2:1 mix) so experiments
+// are reproducible; a production system would read it from the scheduler.
+// Within a class, higher-power jobs are throttled first, and jobs are
+// accumulated until the expected saving covers P - P_L.
+#pragma once
+
+#include "power/policy.hpp"
+
+namespace pcap::baselines {
+
+enum class SlaClass { kBronze = 0, kSilver = 1, kGold = 2 };
+
+/// Deterministic class assignment used by the simulation.
+SlaClass sla_class_of(workload::JobId id);
+
+class SlaPriorityPolicy final : public power::TargetSelectionPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "sla"; }
+  std::vector<hw::NodeId> select(const power::PolicyContext& ctx) override;
+};
+
+}  // namespace pcap::baselines

@@ -1,0 +1,15 @@
+#include "baselines/uniform_policy.hpp"
+
+namespace pcap::baselines {
+
+std::vector<hw::NodeId> UniformAllNodesPolicy::select(
+    const power::PolicyContext& ctx) {
+  std::vector<hw::NodeId> out;
+  out.reserve(ctx.nodes.size());
+  for (const power::NodeView& nv : ctx.nodes) {
+    if (nv.busy && !nv.at_lowest) out.push_back(nv.id);
+  }
+  return out;
+}
+
+}  // namespace pcap::baselines

@@ -1,0 +1,21 @@
+// The related-work strawman the paper argues against (§I.B): "all nodes in
+// the cluster are considered as of the same importance indiscriminately".
+//
+// UniformAllNodesPolicy degrades EVERY busy, throttleable candidate node by
+// one level whenever the system is yellow — no job awareness at all. It
+// plugs into the same CappingManager, which makes the comparison clean:
+// identical thresholds and Algorithm 1 mechanics, only the target set
+// selection differs.
+#pragma once
+
+#include "power/policy.hpp"
+
+namespace pcap::baselines {
+
+class UniformAllNodesPolicy final : public power::TargetSelectionPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "uniform"; }
+  std::vector<hw::NodeId> select(const power::PolicyContext& ctx) override;
+};
+
+}  // namespace pcap::baselines

@@ -1,0 +1,290 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "hw/node_spec.hpp"
+#include "workload/phase.hpp"
+
+namespace pcap::cluster {
+
+using workload::Job;
+using workload::JobId;
+using workload::JobState;
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      noise_rng_(rng_.fork("util-noise")),
+      meter_(config_.meter, rng_.fork("meter")),
+      manager_(std::make_unique<power::NoCappingManager>()) {
+  if (config_.tick <= Seconds{0.0}) {
+    throw std::invalid_argument("Cluster: non-positive tick");
+  }
+  if (config_.control_period < config_.tick) {
+    throw std::invalid_argument("Cluster: control period shorter than tick");
+  }
+  control_every_ = static_cast<std::uint64_t>(
+      std::llround(config_.control_period.value() / config_.tick.value()));
+  if (control_every_ == 0) control_every_ = 1;
+
+  // Build the node population.
+  std::vector<hw::NodeSpecPtr> specs = config_.node_specs;
+  if (specs.empty()) {
+    const hw::NodeSpecPtr spec =
+        config_.spec ? config_.spec : hw::tianhe1a_node_spec();
+    specs.assign(config_.num_nodes, spec);
+  }
+  if (specs.empty()) throw std::invalid_argument("Cluster: no nodes");
+  common::Rng variation_rng = rng_.fork("variation");
+  nodes_.reserve(specs.size());
+  std::vector<int> cores;
+  cores.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    nodes_.emplace_back(static_cast<hw::NodeId>(i), specs[i], &variation_rng);
+    cores.push_back(specs[i]->total_cores());
+    util_noise_.emplace_back(0.0, config_.utilization_noise_sigma,
+                             config_.utilization_noise_tau_s, 0.0);
+    smoothed_util_.push_back(config_.idle_utilization);
+  }
+
+  sched_ = std::make_unique<sched::Scheduler>(cores, config_.scheduler,
+                                              rng_.fork("alloc"));
+  fabric_ = std::make_unique<interconnect::Interconnect>(config_.interconnect,
+                                                         nodes_.size());
+  delivered_.assign(nodes_.size(), 1.0);
+  if (config_.auto_generate_jobs) {
+    if (config_.app_suite.empty()) {
+      generator_ = workload::JobGenerator::paper_default(
+          rng_.fork("jobs"), sched_->max_job_width(), config_.npb_class,
+          config_.privileged_job_fraction);
+    } else {
+      generator_ = workload::JobGenerator(
+          config_.app_suite, workload::npb_nprocs_choices(),
+          rng_.fork("jobs"), sched_->max_job_width(),
+          config_.privileged_job_fraction);
+    }
+  }
+
+  // The per-tick process drives everything.
+  sim_.every(config_.tick, config_.tick, [this](Seconds) { tick(); });
+}
+
+void Cluster::set_manager(std::unique_ptr<power::PowerManagerBase> manager) {
+  if (!manager) throw std::invalid_argument("Cluster: null manager");
+  manager_ = std::move(manager);
+}
+
+void Cluster::submit(Job job) {
+  generated_trace_.add(workload::TraceEntry{
+      .submit_time_s = job.submit_time().value(),
+      .app_name = job.app().name,
+      .nprocs = job.nprocs()});
+  sched_->submit(std::move(job));
+}
+
+void Cluster::load_trace(const workload::WorkloadTrace& trace) {
+  for (Job& job : trace.materialize(config_.npb_class)) {
+    const Seconds at = job.submit_time();
+    auto shared = std::make_shared<Job>(std::move(job));
+    sim_.schedule_at(at, [this, shared]() mutable {
+      submit(std::move(*shared));
+    });
+  }
+}
+
+void Cluster::run(Seconds duration) {
+  sim_.run_until(sim_.now() + duration);
+}
+
+std::vector<hw::NodeId> Cluster::controllable_nodes() const {
+  std::vector<hw::NodeId> out;
+  for (const hw::Node& n : nodes_) {
+    if (n.controllable()) out.push_back(n.id());
+  }
+  return out;
+}
+
+Watts Cluster::theoretical_peak() const {
+  Watts total{0.0};
+  for (const hw::Node& n : nodes_) {
+    total += n.spec().power_model.theoretical_max();
+  }
+  return total / config_.meter.psu_efficiency;
+}
+
+void Cluster::start_recording() {
+  recording_ = true;
+  if (!recorder_) {
+    recorder_ = std::make_unique<metrics::TraceRecorder>(config_.tick);
+  }
+}
+
+const metrics::TraceRecorder& Cluster::recorder() const {
+  if (!recorder_) throw std::logic_error("Cluster: recording never started");
+  return *recorder_;
+}
+
+void Cluster::clear_recording() {
+  if (recorder_) *recorder_ = metrics::TraceRecorder(config_.tick);
+  finished_records_.clear();
+}
+
+void Cluster::ensure_queue_nonempty() {
+  if (!generator_) return;
+  // "An evaluation job is added to the job queue whenever the queue is
+  // empty" (§V.C).
+  while (sched_->queue_length() == 0) {
+    submit(generator_->next(sim_.now()));
+    // One submission suffices; loop guards against a future generator
+    // that could hand out zero-node jobs.
+    break;
+  }
+}
+
+void Cluster::tick() {
+  const Seconds dt = config_.tick;
+  const Seconds now = sim_.now();
+
+  ensure_queue_nonempty();
+  sched_->try_launch(now);
+
+  refresh_workload(dt);
+
+  // Attribute each busy node's energy to the job it runs (per-job E, ExD).
+  for (const hw::Node& node : nodes_) {
+    if (const auto owner = sched_->job_on_node(node.id())) {
+      job_energy_j_[*owner] += node.true_power().value() * dt.value();
+    }
+  }
+
+  for (hw::Node& node : nodes_) node.advance_thermal(dt);
+
+  last_power_ = meter_.measure(nodes_);
+  ++ticks_;
+  const bool control_tick = ticks_ % control_every_ == 0;
+  if (control_tick) {
+    last_report_ = manager_->cycle(last_power_, nodes_, *sched_, now);
+  }
+
+  if (recording_) {
+    metrics::CyclePoint p;
+    p.time_s = now.value();
+    p.power_w = last_power_.value();
+    p.p_low_w = last_report_.p_low.value();
+    p.p_high_w = last_report_.p_high.value();
+    p.state = static_cast<int>(last_report_.state);
+    p.running_jobs = sched_->running_count();
+    p.targets = control_tick ? last_report_.targets : 0;
+    p.transitions = control_tick ? last_report_.transitions : 0;
+    p.manager_utilization = last_report_.manager_utilization;
+    recorder_->record(p);
+  }
+}
+
+void Cluster::refresh_workload(Seconds dt) {
+  const Seconds now = sim_.now();
+
+  // Per-node device-usage targets for this tick; idle unless a job
+  // overwrites them below.
+  struct UsageTarget {
+    double cpu = 0.0;
+    double mem_fraction = 0.02;
+    double nic_bytes = 0.0;
+    bool busy = false;
+  };
+  std::vector<UsageTarget> targets(nodes_.size());
+  for (auto& t : targets) t.cpu = config_.idle_utilization;
+
+  // Pass 1: set device-usage targets from each running job's phase.
+  for (const JobId jid : sched_->running_jobs()) {
+    Job* job = sched_->find(jid);
+    const workload::Phase& phase = job->current_phase();
+    for (std::size_t k = 0; k < job->nodes().size(); ++k) {
+      const hw::NodeId nid = job->nodes()[k];
+      // Whole-node exclusive allocation: an allocated node runs the phase
+      // at its stated intensity regardless of how many ranks landed on it
+      // (memory-bandwidth-bound ranks saturate a node's power-relevant
+      // resources well below full core occupancy).
+      UsageTarget& t = targets[nid];
+      t.cpu = phase.cpu_utilization;
+      t.mem_fraction = phase.mem_fraction;
+      t.nic_bytes = phase.comm_bytes_per_proc_per_s *
+                    static_cast<double>(job->placement()[k]) * dt.value();
+      t.busy = true;
+    }
+  }
+
+  // Interconnect contention: per-node delivered traffic fractions.
+  {
+    std::vector<double> offered(nodes_.size(), 0.0);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      offered[i] = targets[i].nic_bytes;
+    }
+    delivered_ = fabric_->delivered_fractions(offered, dt);
+  }
+
+  // Pass 2: advance each job at its bottleneck rate — the slowest node
+  // gates progress (§IV.A), accounting for both its DVFS level and the
+  // network contention its traffic sees.
+  std::vector<JobId> finished;
+  for (const JobId jid : sched_->running_jobs()) {
+    Job* job = sched_->find(jid);
+    // A job launched this very tick has run for zero time; it only sets
+    // its nodes' usage targets and starts progressing next tick.
+    const bool launched_now = job->start_time() >= now;
+    const workload::Phase& phase = job->current_phase();
+
+    double bottleneck = 1.0;
+    for (const hw::NodeId nid : job->nodes()) {
+      const double freq_rate = workload::frequency_progress_rate(
+          phase.frequency_sensitivity, nodes_[nid].relative_speed());
+      const double net_rate = workload::network_progress_rate(
+          phase.network_sensitivity, delivered_[nid]);
+      bottleneck = std::min(bottleneck, freq_rate * net_rate);
+    }
+
+    if (!launched_now && job->advance(dt, bottleneck, now)) {
+      finished.push_back(jid);
+    }
+  }
+
+  // Apply targets: utilisation ramps towards the phase target (thousands
+  // of MPI ranks do not switch phases within one sampling interval, so
+  // aggregate power ramps rather than steps), then OU noise on top.
+  const double ramp =
+      config_.utilization_ramp_tau_s > 0.0
+          ? 1.0 - std::exp(-dt.value() / config_.utilization_ramp_tau_s)
+          : 1.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    hw::Node& node = nodes_[i];
+    const UsageTarget& t = targets[i];
+    smoothed_util_[i] += (t.cpu - smoothed_util_[i]) * ramp;
+    const double noise = util_noise_[i].step(dt.value(), noise_rng_);
+    hw::OperatingPoint op;
+    op.cpu_utilization = std::clamp(smoothed_util_[i] + noise, 0.0, 1.0);
+    op.mem_used = node.spec().mem_total * t.mem_fraction;
+    op.mem_total = node.spec().mem_total;
+    op.nic_bytes = Bytes{t.nic_bytes};
+    op.tau = dt;
+    op.nic_bandwidth = node.spec().nic_bandwidth;
+    node.set_operating_point(op);
+    node.set_busy(t.busy);
+  }
+
+  for (const JobId jid : finished) {
+    sched_->on_job_finished(jid);
+    if (recording_) {
+      metrics::JobRecord rec = metrics::make_record(*sched_->find(jid));
+      if (const auto it = job_energy_j_.find(jid);
+          it != job_energy_j_.end()) {
+        rec.energy_j = it->second;
+      }
+      finished_records_.push_back(std::move(rec));
+    }
+    job_energy_j_.erase(jid);
+  }
+}
+
+}  // namespace pcap::cluster

@@ -1,0 +1,174 @@
+// The cluster façade: nodes + scheduler + workload engine + power manager,
+// stepped on the discrete-event kernel.
+//
+// Every tick (the sampling interval τ, default 1 s) the cluster:
+//   1. keeps the job queue non-empty (the paper's arrival rule) or feeds a
+//      recorded trace,
+//   2. launches queued jobs onto free nodes,
+//   3. refreshes every node's operating point from its job's current phase
+//      (with OU utilisation noise) and advances job progress at the
+//      bottleneck-node rate,
+//   4. integrates node thermals,
+//   5. reads the facility power meter, and
+//   6. runs one control cycle of the installed power manager.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "hw/node.hpp"
+#include "hw/power_meter.hpp"
+#include "interconnect/interconnect.hpp"
+#include "metrics/performance.hpp"
+#include "metrics/trace_recorder.hpp"
+#include "power/manager.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulation.hpp"
+#include "workload/job_generator.hpp"
+#include "workload/trace.hpp"
+
+namespace pcap::cluster {
+
+struct ClusterConfig {
+  /// Node population: `num_nodes` copies of `spec`, or an explicit
+  /// per-node list in `node_specs` (which wins when non-empty).
+  std::size_t num_nodes = 128;
+  hw::NodeSpecPtr spec;  ///< defaults to tianhe1a_node_spec() when null
+  std::vector<hw::NodeSpecPtr> node_specs;
+
+  Seconds tick{1.0};  ///< simulation step / meter sampling interval
+  /// Leaf-switch uplink contention (disabled by default; the paper's
+  /// evaluation numbers are calibrated without it).
+  interconnect::InterconnectParams interconnect;
+  /// Control cycle period: the manager collects, classifies and actuates
+  /// once per control period (a multiple of tick). A few seconds matches
+  /// a real central manager sweeping /proc on hundreds of nodes, and sets
+  /// the τ over which change-based policies compute ΔP.
+  Seconds control_period{4.0};
+  hw::PowerMeterParams meter;
+  sched::SchedulerOptions scheduler;
+
+  /// OU noise on per-node CPU utilisation (stationary sigma / relaxation).
+  double utilization_noise_sigma = 0.02;
+  double utilization_noise_tau_s = 30.0;
+  /// Idle nodes hover at this mean utilisation.
+  double idle_utilization = 0.02;
+  /// Phase-transition ramp: node utilisation approaches its phase target
+  /// with this time constant (seconds). Models the fact that thousands of
+  /// MPI ranks do not switch phases within one sampling interval, so
+  /// system power ramps rather than steps — which is what gives the
+  /// 1 Hz control loop its reaction window. 0 disables ramping.
+  double utilization_ramp_tau_s = 45.0;
+
+  std::uint64_t seed = 42;
+
+  /// Paper arrival rule: submit a fresh random job whenever the queue is
+  /// empty. When false, jobs come only from submit()/a trace.
+  bool auto_generate_jobs = true;
+  workload::NpbClass npb_class = workload::NpbClass::kD;
+  /// Fraction of generated jobs marked privileged (§II.A): their nodes
+  /// are excluded from A_candidate by the dynamic candidate selector.
+  double privileged_job_fraction = 0.0;
+  /// Override the generated application mix (empty = the paper's five
+  /// NPB benchmarks). npb_extended_suite() adds MG/FT/IS.
+  std::vector<workload::AppModel> app_suite;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  /// Installs the power manager (defaults to NoCappingManager). The
+  /// cluster owns it.
+  void set_manager(std::unique_ptr<power::PowerManagerBase> manager);
+  [[nodiscard]] power::PowerManagerBase& manager() { return *manager_; }
+
+  /// Submits an externally created job (used by trace replay).
+  void submit(workload::Job job);
+  /// Loads a whole trace; entries are submitted at their recorded times.
+  void load_trace(const workload::WorkloadTrace& trace);
+
+  /// Advances simulated time by `duration` (must be a multiple of tick).
+  void run(Seconds duration);
+
+  // -- state ------------------------------------------------------------------
+  [[nodiscard]] Seconds now() const { return sim_.now(); }
+  [[nodiscard]] const std::vector<hw::Node>& nodes() const { return nodes_; }
+  [[nodiscard]] std::vector<hw::Node>& nodes() { return nodes_; }
+  [[nodiscard]] const sched::Scheduler& scheduler() const { return *sched_; }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+
+  /// Wall-socket power at the last tick.
+  [[nodiscard]] Watts last_power() const { return last_power_; }
+  /// Report from the manager's last control cycle.
+  [[nodiscard]] const power::ManagerReport& last_report() const {
+    return last_report_;
+  }
+
+  /// All controllable node ids (the natural A_candidate pool).
+  [[nodiscard]] std::vector<hw::NodeId> controllable_nodes() const;
+
+  /// Sum over nodes of per-node theoretical maxima (P_thy, §II.D) at the
+  /// wall socket.
+  [[nodiscard]] Watts theoretical_peak() const;
+
+  /// Per-node delivered traffic fractions from the last tick (all 1.0
+  /// when interconnect contention is disabled).
+  [[nodiscard]] const std::vector<double>& last_delivered_fractions() const {
+    return delivered_;
+  }
+
+  // -- measurement ------------------------------------------------------------
+  /// Starts/stops recording per-cycle points and finished-job records.
+  void start_recording();
+  [[nodiscard]] const metrics::TraceRecorder& recorder() const;
+  [[nodiscard]] const std::vector<metrics::JobRecord>& finished_records()
+      const {
+    return finished_records_;
+  }
+  /// Clears recorded data (not simulation state).
+  void clear_recording();
+
+  /// Record of jobs generated so far (submit time/app/nprocs) — exportable
+  /// as a workload trace for replay experiments.
+  [[nodiscard]] const workload::WorkloadTrace& generated_trace() const {
+    return generated_trace_;
+  }
+
+ private:
+  void tick();
+  void refresh_workload(Seconds dt);
+  void ensure_queue_nonempty();
+
+  ClusterConfig config_;
+  common::Rng rng_;
+  sim::Simulation sim_;
+  std::vector<hw::Node> nodes_;
+  std::vector<common::OrnsteinUhlenbeck> util_noise_;
+  std::vector<double> smoothed_util_;
+  std::vector<double> delivered_;
+  common::Rng noise_rng_;
+  std::unique_ptr<sched::Scheduler> sched_;
+  std::unique_ptr<interconnect::Interconnect> fabric_;
+  std::optional<workload::JobGenerator> generator_;
+  hw::SystemPowerMeter meter_;
+  std::unique_ptr<power::PowerManagerBase> manager_;
+
+  Watts last_power_{0.0};
+  power::ManagerReport last_report_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t control_every_ = 1;
+
+  bool recording_ = false;
+  std::unordered_map<workload::JobId, double> job_energy_j_;
+  std::unique_ptr<metrics::TraceRecorder> recorder_;
+  std::vector<metrics::JobRecord> finished_records_;
+  workload::WorkloadTrace generated_trace_;
+};
+
+}  // namespace pcap::cluster

@@ -1,0 +1,133 @@
+#include "cluster/config_loader.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "cluster/scenario.hpp"
+#include "common/string_util.hpp"
+
+namespace pcap::cluster {
+
+namespace {
+
+const std::set<std::string>& known_keys() {
+  static const std::set<std::string> keys = {
+      "cluster.nodes",
+      "cluster.seed",
+      "cluster.tick_s",
+      "cluster.control_period_s",
+      "cluster.npb_class",
+      "cluster.max_procs_per_node",
+      "cluster.privileged_fraction",
+      "cluster.idle_utilization",
+      "cluster.utilization_noise",
+      "cluster.ramp_tau_s",
+      "manager.policy",
+      "manager.candidate_count",
+      "manager.dynamic_candidates",
+      "manager.tg_cycles",
+      "manager.red_margin",
+      "manager.yellow_margin",
+      "manager.adjust_period_cycles",
+      "manager.feedback_gain",
+      "experiment.training_h",
+      "experiment.measured_h",
+      "experiment.calibration_h",
+      "experiment.provision_w",
+      "experiment.provision_fraction",
+      "telemetry.loss_rate",
+      "telemetry.delay_cycles",
+  };
+  return keys;
+}
+
+}  // namespace
+
+ExperimentConfig apply_config(ExperimentConfig base,
+                              const common::Config& cfg) {
+  for (const std::string& key : cfg.keys()) {
+    if (known_keys().count(key) == 0) {
+      throw std::runtime_error("experiment config: unknown key '" + key +
+                               "'");
+    }
+  }
+
+  ExperimentConfig out = std::move(base);
+
+  // [cluster]
+  out.cluster.num_nodes = static_cast<std::size_t>(cfg.get_int(
+      "cluster.nodes", static_cast<std::int64_t>(out.cluster.num_nodes)));
+  out.cluster.seed = static_cast<std::uint64_t>(
+      cfg.get_int("cluster.seed",
+                  static_cast<std::int64_t>(out.cluster.seed)));
+  out.cluster.tick =
+      Seconds{cfg.get_double("cluster.tick_s", out.cluster.tick.value())};
+  out.cluster.control_period = Seconds{cfg.get_double(
+      "cluster.control_period_s", out.cluster.control_period.value())};
+  const std::string cls =
+      common::to_lower(cfg.get_string("cluster.npb_class", "d"));
+  if (cls == "c") {
+    out.cluster.npb_class = workload::NpbClass::kC;
+  } else if (cls == "d") {
+    out.cluster.npb_class = workload::NpbClass::kD;
+  } else {
+    throw std::runtime_error("experiment config: npb_class must be C or D");
+  }
+  out.cluster.scheduler.max_procs_per_node = static_cast<int>(cfg.get_int(
+      "cluster.max_procs_per_node",
+      out.cluster.scheduler.max_procs_per_node));
+  out.cluster.privileged_job_fraction = cfg.get_double(
+      "cluster.privileged_fraction", out.cluster.privileged_job_fraction);
+  out.cluster.idle_utilization =
+      cfg.get_double("cluster.idle_utilization", out.cluster.idle_utilization);
+  out.cluster.utilization_noise_sigma = cfg.get_double(
+      "cluster.utilization_noise", out.cluster.utilization_noise_sigma);
+  out.cluster.utilization_ramp_tau_s =
+      cfg.get_double("cluster.ramp_tau_s", out.cluster.utilization_ramp_tau_s);
+
+  // [manager]
+  out.manager = cfg.get_string("manager.policy", out.manager);
+  out.candidate_count = static_cast<int>(
+      cfg.get_int("manager.candidate_count", out.candidate_count));
+  out.dynamic_candidates =
+      cfg.get_bool("manager.dynamic_candidates", out.dynamic_candidates);
+  out.capping.steady_green_cycles =
+      cfg.get_int("manager.tg_cycles", out.capping.steady_green_cycles);
+  out.red_margin = cfg.get_double("manager.red_margin", out.red_margin);
+  out.yellow_margin =
+      cfg.get_double("manager.yellow_margin", out.yellow_margin);
+  out.adjust_period_cycles = cfg.get_int("manager.adjust_period_cycles",
+                                         out.adjust_period_cycles);
+  out.feedback_gain =
+      cfg.get_double("manager.feedback_gain", out.feedback_gain);
+
+  // [experiment]
+  out.training = Seconds{
+      cfg.get_double("experiment.training_h", out.training.value() / 3600.0) *
+      3600.0};
+  out.measured = Seconds{
+      cfg.get_double("experiment.measured_h", out.measured.value() / 3600.0) *
+      3600.0};
+  out.calibration_duration =
+      Seconds{cfg.get_double("experiment.calibration_h",
+                             out.calibration_duration.value() / 3600.0) *
+              3600.0};
+  out.provision =
+      Watts{cfg.get_double("experiment.provision_w", out.provision.value())};
+  out.provision_fraction = cfg.get_double("experiment.provision_fraction",
+                                          out.provision_fraction);
+
+  // [telemetry]
+  out.transport.loss_rate =
+      cfg.get_double("telemetry.loss_rate", out.transport.loss_rate);
+  out.transport.delay_cycles = static_cast<int>(
+      cfg.get_int("telemetry.delay_cycles", out.transport.delay_cycles));
+
+  return out;
+}
+
+ExperimentConfig experiment_from_file(const std::string& path) {
+  return apply_config(paper_scenario(), common::Config::load_file(path));
+}
+
+}  // namespace pcap::cluster

@@ -1,0 +1,161 @@
+#include "cluster/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "baselines/budget_manager.hpp"
+#include "baselines/feedback_manager.hpp"
+#include "baselines/sla_policy.hpp"
+#include "baselines/uniform_policy.hpp"
+#include "common/logging.hpp"
+#include "power/policy_registry.hpp"
+
+namespace pcap::cluster {
+
+namespace {
+
+bool is_registry_policy(const std::string& name) {
+  const auto names = power::policy_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+power::PolicyPtr make_policy_any(const std::string& name) {
+  if (name == "uniform") {
+    return std::make_unique<baselines::UniformAllNodesPolicy>();
+  }
+  if (name == "sla") return std::make_unique<baselines::SlaPriorityPolicy>();
+  return power::make_policy(name);
+}
+
+}  // namespace
+
+Watts probe_uncapped_peak(const ClusterConfig& cluster, Seconds duration) {
+  Cluster probe(cluster);
+  probe.start_recording();
+  probe.run(duration);
+  return metrics::peak_power(probe.recorder().power_trace());
+}
+
+std::unique_ptr<power::PowerManagerBase> make_manager(
+    const ExperimentConfig& config, const ClusterConfig& cluster,
+    Watts provision, const std::vector<hw::NodeId>& candidates) {
+  common::Rng rng(cluster.seed ^ 0x9d2c5680u);
+
+  if (config.manager == "none" || candidates.empty()) {
+    return std::make_unique<power::NoCappingManager>();
+  }
+
+  if (config.manager == "budget") {
+    baselines::BudgetParams p;
+    // The meter reads wall power; node budgets are IT-side watts.
+    p.global_budget = provision * cluster.meter.psu_efficiency;
+    p.cycle_period = cluster.control_period;
+    p.collector.transport = config.transport;
+    auto mgr = std::make_unique<baselines::BudgetManager>(p, rng);
+    mgr->set_candidate_set(candidates);
+    return mgr;
+  }
+
+  if (config.manager == "feedback") {
+    baselines::FeedbackParams p;
+    // The feedback baseline regulates to the same yellow threshold the
+    // capping architecture would learn, approximated by the provision.
+    p.setpoint = provision;
+    p.gain = config.feedback_gain;
+    p.cycle_period = cluster.control_period;
+    p.collector.transport = config.transport;
+    auto mgr = std::make_unique<baselines::FeedbackManager>(p, rng);
+    mgr->set_candidate_set(candidates);
+    return mgr;
+  }
+
+  if (!is_registry_policy(config.manager) && config.manager != "uniform" &&
+      config.manager != "sla") {
+    throw std::invalid_argument("make_manager: unknown manager '" +
+                                config.manager + "'");
+  }
+
+  power::CappingManagerParams p;
+  if (config.dynamic_candidates) {
+    power::CandidateSelectorParams sel;
+    sel.max_candidates = config.candidate_count;
+    p.selector = sel;
+  }
+  p.thresholds.provision = provision;
+  p.thresholds.red_margin = config.red_margin;
+  p.thresholds.yellow_margin = config.yellow_margin;
+  p.thresholds.training_cycles =
+      static_cast<std::int64_t>(config.training / cluster.control_period);
+  p.thresholds.adjust_period_cycles = config.adjust_period_cycles;
+  p.thresholds.freeze_at_provision = config.thresholds_from_provision;
+  p.capping = config.capping;
+  p.cycle_period = cluster.control_period;
+  p.collector.transport = config.transport;
+  auto mgr = std::make_unique<power::CappingManager>(
+      p, make_policy_any(config.manager), rng);
+  mgr->set_candidate_set(candidates);
+  return mgr;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  // 1. Provision calibration.
+  Watts provision = config.provision;
+  if (provision <= Watts{0.0}) {
+    const Watts peak =
+        probe_uncapped_peak(config.cluster, config.calibration_duration);
+    provision = peak * config.provision_fraction;
+    PCAP_INFO("experiment: calibrated provision to %.0f W (peak %.0f W)",
+              provision.value(), peak.value());
+  }
+
+  // 2. Build the cluster and manager.
+  Cluster cl(config.cluster);
+  std::vector<hw::NodeId> candidates = cl.controllable_nodes();
+  if (config.candidate_count >= 0 &&
+      static_cast<std::size_t>(config.candidate_count) < candidates.size()) {
+    candidates.resize(static_cast<std::size_t>(config.candidate_count));
+  }
+  cl.set_manager(make_manager(config, config.cluster, provision, candidates));
+
+  // 3. Training phase (thresholds learn; no job/power metrics recorded).
+  if (config.training > Seconds{0.0}) cl.run(config.training);
+
+  // 4. Measured phase.
+  cl.start_recording();
+  cl.run(config.measured);
+
+  // 5. Extract metrics.
+  ExperimentResult r;
+  r.manager = config.manager;
+  r.candidate_count = candidates.size();
+  r.provision = provision;
+
+  const auto trace = cl.recorder().power_trace();
+  r.p_max = metrics::peak_power(trace);
+  r.mean_power = metrics::mean_power(trace);
+  r.energy = metrics::total_energy(trace);
+  r.delta_pxt = metrics::accumulated_overspend(trace, provision);
+  r.perf = metrics::summarize_performance(cl.finished_records());
+
+  r.green_cycles = cl.recorder().state_count(0);
+  r.yellow_cycles = cl.recorder().state_count(1);
+  r.red_cycles = cl.recorder().state_count(2);
+  r.never_red = r.red_cycles == 0;
+
+  double util_sum = 0.0;
+  std::size_t transitions = 0;
+  for (const auto& p : cl.recorder().points()) {
+    util_sum += p.manager_utilization;
+    transitions += p.transitions;
+  }
+  const std::size_t cycles = cl.recorder().size();
+  r.mean_manager_utilization =
+      cycles > 0 ? util_sum / static_cast<double>(cycles) : 0.0;
+  r.transitions = transitions;
+  r.p_low = cl.last_report().p_low;
+  r.p_high = cl.last_report().p_high;
+  return r;
+}
+
+}  // namespace pcap::cluster

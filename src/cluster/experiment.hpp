@@ -1,0 +1,94 @@
+// Experiment runner: training phase + measured phase + metric extraction.
+//
+// One ExperimentConfig fully determines a run (seeded), so benches sweep
+// configs and compare results. Managers are selected by name:
+//   "none"                      — no power management (the baseline runs)
+//   "mpc","mpc-c","lpc","lpc-c","bfp","hri","hri-c"
+//                               — the paper's architecture with that policy
+//   "uniform", "sla"            — related-work policies inside Algorithm 1
+//   "feedback"                  — Wang-style proportional controller
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "metrics/performance.hpp"
+#include "power/capping.hpp"
+#include "power/thresholds.hpp"
+
+namespace pcap::cluster {
+
+struct ExperimentConfig {
+  ClusterConfig cluster;
+
+  std::string manager = "mpc";
+
+  /// Size of A_candidate: the first N controllable nodes. Negative = all.
+  int candidate_count = -1;
+
+  /// Use the dynamic candidate selector (§III.A algorithm (c)) instead of
+  /// a fixed candidate set: privileged jobs' nodes are excluded while
+  /// they run, and |A_candidate| stays capped at candidate_count.
+  bool dynamic_candidates = false;
+
+  /// Power provision capability P_Max (wall watts). When unset (<= 0) it
+  /// is calibrated as `provision_fraction` x the peak of a short uncapped
+  /// probe run with the same seed.
+  Watts provision{0.0};
+  double provision_fraction = 0.84;
+  Seconds calibration_duration{7200.0};
+
+  Seconds training{4 * 3600.0};  ///< paper: 24 h; benches default to 4 h
+  Seconds measured{12 * 3600.0};
+
+  power::CappingParams capping;      ///< T_g etc.
+  double red_margin = 0.07;          ///< P_H factor (§III.A)
+  double yellow_margin = 0.16;       ///< P_L factor
+  /// Administrator mode: derive P_L/P_H from the provision instead of
+  /// learning P_peak (no training phase).
+  bool thresholds_from_provision = false;
+  std::int64_t adjust_period_cycles = 3600;  ///< t_p
+
+  double feedback_gain = 1.0;  ///< only for manager == "feedback"
+
+  /// Management-plane fault model: agent reports may be lost or delayed.
+  telemetry::TransportParams transport;
+};
+
+struct ExperimentResult {
+  std::string manager;
+  std::size_t candidate_count = 0;
+
+  metrics::PerformanceSummary perf;
+  Watts p_max{0.0};          ///< peak wall power in the measured window
+  Watts mean_power{0.0};
+  Joules energy{0.0};
+  double delta_pxt = 0.0;    ///< ΔP×T against the provision threshold
+  Watts provision{0.0};
+  Watts p_low{0.0};          ///< final learned thresholds
+  Watts p_high{0.0};
+
+  std::size_t green_cycles = 0;
+  std::size_t yellow_cycles = 0;
+  std::size_t red_cycles = 0;
+  bool never_red = true;     ///< §V.D: power never entered the red state
+  double mean_manager_utilization = 0.0;
+  std::size_t transitions = 0;  ///< DVFS actuations during measurement
+};
+
+/// Runs calibration (if needed), training and measurement; returns the
+/// metrics of the measured window.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Probes the uncapped peak power of the configured cluster/workload over
+/// `duration` (used for provision calibration; deterministic given seed).
+Watts probe_uncapped_peak(const ClusterConfig& cluster, Seconds duration);
+
+/// Builds the manager named in the config (exposed for examples/tests).
+std::unique_ptr<power::PowerManagerBase> make_manager(
+    const ExperimentConfig& config, const ClusterConfig& cluster,
+    Watts provision, const std::vector<hw::NodeId>& candidates);
+
+}  // namespace pcap::cluster

@@ -1,0 +1,53 @@
+#include "cluster/scenario.hpp"
+
+#include "hw/node_spec.hpp"
+
+namespace pcap::cluster {
+
+ExperimentConfig paper_scenario(std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.cluster.num_nodes = 128;
+  cfg.cluster.spec = hw::tianhe1a_node_spec();
+  cfg.cluster.tick = Seconds{1.0};
+  cfg.cluster.seed = seed;
+  cfg.cluster.npb_class = workload::NpbClass::kD;
+  // Wide rank placement (3 ranks per dual-socket board): class-D NPB is
+  // memory-bandwidth bound, so launchers spread ranks across boards.
+  cfg.cluster.scheduler.max_procs_per_node = 3;
+  cfg.manager = "mpc";
+  cfg.candidate_count = -1;  // all 128 nodes
+  cfg.training = Seconds{4 * 3600.0};
+  cfg.measured = Seconds{12 * 3600.0};
+  cfg.capping.steady_green_cycles = 10;  // T_g = 10 (§V.C)
+  return cfg;
+}
+
+ExperimentConfig small_scenario(std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.cluster.num_nodes = 16;
+  cfg.cluster.spec = hw::tianhe1a_node_spec();
+  cfg.cluster.tick = Seconds{1.0};
+  cfg.cluster.seed = seed;
+  cfg.cluster.npb_class = workload::NpbClass::kC;
+  cfg.cluster.scheduler.max_procs_per_node = 3;
+  cfg.manager = "mpc";
+  cfg.candidate_count = -1;
+  cfg.calibration_duration = Seconds{1800.0};
+  cfg.training = Seconds{1800.0};
+  cfg.measured = Seconds{3600.0};
+  cfg.capping.steady_green_cycles = 10;
+  return cfg;
+}
+
+ExperimentConfig heterogeneous_scenario(std::uint64_t seed) {
+  ExperimentConfig cfg = small_scenario(seed);
+  cfg.cluster.num_nodes = 0;
+  cfg.cluster.node_specs.clear();
+  for (int i = 0; i < 24; ++i) {
+    cfg.cluster.node_specs.push_back(i % 3 == 2 ? hw::low_power_node_spec()
+                                                : hw::tianhe1a_node_spec());
+  }
+  return cfg;
+}
+
+}  // namespace pcap::cluster

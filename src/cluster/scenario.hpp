@@ -1,0 +1,23 @@
+// Canned experiment scenarios.
+#pragma once
+
+#include "cluster/experiment.hpp"
+
+namespace pcap::cluster {
+
+/// The paper's testbed (§V.A): 128 Tianhe-1A nodes (2x X5670, 10-level
+/// DVFS), NPB class-D workload generated whenever the queue drains,
+/// 1 s sampling/control cycle. Training/measurement durations are set to
+/// bench-friendly values (4 h / 12 h simulated); callers can override.
+ExperimentConfig paper_scenario(std::uint64_t seed = 42);
+
+/// A small, fast configuration for unit and integration tests: 16 nodes,
+/// class-C workloads, minutes-long phases.
+ExperimentConfig small_scenario(std::uint64_t seed = 7);
+
+/// A mixed-hardware cluster: 2/3 Tianhe boards, 1/3 low-power nodes with a
+/// different (4-level) ladder — exercising the heterogeneous claim of
+/// §III.B property 1.
+ExperimentConfig heterogeneous_scenario(std::uint64_t seed = 11);
+
+}  // namespace pcap::cluster

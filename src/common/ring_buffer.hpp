@@ -1,0 +1,60 @@
+// Fixed-capacity ring buffer used for per-node sample histories.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace pcap::common {
+
+/// Overwriting ring buffer: once full, pushing evicts the oldest element.
+/// Indexing is logical: operator[](0) is the *oldest* retained element and
+/// back() the most recent.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : data_(capacity) {
+    assert(capacity > 0);
+  }
+
+  void push(T value) {
+    data_[head_] = std::move(value);
+    head_ = (head_ + 1) % data_.size();
+    if (size_ < data_.size()) ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == data_.size(); }
+
+  /// i = 0 is the oldest retained element; i must be < size().
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[physical(i)];
+  }
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[physical(i)];
+  }
+
+  [[nodiscard]] const T& front() const { return (*this)[0]; }
+  [[nodiscard]] const T& back() const { return (*this)[size_ - 1]; }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t physical(std::size_t logical) const {
+    // head_ points at the next write slot; oldest element sits size_ back.
+    return (head_ + data_.size() - size_ + logical) % data_.size();
+  }
+
+  std::vector<T> data_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pcap::common

@@ -1,0 +1,107 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic behaviour in the library (workload draws, utilisation noise,
+// sensor noise) flows through Rng so that experiments are reproducible
+// bit-for-bit from a single seed. The generator is xoshiro256**, which is
+// fast, tiny and has excellent statistical quality; independent streams are
+// derived with SplitMix64 so per-component streams never correlate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace pcap::common {
+
+/// xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derives an independent child stream; `tag` decorrelates streams that
+  /// are forked from the same parent for different purposes.
+  [[nodiscard]] Rng fork(std::uint64_t tag);
+  /// Convenience overload hashing a string tag (e.g. component name).
+  [[nodiscard]] Rng fork(std::string_view tag);
+
+  /// Raw 64 uniformly distributed bits.
+  std::uint64_t next_u64();
+
+  // UniformRandomBitGenerator interface so <random> adaptors also work.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box-Muller (cached spare).
+  double normal();
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Exponential with the given mean (= 1/lambda). Requires mean > 0.
+  double exponential(double mean);
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p);
+  /// Log-normal such that the *median* of the distribution is `median` and
+  /// the underlying normal has standard deviation `sigma`.
+  double lognormal(double median, double sigma);
+  /// Uniformly selects an index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+  /// Uniformly selects one element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[index(v.size())];
+  }
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+/// SplitMix64 step — exposed for hashing/tagging purposes.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// FNV-1a hash of a string, used to derive stream tags from names.
+std::uint64_t hash_tag(std::string_view s);
+
+/// Mean-reverting Ornstein-Uhlenbeck process discretised at fixed steps.
+/// Used to superimpose realistic temporal noise on utilisation signals:
+/// the value wanders around `mean` with relaxation time `tau` and
+/// stationary standard deviation `sigma`.
+class OrnsteinUhlenbeck {
+ public:
+  OrnsteinUhlenbeck(double mean, double sigma, double tau_seconds,
+                    double initial);
+
+  /// Advances the process by dt seconds and returns the new value.
+  double step(double dt_seconds, Rng& rng);
+
+  [[nodiscard]] double value() const { return value_; }
+  void reset(double value) { value_ = value; }
+  void set_mean(double mean) { mean_ = mean; }
+
+ private:
+  double mean_;
+  double sigma_;
+  double tau_;
+  double value_;
+};
+
+}  // namespace pcap::common

@@ -1,0 +1,121 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pcap::common {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void TimeWeightedMean::add(double value, double dt) {
+  assert(dt >= 0.0);
+  integral_ += value * dt;
+  total_time_ += dt;
+}
+
+void TimeWeightedMean::reset() { *this = TimeWeightedMean{}; }
+
+double TimeWeightedMean::mean() const {
+  return total_time_ > 0.0 ? integral_ / total_time_ : 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo);
+  assert(bins > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    ++counts_.front();
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    ++counts_.back();
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = underflow_ = overflow_ = 0;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<double>(total_) * q;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double within =
+          counts_[i] > 0 ? (target - cum) / static_cast<double>(counts_[i])
+                         : 0.0;
+      return bin_lo(i) + within * (bin_hi(i) - bin_lo(i));
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+double PercentileSampler::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(samples_.begin(), samples_.end());
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+}  // namespace pcap::common

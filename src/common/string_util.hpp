@@ -1,0 +1,30 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pcap::common {
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on a delimiter character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Lower-cases ASCII.
+std::string to_lower(std::string_view s);
+
+/// Joins strings with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// printf-style formatting into a std::string.
+std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace pcap::common

@@ -1,0 +1,39 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace pcap {
+
+namespace {
+std::string fmt(double v, const char* unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g %s", v, unit);
+  return buf;
+}
+}  // namespace
+
+std::string to_string(Watts w) {
+  const double v = w.value();
+  if (std::fabs(v) >= 1e6) return fmt(v / 1e6, "MW");
+  if (std::fabs(v) >= 1e3) return fmt(v / 1e3, "kW");
+  return fmt(v, "W");
+}
+
+std::string to_string(Joules j) {
+  const double v = j.value();
+  if (std::fabs(v) >= 1e9) return fmt(v / 1e9, "GJ");
+  if (std::fabs(v) >= 1e6) return fmt(v / 1e6, "MJ");
+  if (std::fabs(v) >= 1e3) return fmt(v / 1e3, "kJ");
+  return fmt(v, "J");
+}
+
+std::string to_string(Seconds s) {
+  const double v = s.value();
+  if (std::fabs(v) >= 3600.0) return fmt(v / 3600.0, "h");
+  if (std::fabs(v) >= 60.0) return fmt(v / 60.0, "min");
+  return fmt(v, "s");
+}
+
+std::string to_string(Hertz f) { return fmt(f.gigahertz(), "GHz"); }
+
+}  // namespace pcap

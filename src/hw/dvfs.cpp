@@ -1,0 +1,65 @@
+#include "hw/dvfs.hpp"
+
+#include <stdexcept>
+
+namespace pcap::hw {
+
+using namespace pcap::literals;
+
+DvfsLadder::DvfsLadder(std::vector<Hertz> frequencies, double v_min,
+                       double v_max)
+    : frequencies_(std::move(frequencies)) {
+  if (frequencies_.empty()) {
+    throw std::invalid_argument("DvfsLadder: no frequencies");
+  }
+  for (std::size_t i = 1; i < frequencies_.size(); ++i) {
+    if (!(frequencies_[i - 1] < frequencies_[i])) {
+      throw std::invalid_argument("DvfsLadder: frequencies must ascend");
+    }
+  }
+  if (v_min <= 0.0 || v_max < v_min) {
+    throw std::invalid_argument("DvfsLadder: bad voltage range");
+  }
+  voltages_.reserve(frequencies_.size());
+  const double f_lo = frequencies_.front().value();
+  const double f_hi = frequencies_.back().value();
+  for (const Hertz f : frequencies_) {
+    const double t =
+        f_hi > f_lo ? (f.value() - f_lo) / (f_hi - f_lo) : 1.0;
+    voltages_.push_back(v_min + t * (v_max - v_min));
+  }
+}
+
+DvfsLadder DvfsLadder::xeon_x5670() {
+  // 10 steps between 1.60 and 2.93 GHz (133 MHz granularity, top turbo-free
+  // bin at 2.93), per the paper's description of the X5670 on Tianhe-1A.
+  return DvfsLadder({1.60_GHz, 1.73_GHz, 1.86_GHz, 2.00_GHz, 2.13_GHz,
+                     2.26_GHz, 2.40_GHz, 2.53_GHz, 2.66_GHz, 2.93_GHz},
+                    0.85, 1.20);
+}
+
+DvfsLadder DvfsLadder::coarse_low_power() {
+  return DvfsLadder({1.00_GHz, 1.40_GHz, 1.80_GHz, 2.20_GHz}, 0.80, 1.05);
+}
+
+Hertz DvfsLadder::frequency(Level l) const {
+  if (!valid(l)) throw std::out_of_range("DvfsLadder::frequency: bad level");
+  return frequencies_[static_cast<std::size_t>(l)];
+}
+
+double DvfsLadder::voltage(Level l) const {
+  if (!valid(l)) throw std::out_of_range("DvfsLadder::voltage: bad level");
+  return voltages_[static_cast<std::size_t>(l)];
+}
+
+double DvfsLadder::relative_speed(Level l) const {
+  return frequency(l) / frequency(highest());
+}
+
+double DvfsLadder::power_scale(Level l) const {
+  const double f_ratio = relative_speed(l);
+  const double v_ratio = voltage(l) / voltage(highest());
+  return f_ratio * v_ratio * v_ratio;
+}
+
+}  // namespace pcap::hw

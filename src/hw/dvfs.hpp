@@ -1,0 +1,57 @@
+// Dynamic Voltage and Frequency Scaling (DVFS) ladder.
+//
+// A node's "power state level" in the paper maps one-to-one onto a
+// processor frequency step (§V.A: each level of node power degradation is
+// one level of processor frequency). Level 0 is the LOWEST state; the
+// highest level is num_levels()-1 — matching Algorithm 1, which increments
+// levels to restore performance and decrements to throttle.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pcap::hw {
+
+/// Power state level. 0 = lowest (slowest/cheapest) state.
+using Level = int;
+
+class DvfsLadder {
+ public:
+  /// Frequencies must be strictly ascending; voltages are derived from a
+  /// linear f->V map between v_min (at the lowest f) and v_max.
+  DvfsLadder(std::vector<Hertz> frequencies, double v_min, double v_max);
+
+  /// The Intel Xeon X5670 ladder used on the Tianhe-1A mainboard in the
+  /// paper: 10 working frequencies from 1.60 GHz to 2.93 GHz (§V.A).
+  static DvfsLadder xeon_x5670();
+
+  /// A coarse 4-level ladder, useful for heterogeneous-cluster scenarios
+  /// and for exercising ladders of different depth in tests.
+  static DvfsLadder coarse_low_power();
+
+  [[nodiscard]] int num_levels() const {
+    return static_cast<int>(frequencies_.size());
+  }
+  [[nodiscard]] Level lowest() const { return 0; }
+  [[nodiscard]] Level highest() const { return num_levels() - 1; }
+  [[nodiscard]] bool valid(Level l) const {
+    return l >= 0 && l < num_levels();
+  }
+
+  [[nodiscard]] Hertz frequency(Level l) const;
+  [[nodiscard]] double voltage(Level l) const;
+
+  /// f(l) / f(highest): the clock-rate ratio in [~0.5, 1].
+  [[nodiscard]] double relative_speed(Level l) const;
+
+  /// Dynamic-power scale factor (f/f_max) * (V/V_max)^2 in (0, 1]; this is
+  /// the classic CMOS alpha*C*V^2*f law normalised to the top level.
+  [[nodiscard]] double power_scale(Level l) const;
+
+ private:
+  std::vector<Hertz> frequencies_;
+  std::vector<double> voltages_;
+};
+
+}  // namespace pcap::hw

@@ -1,0 +1,55 @@
+#include "hw/node.hpp"
+
+#include <algorithm>
+
+namespace pcap::hw {
+
+Node::Node(NodeId id, NodeSpecPtr spec, common::Rng* variation_rng)
+    : id_(id),
+      spec_(std::move(spec)),
+      level_(spec_->ladder.highest()),
+      thermal_(spec_->thermal),
+      temperature_(spec_->thermal.ambient) {
+  op_.mem_total = spec_->mem_total;
+  op_.nic_bandwidth = spec_->nic_bandwidth;
+  if (variation_rng != nullptr) {
+    variation_ = std::clamp(variation_rng->normal(1.0, 0.02), 0.9, 1.1);
+  }
+}
+
+Level Node::set_level(Level l) {
+  if (!spec_->controllable) {
+    level_ = spec_->ladder.highest();
+    return level_;
+  }
+  level_ = std::clamp(l, spec_->ladder.lowest(), spec_->ladder.highest());
+  return level_;
+}
+
+Level Node::degrade_one() { return set_level(level_ - 1); }
+
+Level Node::restore_one() { return set_level(level_ + 1); }
+
+Watts Node::true_power() const {
+  const Watts estimated = spec_->power_model.power(level_, op_);
+  const Watts idle = spec_->power_model.idle_power(level_);
+  const double leak = thermal_.leakage_factor(temperature_);
+  const Watts with_leakage = (estimated - idle) + idle * leak;
+  return with_leakage * variation_;
+}
+
+Watts Node::estimated_power() const {
+  return spec_->power_model.power(level_, op_);
+}
+
+Watts Node::estimated_power_at(Level l) const {
+  const Level clamped =
+      std::clamp(l, spec_->ladder.lowest(), spec_->ladder.highest());
+  return spec_->power_model.power(clamped, op_);
+}
+
+void Node::advance_thermal(Seconds dt) {
+  temperature_ = thermal_.step(temperature_, true_power(), dt);
+}
+
+}  // namespace pcap::hw

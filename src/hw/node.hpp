@@ -1,0 +1,81 @@
+// A compute node: spec + mutable run state (DVFS level, usage, temperature).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "hw/node_spec.hpp"
+
+namespace pcap::hw {
+
+using NodeId = std::uint32_t;
+
+class Node {
+ public:
+  /// `variation_rng`, when provided, draws a per-node process-variation
+  /// factor (~2 % sigma) so identical boards do not consume identical
+  /// power — the reason the paper estimates rather than assumes power.
+  Node(NodeId id, NodeSpecPtr spec, common::Rng* variation_rng = nullptr);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const NodeSpec& spec() const { return *spec_; }
+  [[nodiscard]] bool controllable() const { return spec_->controllable; }
+
+  // -- power state (DVFS level) -------------------------------------------
+  [[nodiscard]] Level level() const { return level_; }
+  [[nodiscard]] bool at_lowest() const { return level_ == 0; }
+  [[nodiscard]] bool at_highest() const {
+    return level_ == spec_->ladder.highest();
+  }
+  /// Sets the DVFS level, clamped to the spec's ladder. Uncontrollable
+  /// nodes ignore the request and stay at the highest level; returns the
+  /// level actually in effect afterwards.
+  Level set_level(Level l);
+  /// One-step throttle/restore used by Algorithm 1.
+  Level degrade_one();
+  Level restore_one();
+
+  /// Clock-speed ratio at the current level (1.0 at the top).
+  [[nodiscard]] double relative_speed() const {
+    return spec_->ladder.relative_speed(level_);
+  }
+
+  // -- operating point ------------------------------------------------------
+  /// The cluster's workload engine refreshes this every tick.
+  void set_operating_point(const OperatingPoint& op) { op_ = op; }
+  [[nodiscard]] const OperatingPoint& operating_point() const { return op_; }
+  [[nodiscard]] bool busy() const { return busy_; }
+  void set_busy(bool busy) { busy_ = busy; }
+
+  // -- power ----------------------------------------------------------------
+  /// Physical power draw: formula (1) plus process variation plus
+  /// temperature-driven leakage on the static share. This is what the
+  /// facility power meter integrates over.
+  [[nodiscard]] Watts true_power() const;
+
+  /// What a profiling agent can compute from /proc-style counters — plain
+  /// formula (1), without variation or leakage. The gap between this and
+  /// true_power() is the estimation error the architecture must tolerate.
+  [[nodiscard]] Watts estimated_power() const;
+
+  /// Formula-(1) estimate at an arbitrary level (the P'(x) of Algorithm 2).
+  [[nodiscard]] Watts estimated_power_at(Level l) const;
+
+  // -- thermal ---------------------------------------------------------------
+  [[nodiscard]] Celsius temperature() const { return temperature_; }
+  /// Integrates the thermal model over dt at the current true power.
+  void advance_thermal(Seconds dt);
+
+ private:
+  NodeId id_;
+  NodeSpecPtr spec_;
+  Level level_;
+  OperatingPoint op_;
+  bool busy_ = false;
+  double variation_ = 1.0;
+  ThermalModel thermal_;
+  Celsius temperature_;
+};
+
+}  // namespace pcap::hw

@@ -1,0 +1,33 @@
+#include "hw/power_meter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcap::hw {
+
+SystemPowerMeter::SystemPowerMeter(PowerMeterParams params, common::Rng rng)
+    : params_(params), rng_(rng) {
+  if (params_.psu_efficiency <= 0.0 || params_.psu_efficiency > 1.0) {
+    throw std::invalid_argument("SystemPowerMeter: bad PSU efficiency");
+  }
+  if (params_.noise_sigma < 0.0) {
+    throw std::invalid_argument("SystemPowerMeter: negative noise");
+  }
+}
+
+Watts SystemPowerMeter::measure(const std::vector<Node>& nodes) {
+  const Watts truth = exact(nodes, params_.psu_efficiency);
+  if (params_.noise_sigma == 0.0) return truth;
+  const double factor =
+      std::max(0.0, rng_.normal(1.0, params_.noise_sigma));
+  return truth * factor;
+}
+
+Watts SystemPowerMeter::exact(const std::vector<Node>& nodes,
+                              double psu_efficiency) {
+  Watts total{0.0};
+  for (const Node& n : nodes) total += n.true_power();
+  return total / psu_efficiency;
+}
+
+}  // namespace pcap::hw

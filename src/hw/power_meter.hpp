@@ -1,0 +1,41 @@
+// Facility-level power meter.
+//
+// §II.D (observability): "the system's total power consumption can be
+// measured directly". The meter integrates the *true* node powers — the
+// controller never sees per-node truth, only this one aggregate scalar
+// plus the agents' formula-(1) estimates.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "hw/node.hpp"
+
+namespace pcap::hw {
+
+struct PowerMeterParams {
+  double psu_efficiency = 0.92;  ///< wall power = IT power / efficiency.
+  double noise_sigma = 0.002;    ///< relative gaussian measurement noise.
+};
+
+class SystemPowerMeter {
+ public:
+  SystemPowerMeter(PowerMeterParams params, common::Rng rng);
+
+  /// Sum of node true powers divided by PSU efficiency, with multiplicative
+  /// measurement noise. This is P in Algorithm 1.
+  Watts measure(const std::vector<Node>& nodes);
+
+  /// Noise-free reading, for metrics that want ground truth.
+  [[nodiscard]] static Watts exact(const std::vector<Node>& nodes,
+                                   double psu_efficiency);
+
+  [[nodiscard]] const PowerMeterParams& params() const { return params_; }
+
+ private:
+  PowerMeterParams params_;
+  common::Rng rng_;
+};
+
+}  // namespace pcap::hw

@@ -1,0 +1,49 @@
+// First-order thermal model with temperature-dependent leakage.
+//
+// The paper's introduction cites the positive feedback loop between
+// temperature and power ("a chipset with higher temperatures consumes more
+// power while running identical computations" [5]) and motivates ΔP×T as a
+// proxy for accumulated thermal damage. We model node temperature with a
+// lumped RC network:
+//
+//   dT/dt = (P * R_th - (T - T_amb)) / tau_th
+//
+// and scale leakage (idle) power by a factor growing linearly with the
+// temperature excess above a reference point.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace pcap::hw {
+
+struct ThermalParams {
+  double thermal_resistance = 0.12;  ///< R_th in deg-C per watt.
+  Seconds time_constant{120.0};      ///< tau_th: RC time constant.
+  Celsius ambient{22.0};             ///< machine-room inlet temperature.
+  Celsius leakage_reference{55.0};   ///< T_ref above which leakage grows.
+  double leakage_coefficient = 0.0;  ///< fractional leakage per deg-C; 0
+                                     ///< disables the feedback entirely.
+};
+
+class ThermalModel {
+ public:
+  explicit ThermalModel(ThermalParams params);
+
+  [[nodiscard]] const ThermalParams& params() const { return params_; }
+
+  /// Steady-state temperature under constant power draw.
+  [[nodiscard]] Celsius equilibrium(Watts power) const;
+
+  /// Advances the temperature by dt under draw `power` (exact exponential
+  /// integration of the linear ODE, stable for any dt).
+  [[nodiscard]] Celsius step(Celsius current, Watts power, Seconds dt) const;
+
+  /// Multiplier (>= 1) applied to static power: 1 below the reference,
+  /// 1 + k * (T - T_ref) above it.
+  [[nodiscard]] double leakage_factor(Celsius temperature) const;
+
+ private:
+  ThermalParams params_;
+};
+
+}  // namespace pcap::hw

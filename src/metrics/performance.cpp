@@ -1,0 +1,84 @@
+#include "metrics/performance.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace pcap::metrics {
+
+double JobRecord::energy_delay(int n) const {
+  if (n < 0) throw std::invalid_argument("JobRecord::energy_delay: n < 0");
+  double d = 1.0;
+  for (int i = 0; i < n; ++i) d *= actual_s;
+  return energy_j * d;
+}
+
+std::vector<AppEnergySummary> summarize_by_app(
+    const std::vector<JobRecord>& jobs) {
+  std::map<std::string, AppEnergySummary> by_app;
+  for (const JobRecord& j : jobs) {
+    AppEnergySummary& s = by_app[j.app];
+    s.app = j.app;
+    ++s.jobs;
+    s.mean_energy_j += j.energy_j;
+    s.mean_duration_s += j.actual_s;
+    s.mean_slowdown_percent += j.slowdown_percent();
+  }
+  std::vector<AppEnergySummary> out;
+  out.reserve(by_app.size());
+  for (auto& [name, s] : by_app) {
+    const auto n = static_cast<double>(s.jobs);
+    s.mean_energy_j /= n;
+    s.mean_duration_s /= n;
+    s.mean_slowdown_percent /= n;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+JobRecord make_record(const workload::Job& job) {
+  if (job.state() != workload::JobState::kFinished) {
+    throw std::invalid_argument("make_record: job not finished");
+  }
+  JobRecord r;
+  r.id = job.id();
+  r.app = job.app().name;
+  r.nprocs = job.nprocs();
+  r.baseline_s = job.baseline_duration().value();
+  r.actual_s = job.actual_duration().value();
+  r.privileged = job.privileged();
+  return r;
+}
+
+PerformanceSummary summarize_performance(const std::vector<JobRecord>& jobs,
+                                         double lossless_tolerance) {
+  if (lossless_tolerance < 0.0) {
+    throw std::invalid_argument("summarize_performance: negative tolerance");
+  }
+  PerformanceSummary s;
+  s.finished_jobs = jobs.size();
+  if (jobs.empty()) return s;
+
+  double ratio_sum = 0.0;
+  double slowdown_sum = 0.0;
+  double worst = 0.0;
+  std::size_t lossless = 0;
+  for (const JobRecord& j : jobs) {
+    ratio_sum += j.speed_ratio();
+    const double slowdown = j.slowdown_percent();
+    slowdown_sum += slowdown;
+    worst = std::max(worst, slowdown);
+    if (j.actual_s <= j.baseline_s * (1.0 + lossless_tolerance)) {
+      ++lossless;
+    }
+  }
+  const auto n = static_cast<double>(jobs.size());
+  s.performance = ratio_sum / n;
+  s.lossless_jobs = lossless;
+  s.lossless_fraction = static_cast<double>(lossless) / n;
+  s.mean_slowdown_percent = slowdown_sum / n;
+  s.worst_slowdown_percent = worst;
+  return s;
+}
+
+}  // namespace pcap::metrics

@@ -1,0 +1,65 @@
+// Power-behaviour metrics (§V.C), including the paper's new
+// "accumulative effect of overspending" ΔP×T:
+//
+//   ΔP×T = ∫_{P > P_th} (P(t) - P_th) dt  /  ∫ P(t) dt
+//
+// i.e. the overspent energy above the provision threshold relative to the
+// total energy — a proxy for the accumulated thermal impact of power
+// overload. Also provides the classic survey metrics the paper reviews
+// (E×Dⁿ, throughput/W, PUE) for completeness.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pcap::metrics {
+
+/// A uniformly sampled power trace: sample i is the (piecewise-constant)
+/// power over [i*dt, (i+1)*dt).
+struct PowerTrace {
+  Seconds dt{1.0};
+  std::vector<double> watts;
+
+  [[nodiscard]] std::size_t size() const { return watts.size(); }
+  [[nodiscard]] bool empty() const { return watts.empty(); }
+  [[nodiscard]] Seconds duration() const {
+    return dt * static_cast<double>(watts.size());
+  }
+  void add(Watts p) { watts.push_back(p.value()); }
+};
+
+/// Peak power P_max of the trace (0 for an empty trace).
+Watts peak_power(const PowerTrace& trace);
+
+/// Time-weighted mean power.
+Watts mean_power(const PowerTrace& trace);
+
+/// Total energy ∫ P dt.
+Joules total_energy(const PowerTrace& trace);
+
+/// Energy spent above the threshold: ∫_{P>th} (P - th) dt.
+Joules overspent_energy(const PowerTrace& trace, Watts threshold);
+
+/// Total time spent above the threshold.
+Seconds time_above(const PowerTrace& trace, Watts threshold);
+
+/// The paper's ΔP×T metric. Returns 0 for an empty trace or zero total
+/// energy.
+double accumulated_overspend(const PowerTrace& trace, Watts threshold);
+
+/// Fraction of samples at or above the threshold.
+double fraction_above(const PowerTrace& trace, Watts threshold);
+
+// -- survey metrics (§I.B) ---------------------------------------------------
+
+/// E×Dⁿ: energy times delay^n (Penzes & Martin).
+double energy_delay_product(Joules energy, Seconds delay, int n = 1);
+
+/// Green500-style efficiency: useful work per watt.
+double work_per_watt(double work_units, Joules energy, Seconds duration);
+
+/// Power Usage Effectiveness: facility power over IT power (>= 1).
+double pue(Watts facility, Watts it_equipment);
+
+}  // namespace pcap::metrics

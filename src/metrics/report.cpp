@@ -1,0 +1,73 @@
+#include "metrics/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+
+namespace pcap::metrics {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+Table& Table::cell(const std::string& value) {
+  pending_.push_back(value);
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  return cell(common::strprintf("%.*f", precision, value));
+}
+
+Table& Table::cell(std::int64_t value) {
+  return cell(std::to_string(value));
+}
+
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell_percent(double fraction, int precision) {
+  return cell(common::strprintf("%.*f%%", precision, fraction * 100.0));
+}
+
+void Table::end_row() {
+  if (pending_.size() != header_.size()) {
+    throw std::logic_error("Table: row width mismatch");
+  }
+  rows_.push_back(std::move(pending_));
+  pending_.clear();
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += common::strprintf("%-*s", static_cast<int>(widths[c]) + 2,
+                               row[c].c_str());
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  out += std::string(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace pcap::metrics

@@ -1,0 +1,37 @@
+// Fixed-width console tables for the benchmark harness, so every bench
+// binary prints paper-style rows without hand-rolled formatting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcap::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& cell(const std::string& value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::int64_t value);
+  Table& cell(std::size_t value);
+  /// Percent formatting, e.g. cell_percent(0.0213) -> "2.13%".
+  Table& cell_percent(double fraction, int precision = 2);
+  void end_row();
+
+  /// Renders with column alignment and a rule under the header.
+  [[nodiscard]] std::string to_string() const;
+  /// Renders and writes to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> pending_;
+};
+
+}  // namespace pcap::metrics

@@ -1,0 +1,95 @@
+#include "metrics/trace_analysis.hpp"
+
+#include <algorithm>
+
+namespace pcap::metrics {
+
+std::vector<Excursion> find_excursions(const PowerTrace& trace,
+                                       Watts threshold) {
+  std::vector<Excursion> out;
+  const double th = threshold.value();
+  Excursion current;
+  bool open = false;
+  for (std::size_t i = 0; i < trace.watts.size(); ++i) {
+    const double w = trace.watts[i];
+    if (w > th) {
+      if (!open) {
+        current = Excursion{};
+        current.start = i;
+        open = true;
+      }
+      ++current.length;
+      current.peak_w = std::max(current.peak_w, w);
+      current.area_js += (w - th) * trace.dt.value();
+    } else if (open) {
+      out.push_back(current);
+      open = false;
+    }
+  }
+  if (open) out.push_back(current);
+  return out;
+}
+
+ExcursionStats summarize_excursions(const PowerTrace& trace,
+                                    Watts threshold) {
+  ExcursionStats s;
+  const auto excursions = find_excursions(trace, threshold);
+  s.count = excursions.size();
+  if (excursions.empty()) return s;
+  for (const Excursion& e : excursions) {
+    const double d = e.duration_s(trace.dt);
+    s.total_time_s += d;
+    s.max_duration_s = std::max(s.max_duration_s, d);
+    s.mean_peak_w += e.peak_w;
+    s.max_peak_w = std::max(s.max_peak_w, e.peak_w);
+    s.total_overspend_j += e.area_js;
+  }
+  s.mean_duration_s = s.total_time_s / static_cast<double>(s.count);
+  s.mean_peak_w /= static_cast<double>(s.count);
+  return s;
+}
+
+std::vector<Episode> find_episodes(const std::vector<CyclePoint>& points) {
+  std::vector<Episode> out;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (out.empty() || out.back().state != points[i].state) {
+      out.push_back(Episode{points[i].state, i, 1});
+    } else {
+      ++out.back().length;
+    }
+  }
+  return out;
+}
+
+EpisodeStats summarize_episodes(const std::vector<CyclePoint>& points,
+                                int state) {
+  EpisodeStats s;
+  double total = 0.0;
+  for (const Episode& e : find_episodes(points)) {
+    if (e.state != state) continue;
+    ++s.count;
+    total += static_cast<double>(e.length);
+    s.max_length = std::max(s.max_length, e.length);
+  }
+  if (s.count > 0) s.mean_length = total / static_cast<double>(s.count);
+  return s;
+}
+
+std::size_t count_rethrottle_oscillations(
+    const std::vector<CyclePoint>& points, std::size_t window) {
+  std::size_t oscillations = 0;
+  bool have_previous_yellow_end = false;
+  std::size_t previous_yellow_end = 0;
+  for (const Episode& e : find_episodes(points)) {
+    if (e.state != 1) continue;  // yellow
+    if (have_previous_yellow_end &&
+        e.start - previous_yellow_end <= window) {
+      ++oscillations;
+    }
+    previous_yellow_end = e.start + e.length;
+    have_previous_yellow_end = true;
+  }
+  return oscillations;
+}
+
+}  // namespace pcap::metrics

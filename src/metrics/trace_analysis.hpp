@@ -1,0 +1,70 @@
+// Power-trace structure analysis: excursions (spikes above a threshold)
+// and control-state episodes. Used by the spike-analysis bench to show
+// *how* capping changes the power behaviour — shorter, flatter excursions
+// — beyond the scalar ΔP×T number.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "metrics/power_metrics.hpp"
+#include "metrics/trace_recorder.hpp"
+
+namespace pcap::metrics {
+
+/// A maximal run of consecutive samples strictly above the threshold.
+struct Excursion {
+  std::size_t start = 0;   ///< index of the first sample above
+  std::size_t length = 0;  ///< number of samples above
+  double peak_w = 0.0;     ///< maximum power within the excursion
+  double area_js = 0.0;    ///< energy above the threshold (joules)
+
+  [[nodiscard]] double duration_s(Seconds dt) const {
+    return static_cast<double>(length) * dt.value();
+  }
+};
+
+/// All excursions of the trace above `threshold`, in time order.
+std::vector<Excursion> find_excursions(const PowerTrace& trace,
+                                       Watts threshold);
+
+struct ExcursionStats {
+  std::size_t count = 0;
+  double total_time_s = 0.0;
+  double mean_duration_s = 0.0;
+  double max_duration_s = 0.0;
+  double mean_peak_w = 0.0;
+  double max_peak_w = 0.0;
+  double total_overspend_j = 0.0;
+};
+
+ExcursionStats summarize_excursions(const PowerTrace& trace, Watts threshold);
+
+/// A maximal run of consecutive cycles in one power state.
+struct Episode {
+  int state = 0;
+  std::size_t start = 0;
+  std::size_t length = 0;
+};
+
+/// All state episodes of a recorded run, in time order.
+std::vector<Episode> find_episodes(const std::vector<CyclePoint>& points);
+
+struct EpisodeStats {
+  std::size_t count = 0;
+  double mean_length = 0.0;
+  std::size_t max_length = 0;
+};
+
+/// Statistics over all episodes of the given state.
+EpisodeStats summarize_episodes(const std::vector<CyclePoint>& points,
+                                int state);
+
+/// Counts yellow episodes that re-start within `window` cycles of the
+/// previous yellow episode's end — the green/yellow oscillation the LPC
+/// policy is claimed to minimise (§IV.A).
+std::size_t count_rethrottle_oscillations(
+    const std::vector<CyclePoint>& points, std::size_t window);
+
+}  // namespace pcap::metrics

@@ -1,0 +1,60 @@
+#include "metrics/trace_recorder.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace pcap::metrics {
+
+TraceRecorder::TraceRecorder(Seconds dt) : dt_(dt) {
+  if (dt <= Seconds{0.0}) {
+    throw std::invalid_argument("TraceRecorder: non-positive dt");
+  }
+}
+
+void TraceRecorder::record(const CyclePoint& point) {
+  points_.push_back(point);
+}
+
+PowerTrace TraceRecorder::power_trace() const {
+  PowerTrace trace;
+  trace.dt = dt_;
+  trace.watts.reserve(points_.size());
+  for (const auto& p : points_) trace.watts.push_back(p.power_w);
+  return trace;
+}
+
+std::size_t TraceRecorder::state_count(int state) const {
+  std::size_t n = 0;
+  for (const auto& p : points_) {
+    if (p.state == state) ++n;
+  }
+  return n;
+}
+
+std::string TraceRecorder::to_csv() const {
+  std::ostringstream out;
+  common::CsvWriter w(out, {"time_s", "power_w", "p_low_w", "p_high_w",
+                            "state", "jobs", "targets"});
+  for (const auto& p : points_) {
+    w.cell(p.time_s)
+        .cell(p.power_w)
+        .cell(p.p_low_w)
+        .cell(p.p_high_w)
+        .cell(static_cast<std::int64_t>(p.state))
+        .cell(p.running_jobs)
+        .cell(p.targets);
+    w.end_row();
+  }
+  return out.str();
+}
+
+void TraceRecorder::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("TraceRecorder: cannot write " + path);
+  out << to_csv();
+}
+
+}  // namespace pcap::metrics

@@ -1,0 +1,51 @@
+// Records per-cycle system state into analysable traces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "metrics/power_metrics.hpp"
+
+namespace pcap::metrics {
+
+/// One control cycle's observations.
+struct CyclePoint {
+  double time_s = 0.0;
+  double power_w = 0.0;
+  double p_low_w = 0.0;
+  double p_high_w = 0.0;
+  int state = 0;  ///< 0 green, 1 yellow, 2 red
+  std::size_t running_jobs = 0;
+  std::size_t targets = 0;
+  std::size_t transitions = 0;        ///< DVFS changes actually applied
+  double manager_utilization = 0.0;   ///< Fig.5 cost model, this cycle
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(Seconds dt);
+
+  void record(const CyclePoint& point);
+
+  [[nodiscard]] const std::vector<CyclePoint>& points() const {
+    return points_;
+  }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  /// The power trace view used by the power metrics.
+  [[nodiscard]] PowerTrace power_trace() const;
+
+  /// Counts of cycles per state {green, yellow, red}.
+  [[nodiscard]] std::size_t state_count(int state) const;
+
+  /// CSV export ("time_s,power_w,p_low_w,p_high_w,state,jobs,targets").
+  [[nodiscard]] std::string to_csv() const;
+  void save(const std::string& path) const;
+
+ private:
+  Seconds dt_;
+  std::vector<CyclePoint> points_;
+};
+
+}  // namespace pcap::metrics

@@ -1,0 +1,55 @@
+#include "power/candidate_selector.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace pcap::power {
+
+CandidateSelector::CandidateSelector(CandidateSelectorParams params)
+    : params_(params) {
+  if (params_.reselect_period_cycles <= 0) {
+    throw std::invalid_argument(
+        "CandidateSelector: re-selection period must be positive");
+  }
+}
+
+std::vector<hw::NodeId> CandidateSelector::select(
+    const std::vector<hw::Node>& nodes,
+    const sched::Scheduler& scheduler) const {
+  // Nodes hosting privileged jobs are off limits for the job's lifetime.
+  std::unordered_set<hw::NodeId> privileged_nodes;
+  if (params_.exclude_privileged) {
+    for (const workload::JobId jid : scheduler.running_jobs()) {
+      const workload::Job* job = scheduler.find(jid);
+      if (job == nullptr || !job->privileged()) continue;
+      privileged_nodes.insert(job->nodes().begin(), job->nodes().end());
+    }
+  }
+
+  std::vector<hw::NodeId> out;
+  for (const hw::Node& node : nodes) {
+    if (!node.controllable()) continue;
+    if (privileged_nodes.count(node.id()) != 0) continue;
+    out.push_back(node.id());
+    if (params_.max_candidates > 0 &&
+        out.size() >= static_cast<std::size_t>(params_.max_candidates)) {
+      break;
+    }
+  }
+  return out;
+}
+
+bool CandidateSelector::due() {
+  if (!ever_selected_) {
+    ever_selected_ = true;
+    cycles_since_selection_ = 0;
+    return true;
+  }
+  if (++cycles_since_selection_ >= params_.reselect_period_cycles) {
+    cycles_since_selection_ = 0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace pcap::power

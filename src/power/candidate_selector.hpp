@@ -1,0 +1,59 @@
+// Candidate set selection (§III.A algorithm (c)).
+//
+// The paper configures A_candidate manually but notes it is "adjusted
+// during the execution of the system according to the impact of the
+// nodes' performance on system's performance as well as the existence of
+// power management facility on the hardware" (details omitted there for
+// space). This module implements that adjustment:
+//
+//   A_candidate = { controllable nodes }
+//               - { nodes running privileged jobs }        (optional)
+//               , truncated to at most max_candidates      (cost control)
+//
+// Re-selection runs every `reselect_period_cycles` control cycles, since
+// the privileged job population changes as jobs start and finish.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/node.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pcap::power {
+
+struct CandidateSelectorParams {
+  /// Upper bound on |A_candidate| (<= 0: unbounded). Figure 5/6 show why
+  /// a deployment bounds this: management cost grows super-linearly.
+  int max_candidates = -1;
+  /// Exclude nodes currently running privileged jobs (§II.A).
+  bool exclude_privileged = true;
+  /// Control cycles between re-selections.
+  std::int64_t reselect_period_cycles = 60;
+};
+
+class CandidateSelector {
+ public:
+  explicit CandidateSelector(CandidateSelectorParams params);
+
+  [[nodiscard]] const CandidateSelectorParams& params() const {
+    return params_;
+  }
+
+  /// Computes A_candidate for the current cluster state. Deterministic:
+  /// lowest node ids win when truncating.
+  [[nodiscard]] std::vector<hw::NodeId> select(
+      const std::vector<hw::Node>& nodes,
+      const sched::Scheduler& scheduler) const;
+
+  /// Cycle-counting helper: true when a re-selection is due. Advances the
+  /// internal counter.
+  bool due();
+
+ private:
+  CandidateSelectorParams params_;
+  std::int64_t cycles_since_selection_ = 0;
+  bool ever_selected_ = false;
+};
+
+}  // namespace pcap::power

@@ -1,0 +1,94 @@
+#include "power/capping.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcap::power {
+
+CappingEngine::CappingEngine(CappingParams params) : params_(params) {
+  if (params_.steady_green_cycles <= 0) {
+    throw std::invalid_argument("CappingEngine: T_g must be positive");
+  }
+}
+
+CycleDecision CappingEngine::cycle(Watts measured, Watts p_low, Watts p_high,
+                                   TargetSelectionPolicy& policy,
+                                   const PolicyContext& ctx) {
+  // Nodes that left the candidate set (job churn, reconfiguration) are no
+  // longer ours to restore.
+  for (auto it = degraded_.begin(); it != degraded_.end();) {
+    if (ctx.node(*it) == nullptr) {
+      it = degraded_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  switch (classify_power(measured, p_low, p_high)) {
+    case PowerState::kGreen:
+      return green_cycle(ctx);
+    case PowerState::kYellow:
+      return yellow_cycle(policy, ctx);
+    case PowerState::kRed:
+      return red_cycle(ctx);
+  }
+  throw std::logic_error("CappingEngine: unreachable");
+}
+
+CycleDecision CappingEngine::green_cycle(const PolicyContext& ctx) {
+  CycleDecision d;
+  d.state = PowerState::kGreen;
+  ++time_g_;
+  if (time_g_ < params_.steady_green_cycles || degraded_.empty()) return d;
+
+  // Steady green: raise every degraded node by one level; nodes reaching
+  // their spec's top level leave A_degraded ("if l_i + 1 is the highest
+  // level for node i then remove node i from A_degraded").
+  for (auto it = degraded_.begin(); it != degraded_.end();) {
+    const NodeView* nv = ctx.node(*it);
+    const hw::Level restored = std::min(nv->level + 1, nv->highest_level);
+    d.commands.push_back(LevelCommand{*it, restored});
+    if (restored >= nv->highest_level) {
+      it = degraded_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return d;
+}
+
+CycleDecision CappingEngine::yellow_cycle(TargetSelectionPolicy& policy,
+                                          const PolicyContext& ctx) {
+  CycleDecision d;
+  d.state = PowerState::kYellow;
+  time_g_ = 0;
+
+  for (const hw::NodeId id : policy.select(ctx)) {
+    const NodeView* nv = ctx.node(id);
+    if (nv == nullptr || nv->at_lowest || !nv->busy) {
+      throw std::logic_error(
+          "CappingEngine: policy returned an invalid target");
+    }
+    d.commands.push_back(LevelCommand{id, nv->level - 1});
+    degraded_.insert(id);
+  }
+  return d;
+}
+
+CycleDecision CappingEngine::red_cycle(const PolicyContext& ctx) {
+  CycleDecision d;
+  d.state = PowerState::kRed;
+  time_g_ = 0;
+  for (const NodeView& nv : ctx.nodes) {
+    d.commands.push_back(LevelCommand{nv.id, 0});  // lowest power state
+    degraded_.insert(nv.id);
+  }
+  return d;
+}
+
+void CappingEngine::reset() {
+  time_g_ = 0;
+  degraded_.clear();
+}
+
+}  // namespace pcap::power

@@ -1,0 +1,78 @@
+// Algorithm 1: the power capping algorithm (§III.B, Figure 2).
+//
+// Per control cycle, given the measured system power P and the thresholds:
+//   green  (P <  P_L): Time_g++; once the system has been green for T_g
+//                      consecutive cycles ("steady green"), restore every
+//                      degraded node by one level; nodes reaching their
+//                      top level leave A_degraded.
+//   yellow (P_L <= P < P_H): Time_g := 0; the target selection policy
+//                      picks A_target from the candidates; each target is
+//                      degraded by one level and joins A_degraded.
+//   red    (P >= P_H): Time_g := 0; every candidate node is commanded to
+//                      its lowest level; A_degraded := A_candidate.
+//
+// The engine is pure decision logic: it emits (node, target level)
+// commands and never touches hardware.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/units.hpp"
+#include "power/policy.hpp"
+#include "power/state.hpp"
+
+namespace pcap::power {
+
+struct CappingParams {
+  std::int64_t steady_green_cycles = 10;  ///< T_g (the paper uses 10, §V.C)
+};
+
+/// An actuation command: set node `node` to power state `level`.
+struct LevelCommand {
+  hw::NodeId node = 0;
+  hw::Level level = 0;
+
+  friend bool operator==(const LevelCommand&, const LevelCommand&) = default;
+};
+
+struct CycleDecision {
+  PowerState state = PowerState::kGreen;
+  std::vector<LevelCommand> commands;  ///< the A_target with target levels
+};
+
+class CappingEngine {
+ public:
+  explicit CappingEngine(CappingParams params);
+
+  /// Runs one cycle of Algorithm 1. `ctx` must describe the current
+  /// candidate set (ctx.nodes) and job aggregation; `policy` is consulted
+  /// only in the yellow state. p_low/p_high are taken from ctx-independent
+  /// threshold state, passed explicitly to keep the engine reusable.
+  CycleDecision cycle(Watts measured, Watts p_low, Watts p_high,
+                      TargetSelectionPolicy& policy, const PolicyContext& ctx);
+
+  /// A_degraded: candidates this engine has pushed below their top level.
+  [[nodiscard]] const std::set<hw::NodeId>& degraded() const {
+    return degraded_;
+  }
+  /// Time_g: consecutive green cycles so far.
+  [[nodiscard]] std::int64_t green_timer() const { return time_g_; }
+  [[nodiscard]] const CappingParams& params() const { return params_; }
+
+  /// Forgets all throttling history (e.g. when capping is switched off).
+  void reset();
+
+ private:
+  CycleDecision green_cycle(const PolicyContext& ctx);
+  CycleDecision yellow_cycle(TargetSelectionPolicy& policy,
+                             const PolicyContext& ctx);
+  CycleDecision red_cycle(const PolicyContext& ctx);
+
+  CappingParams params_;
+  std::int64_t time_g_ = 0;
+  std::set<hw::NodeId> degraded_;  ///< A_degraded
+};
+
+}  // namespace pcap::power

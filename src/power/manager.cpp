@@ -1,0 +1,131 @@
+#include "power/manager.hpp"
+
+#include <stdexcept>
+
+namespace pcap::power {
+
+CappingManager::CappingManager(CappingManagerParams params, PolicyPtr policy,
+                               common::Rng rng)
+    : params_(params),
+      policy_(std::move(policy)),
+      collector_(params.collector, rng.fork("collector")),
+      learner_(params.thresholds),
+      engine_(params.capping) {
+  if (!policy_) throw std::invalid_argument("CappingManager: null policy");
+  if (params_.cycle_period <= Seconds{0.0}) {
+    throw std::invalid_argument("CappingManager: bad cycle period");
+  }
+  collector_.set_cycle_period(params_.cycle_period);
+  if (params_.selector) selector_.emplace(*params_.selector);
+}
+
+std::string CappingManager::name() const {
+  return "capping:" + policy_->name();
+}
+
+void CappingManager::set_candidate_set(const std::vector<hw::NodeId>& ids) {
+  collector_.set_candidate_set(ids);
+}
+
+PolicyContext CappingManager::build_context(
+    Watts measured, const std::vector<hw::Node>& nodes,
+    const sched::Scheduler& scheduler) const {
+  PolicyContext ctx;
+  ctx.system_power = measured;
+  ctx.p_low = learner_.p_low();
+
+  // Node views from the latest telemetry.
+  for (const hw::NodeId id : collector_.candidate_set()) {
+    const auto latest = collector_.latest(id);
+    if (!latest) continue;  // not yet sampled this run
+    const hw::Node& node = nodes.at(id);
+    NodeView nv;
+    nv.id = id;
+    nv.level = latest->level;
+    nv.highest_level = node.spec().ladder.highest();
+    nv.at_lowest = latest->level == node.spec().ladder.lowest();
+    nv.busy = latest->busy;
+    nv.power = latest->estimated_power;
+    nv.temperature = latest->temperature;
+    if (const auto prev = collector_.previous(id)) {
+      nv.power_prev = prev->estimated_power;
+    }
+    nv.power_one_level_down = node.estimated_power_at(latest->level - 1);
+    ctx.nodes.push_back(nv);
+  }
+  ctx.index_nodes();
+
+  // Job views restricted to candidate nodes.
+  for (const workload::JobId jid : scheduler.running_jobs()) {
+    const workload::Job* job = scheduler.find(jid);
+    if (job == nullptr) continue;
+    JobView jv;
+    jv.id = jid;
+    bool have_all_prev = true;
+    for (const hw::NodeId nid : job->nodes()) {
+      const NodeView* nv = ctx.node(nid);
+      if (nv == nullptr) continue;  // node outside A_candidate
+      jv.nodes.push_back(nid);
+      jv.power += nv->power;
+      if (nv->power_prev > Watts{0.0}) {
+        jv.power_prev += nv->power_prev;
+      } else {
+        have_all_prev = false;
+      }
+      if (nv->busy && !nv->at_lowest) {
+        jv.saving_one_level += nv->power - nv->power_one_level_down;
+      }
+    }
+    if (jv.nodes.empty()) continue;
+    if (!have_all_prev) jv.power_prev = Watts{0.0};  // no rate this cycle
+    ctx.jobs.push_back(std::move(jv));
+  }
+  return ctx;
+}
+
+ManagerReport CappingManager::cycle(Watts measured,
+                                    std::vector<hw::Node>& nodes,
+                                    const sched::Scheduler& scheduler,
+                                    Seconds now) {
+  // 0. Candidate set re-selection (§III.A algorithm (c)).
+  if (selector_ && selector_->due()) {
+    collector_.set_candidate_set(selector_->select(nodes, scheduler));
+  }
+
+  // 1. Telemetry sweep over A_candidate.
+  collector_.collect(nodes, now, scheduler.running_count());
+
+  // 2. Threshold learning / adjustment.
+  learner_.observe(measured);
+
+  ManagerReport report;
+  report.measured = measured;
+  report.p_low = learner_.p_low();
+  report.p_high = learner_.p_high();
+  report.training = learner_.training();
+  report.manager_utilization = collector_.last_cycle_manager_utilization();
+  report.state = classify_power(measured, report.p_low, report.p_high);
+
+  // 3. During training the system runs unmanaged (§V.C).
+  if (report.training) return report;
+
+  // 4. Algorithm 1 + actuation.
+  const PolicyContext ctx = build_context(measured, nodes, scheduler);
+  const CycleDecision decision =
+      engine_.cycle(measured, report.p_low, report.p_high, *policy_, ctx);
+  report.state = decision.state;
+  report.targets = decision.commands.size();
+  report.transitions = controller_.apply(decision.commands, nodes);
+  return report;
+}
+
+ManagerReport NoCappingManager::cycle(Watts measured,
+                                      std::vector<hw::Node>& /*nodes*/,
+                                      const sched::Scheduler& /*scheduler*/,
+                                      Seconds /*now*/) {
+  ManagerReport report;
+  report.measured = measured;
+  return report;
+}
+
+}  // namespace pcap::power

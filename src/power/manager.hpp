@@ -1,0 +1,129 @@
+// The global power manager (§II, Figure 1).
+//
+// One instance runs on the management node. Each control cycle it:
+//   1. collects samples from the candidate set's profiling agents,
+//   2. feeds the facility meter reading to the threshold learner,
+//   3. (after training) runs Algorithm 1 with the configured target set
+//      selection policy, and
+//   4. dispatches the resulting level commands to the node controllers.
+//
+// PowerManagerBase is the interface the cluster drives; the baselines
+// library provides alternative implementations behind the same interface.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <optional>
+
+#include "common/units.hpp"
+#include "power/candidate_selector.hpp"
+#include "power/capping.hpp"
+#include "power/node_controller.hpp"
+#include "power/policy.hpp"
+#include "power/state.hpp"
+#include "power/thresholds.hpp"
+#include "sched/scheduler.hpp"
+#include "telemetry/collector.hpp"
+
+namespace pcap::power {
+
+/// What one control cycle did — recorded by experiments per cycle.
+struct ManagerReport {
+  PowerState state = PowerState::kGreen;
+  Watts measured{0.0};
+  Watts p_low{0.0};
+  Watts p_high{0.0};
+  bool training = false;
+  std::size_t targets = 0;      ///< |A_target| this cycle
+  std::size_t transitions = 0;  ///< level changes actually applied
+  double manager_utilization = 0.0;  ///< Fig.5 cost model, this cycle
+};
+
+class PowerManagerBase {
+ public:
+  virtual ~PowerManagerBase() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Runs one control cycle against the live node array and scheduler
+  /// state. `measured` is the facility meter reading (Algorithm 1's P).
+  virtual ManagerReport cycle(Watts measured, std::vector<hw::Node>& nodes,
+                              const sched::Scheduler& scheduler,
+                              Seconds now) = 0;
+};
+
+struct CappingManagerParams {
+  ThresholdParams thresholds;
+  CappingParams capping;
+  telemetry::CollectorParams collector;
+  Seconds cycle_period{1.0};
+  /// When set, A_candidate is recomputed dynamically (§III.A algorithm
+  /// (c)) instead of being fixed by set_candidate_set().
+  std::optional<CandidateSelectorParams> selector;
+};
+
+/// The paper's architecture: candidate-set telemetry + threshold learning
+/// + Algorithm 1 + a pluggable target selection policy.
+class CappingManager final : public PowerManagerBase {
+ public:
+  CappingManager(CappingManagerParams params, PolicyPtr policy,
+                 common::Rng rng);
+
+  [[nodiscard]] std::string name() const override;
+
+  /// Defines A_candidate. Uncontrollable nodes are filtered out by the
+  /// caller or tolerated here (their commands are no-ops), but monitoring
+  /// them wastes management budget, so prefer passing controllable ids.
+  void set_candidate_set(const std::vector<hw::NodeId>& ids);
+  [[nodiscard]] const std::vector<hw::NodeId>& candidate_set() const {
+    return collector_.candidate_set();
+  }
+
+  ManagerReport cycle(Watts measured, std::vector<hw::Node>& nodes,
+                      const sched::Scheduler& scheduler,
+                      Seconds now) override;
+
+  [[nodiscard]] const ThresholdLearner& thresholds() const {
+    return learner_;
+  }
+  [[nodiscard]] ThresholdLearner& thresholds() { return learner_; }
+  [[nodiscard]] const CappingEngine& engine() const { return engine_; }
+  [[nodiscard]] const telemetry::Collector& collector() const {
+    return collector_;
+  }
+  [[nodiscard]] const NodeController& controller() const {
+    return controller_;
+  }
+  [[nodiscard]] const TargetSelectionPolicy& policy() const {
+    return *policy_;
+  }
+
+  /// Builds the policy context from current telemetry and scheduler state;
+  /// public so benchmarks can measure selection cost in isolation.
+  PolicyContext build_context(Watts measured,
+                              const std::vector<hw::Node>& nodes,
+                              const sched::Scheduler& scheduler) const;
+
+ private:
+  CappingManagerParams params_;
+  PolicyPtr policy_;
+  telemetry::Collector collector_;
+  ThresholdLearner learner_;
+  CappingEngine engine_;
+  NodeController controller_;
+  std::optional<CandidateSelector> selector_;
+};
+
+/// A null manager: monitors nothing, throttles nothing. The |A_candidate|=0
+/// baseline every normalised figure divides by.
+class NoCappingManager final : public PowerManagerBase {
+ public:
+  [[nodiscard]] std::string name() const override { return "none"; }
+  ManagerReport cycle(Watts measured, std::vector<hw::Node>& nodes,
+                      const sched::Scheduler& scheduler,
+                      Seconds now) override;
+};
+
+}  // namespace pcap::power

@@ -1,0 +1,28 @@
+// Change-based target set selection policies (§IV.B).
+//
+// These target the job(s) whose power consumption is *rising* fastest —
+// the likely cause of entering the yellow state — rather than whoever
+// currently burns the most:
+//   HRI   — highest rate of increase ΔP^t(J) = (P^t(J)-P^{t-1}(J)) / P^{t-1}(J).
+//   HRI-C — collection variant: descending ΔP^t(J) until the expected
+//           saving covers P - P_L (the counterpart of MPC-C the paper
+//           sketches at the end of §IV.B).
+#pragma once
+
+#include "power/policy.hpp"
+
+namespace pcap::power {
+
+class HighestRateOfIncrease final : public TargetSelectionPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "hri"; }
+  std::vector<hw::NodeId> select(const PolicyContext& ctx) override;
+};
+
+class HighestRateOfIncreaseCollection final : public TargetSelectionPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "hri-c"; }
+  std::vector<hw::NodeId> select(const PolicyContext& ctx) override;
+};
+
+}  // namespace pcap::power

@@ -1,0 +1,46 @@
+// State-based target set selection policies (§IV.A).
+//
+// These select by the *current* power consumption of jobs:
+//   MPC   — the single most power consuming job.
+//   MPC-C — Algorithm 2: greedily add jobs in descending power order until
+//           the expected saving covers P - P_L.
+//   LPC   — the least power consuming job.
+//   LPC-C — ascending-order collection until the saving covers P - P_L.
+//   BFP   — the job whose one-level saving is "just above" P - P_L.
+#pragma once
+
+#include "power/policy.hpp"
+
+namespace pcap::power {
+
+class MostPowerConsumingJob final : public TargetSelectionPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "mpc"; }
+  std::vector<hw::NodeId> select(const PolicyContext& ctx) override;
+};
+
+class MostPowerConsumingCollection final : public TargetSelectionPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "mpc-c"; }
+  std::vector<hw::NodeId> select(const PolicyContext& ctx) override;
+};
+
+class LeastPowerConsumingJob final : public TargetSelectionPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "lpc"; }
+  std::vector<hw::NodeId> select(const PolicyContext& ctx) override;
+};
+
+class LeastPowerConsumingCollection final : public TargetSelectionPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "lpc-c"; }
+  std::vector<hw::NodeId> select(const PolicyContext& ctx) override;
+};
+
+class BestFitJob final : public TargetSelectionPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "bfp"; }
+  std::vector<hw::NodeId> select(const PolicyContext& ctx) override;
+};
+
+}  // namespace pcap::power

@@ -1,0 +1,78 @@
+#include "power/policies_thermal.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pcap::power {
+
+double mean_job_temperature(const PolicyContext& ctx, const JobView& job) {
+  if (job.nodes.empty()) return 0.0;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const hw::NodeId id : job.nodes) {
+    if (const NodeView* nv = ctx.node(id)) {
+      sum += nv->temperature.value();
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+namespace {
+
+struct RatedJob {
+  const JobView* job;
+  std::vector<hw::NodeId> nodes;
+  double temperature;
+};
+
+std::vector<RatedJob> rated_jobs(const PolicyContext& ctx) {
+  std::vector<RatedJob> out;
+  out.reserve(ctx.jobs.size());
+  for (const JobView& j : ctx.jobs) {
+    auto nodes = throttleable_nodes(ctx, j);
+    if (nodes.empty()) continue;
+    out.push_back(RatedJob{&j, std::move(nodes),
+                           mean_job_temperature(ctx, j)});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<hw::NodeId> HottestJob::select(const PolicyContext& ctx) {
+  const auto jobs = rated_jobs(ctx);
+  if (jobs.empty()) return {};
+  const auto it = std::max_element(jobs.begin(), jobs.end(),
+                                   [](const RatedJob& a, const RatedJob& b) {
+                                     return a.temperature < b.temperature;
+                                   });
+  return it->nodes;
+}
+
+std::vector<hw::NodeId> HottestJobCollection::select(
+    const PolicyContext& ctx) {
+  auto jobs = rated_jobs(ctx);
+  if (jobs.empty()) return {};
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const RatedJob& a, const RatedJob& b) {
+                     return a.temperature > b.temperature;
+                   });
+
+  const Watts needed = ctx.required_saving();
+  std::vector<hw::NodeId> targets;
+  std::unordered_set<hw::NodeId> seen;
+  Watts saved{0.0};
+  for (const auto& rj : jobs) {
+    for (const hw::NodeId id : rj.nodes) {
+      if (!seen.insert(id).second) continue;
+      targets.push_back(id);
+      const NodeView* nv = ctx.node(id);
+      saved += nv->power - nv->power_one_level_down;
+    }
+    if (saved >= needed) break;
+  }
+  return targets;
+}
+
+}  // namespace pcap::power

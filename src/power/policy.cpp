@@ -1,0 +1,37 @@
+#include "power/policy.hpp"
+
+#include <algorithm>
+
+namespace pcap::power {
+
+Watts PolicyContext::required_saving() const {
+  const Watts gap = system_power - p_low;
+  return gap > Watts{0.0} ? gap : Watts{0.0};
+}
+
+const NodeView* PolicyContext::node(hw::NodeId id) const {
+  const auto it = node_index_.find(id);
+  if (it == node_index_.end()) return nullptr;
+  return &nodes[it->second];
+}
+
+void PolicyContext::index_nodes() {
+  node_index_.clear();
+  node_index_.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    node_index_.emplace(nodes[i].id, i);
+  }
+}
+
+std::vector<hw::NodeId> throttleable_nodes(const PolicyContext& ctx,
+                                           const JobView& job) {
+  std::vector<hw::NodeId> out;
+  out.reserve(job.nodes.size());
+  for (const hw::NodeId id : job.nodes) {
+    const NodeView* nv = ctx.node(id);
+    if (nv != nullptr && nv->busy && !nv->at_lowest) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace pcap::power

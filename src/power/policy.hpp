@@ -1,0 +1,86 @@
+// Target set selection policy interface (§IV).
+//
+// Each control cycle in the yellow state, a policy picks the subset of
+// candidate nodes to degrade by one level. Policies see the world through
+// PolicyContext — per-node and per-job aggregates derived from telemetry —
+// never the hardware directly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hw/dvfs.hpp"
+#include "hw/node.hpp"
+#include "workload/job.hpp"
+
+namespace pcap::power {
+
+/// A candidate node as the policy layer sees it.
+struct NodeView {
+  hw::NodeId id = 0;
+  hw::Level level = 0;
+  hw::Level highest_level = 0;  ///< top of this node's ladder
+  bool at_lowest = false;  ///< cannot be degraded further
+  bool busy = false;       ///< idle nodes must not be targeted (§III.B-4)
+  Watts power{0.0};        ///< P(x): formula-(1) estimate, current cycle
+  Watts power_prev{0.0};   ///< P^{t-1}(x): previous cycle (0 if unknown)
+  Watts power_one_level_down{0.0};  ///< P'(x): estimate at level-1
+  Celsius temperature{0.0};  ///< board sensor (thermal-aware extension)
+};
+
+/// A job restricted to its candidate, non-idle nodes (Nodes(J) in §IV.A).
+struct JobView {
+  workload::JobId id = 0;
+  std::vector<hw::NodeId> nodes;  ///< candidate nodes running this job
+  Watts power{0.0};               ///< P(J) = sum of P(x) over nodes
+  Watts power_prev{0.0};          ///< P^{t-1}(J)
+  Watts saving_one_level{0.0};    ///< sum of P(x)-P'(x) over throttleable nodes
+
+  /// ΔP^t(J): relative rate of increase (§IV.B); 0 when no history.
+  [[nodiscard]] double rate_of_increase() const {
+    if (power_prev <= Watts{0.0}) return 0.0;
+    return (power - power_prev) / power_prev;
+  }
+};
+
+struct PolicyContext {
+  Watts system_power{0.0};  ///< P: the meter reading this cycle
+  Watts p_low{0.0};         ///< P_L (MPC-C/LPC-C/BFP need P - P_L)
+  std::vector<NodeView> nodes;
+  std::vector<JobView> jobs;
+
+  /// Power the system must shed to re-enter green: max(0, P - P_L).
+  [[nodiscard]] Watts required_saving() const;
+  /// Lookup table id -> index into nodes (built lazily by callers that
+  /// need it); provided here so every policy does not rebuild it.
+  [[nodiscard]] const NodeView* node(hw::NodeId id) const;
+  void index_nodes();  ///< must be called after filling `nodes`
+
+ private:
+  std::unordered_map<hw::NodeId, std::size_t> node_index_;
+};
+
+class TargetSelectionPolicy {
+ public:
+  virtual ~TargetSelectionPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Returns ids of nodes to degrade by one level. Implementations must
+  /// only return busy candidate nodes that are not already at the lowest
+  /// level (a "valid target set selection policy" per §III.B), and must
+  /// not return duplicates.
+  virtual std::vector<hw::NodeId> select(const PolicyContext& ctx) = 0;
+};
+
+using PolicyPtr = std::unique_ptr<TargetSelectionPolicy>;
+
+/// Filters a job's node list down to throttleable ones (busy, not at the
+/// lowest level). Shared by every policy implementation.
+std::vector<hw::NodeId> throttleable_nodes(const PolicyContext& ctx,
+                                           const JobView& job);
+
+}  // namespace pcap::power

@@ -1,0 +1,30 @@
+#include "power/policy_registry.hpp"
+
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+#include "power/policies_change_based.hpp"
+#include "power/policies_state_based.hpp"
+#include "power/policies_thermal.hpp"
+
+namespace pcap::power {
+
+PolicyPtr make_policy(const std::string& name) {
+  const std::string n = common::to_lower(name);
+  if (n == "mpc") return std::make_unique<MostPowerConsumingJob>();
+  if (n == "mpc-c") return std::make_unique<MostPowerConsumingCollection>();
+  if (n == "lpc") return std::make_unique<LeastPowerConsumingJob>();
+  if (n == "lpc-c") return std::make_unique<LeastPowerConsumingCollection>();
+  if (n == "bfp") return std::make_unique<BestFitJob>();
+  if (n == "hri") return std::make_unique<HighestRateOfIncrease>();
+  if (n == "hri-c") return std::make_unique<HighestRateOfIncreaseCollection>();
+  if (n == "ht") return std::make_unique<HottestJob>();
+  if (n == "ht-c") return std::make_unique<HottestJobCollection>();
+  throw std::invalid_argument("make_policy: unknown policy '" + name + "'");
+}
+
+std::vector<std::string> policy_names() {
+  return {"mpc", "mpc-c", "lpc", "lpc-c", "bfp", "hri", "hri-c", "ht", "ht-c"};
+}
+
+}  // namespace pcap::power

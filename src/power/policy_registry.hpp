@@ -1,0 +1,19 @@
+// Name -> policy factory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "power/policy.hpp"
+
+namespace pcap::power {
+
+/// Instantiates a policy by (case-insensitive) name: "mpc", "mpc-c",
+/// "lpc", "lpc-c", "bfp", "hri", "hri-c". Throws std::invalid_argument
+/// for unknown names.
+PolicyPtr make_policy(const std::string& name);
+
+/// All registered policy names, stable order.
+std::vector<std::string> policy_names();
+
+}  // namespace pcap::power

@@ -1,0 +1,70 @@
+#include "power/thresholds.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcap::power {
+
+ThresholdLearner::ThresholdLearner(ThresholdParams params)
+    : params_(params), p_peak_(params.provision) {
+  if (params_.provision <= Watts{0.0}) {
+    throw std::invalid_argument("ThresholdLearner: provision must be > 0");
+  }
+  if (params_.red_margin < 0.0 || params_.yellow_margin < params_.red_margin ||
+      params_.yellow_margin >= 1.0) {
+    throw std::invalid_argument(
+        "ThresholdLearner: margins must satisfy 0 <= red <= yellow < 1");
+  }
+  if (params_.training_cycles < 0 || params_.adjust_period_cycles <= 0) {
+    throw std::invalid_argument("ThresholdLearner: bad cycle counts");
+  }
+  if (params_.freeze_at_provision) {
+    frozen_ = true;
+    params_.training_cycles = 0;  // no unmanaged training phase either
+  }
+}
+
+void ThresholdLearner::observe(Watts system_power) {
+  running_peak_ = std::max(running_peak_, system_power);
+  const bool was_training = training();
+  ++cycles_;
+  if (frozen_) return;
+  if (was_training) {
+    if (!training()) {
+      // Training just completed: adopt the observed peak as P_peak.
+      adjust();
+      cycles_since_adjust_ = 0;
+    }
+    return;
+  }
+  ++cycles_since_adjust_;
+  if (cycles_since_adjust_ >= params_.adjust_period_cycles) {
+    adjust();
+    cycles_since_adjust_ = 0;
+  }
+}
+
+void ThresholdLearner::adjust() {
+  if (running_peak_ > Watts{0.0}) {
+    p_peak_ = running_peak_;
+    ++adjustments_;
+  }
+}
+
+Watts ThresholdLearner::p_low() const {
+  return p_peak_ * (1.0 - params_.yellow_margin);
+}
+
+Watts ThresholdLearner::p_high() const {
+  return p_peak_ * (1.0 - params_.red_margin);
+}
+
+void ThresholdLearner::set_manual_peak(Watts p_peak, bool freeze) {
+  if (p_peak <= Watts{0.0}) {
+    throw std::invalid_argument("ThresholdLearner: manual peak must be > 0");
+  }
+  p_peak_ = p_peak;
+  frozen_ = freeze;
+}
+
+}  // namespace pcap::power

@@ -1,0 +1,72 @@
+// Threshold setting and adjustment (§III.A).
+//
+//   P_H = (1 - 7%)  * P_peak = 93% * P_peak
+//   P_L = (1 - 16%) * P_peak = 84% * P_peak
+//
+// The margins come from Fan et al.'s observation of a 7%–16% gap between
+// achieved and theoretical aggregate power. P_peak starts at the power
+// provision capability P_Max; a training period (no capping, peak power
+// recorded) replaces it with the observed peak; afterwards observation
+// continues and the thresholds are re-derived every t_p control cycles
+// from the running peak.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace pcap::power {
+
+struct ThresholdParams {
+  Watts provision{0.0};        ///< P_Max: power provision capability.
+  double red_margin = 0.07;    ///< P_H = (1 - red_margin) * P_peak.
+  double yellow_margin = 0.16; ///< P_L = (1 - yellow_margin) * P_peak.
+  std::int64_t training_cycles = 86'400;  ///< 24 h of 1 s cycles (§V.C).
+  std::int64_t adjust_period_cycles = 3'600;  ///< t_p after training.
+  /// Administrator mode (§III.A: thresholds "can be set manually"):
+  /// P_peak stays pinned at the provision capability, no learning. The
+  /// thresholds then scale directly with the provisioned budget.
+  bool freeze_at_provision = false;
+};
+
+class ThresholdLearner {
+ public:
+  explicit ThresholdLearner(ThresholdParams params);
+
+  /// Feeds one control cycle's power reading. Advances the internal cycle
+  /// counter, finishes training when the training period elapses, and
+  /// re-adjusts every t_p cycles afterwards.
+  void observe(Watts system_power);
+
+  /// True while still inside the initial training period (no capping).
+  [[nodiscard]] bool training() const {
+    return cycles_ < params_.training_cycles;
+  }
+
+  [[nodiscard]] Watts p_peak() const { return p_peak_; }
+  [[nodiscard]] Watts p_low() const;
+  [[nodiscard]] Watts p_high() const;
+
+  /// Highest power seen so far (training + execution).
+  [[nodiscard]] Watts running_peak() const { return running_peak_; }
+  [[nodiscard]] std::int64_t cycles_observed() const { return cycles_; }
+  [[nodiscard]] std::int64_t adjustments() const { return adjustments_; }
+  [[nodiscard]] const ThresholdParams& params() const { return params_; }
+
+  /// Manual override (§III.A: thresholds "can be set manually by the
+  /// system administrator"). Freezes learning when `freeze` is true.
+  void set_manual_peak(Watts p_peak, bool freeze = true);
+
+ private:
+  void adjust();
+
+  ThresholdParams params_;
+  Watts p_peak_;
+  Watts running_peak_{0.0};
+  std::int64_t cycles_ = 0;
+  std::int64_t cycles_since_adjust_ = 0;
+  std::int64_t adjustments_ = 0;
+  bool frozen_ = false;
+};
+
+}  // namespace pcap::power

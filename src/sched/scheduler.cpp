@@ -1,0 +1,132 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace pcap::sched {
+
+using workload::Job;
+using workload::JobId;
+using workload::JobState;
+
+Scheduler::Scheduler(std::vector<int> cores_per_node, SchedulerOptions options,
+                     common::Rng rng)
+    : cores_per_node_(std::move(cores_per_node)),
+      options_(options),
+      allocator_(options.strategy, rng),
+      node_owner_(cores_per_node_.size()) {
+  if (cores_per_node_.empty()) {
+    throw std::invalid_argument("Scheduler: no nodes");
+  }
+  for (int c : cores_per_node_) {
+    if (c <= 0) throw std::invalid_argument("Scheduler: bad core count");
+  }
+}
+
+JobId Scheduler::submit(Job job) {
+  if (job.state() != JobState::kQueued) {
+    throw std::invalid_argument("Scheduler::submit: job not queued");
+  }
+  if (job.nprocs() > max_job_width()) {
+    throw std::invalid_argument(
+        "Scheduler::submit: job wider than the machine");
+  }
+  const JobId id = job.id();
+  if (!jobs_.emplace(id, std::move(job)).second) {
+    throw std::invalid_argument("Scheduler::submit: duplicate job id");
+  }
+  queue_.push_back(id);
+  return id;
+}
+
+std::vector<JobId> Scheduler::try_launch(Seconds now) {
+  std::vector<JobId> started;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    Job& job = jobs_.at(*it);
+    if (try_start(job, now)) {
+      started.push_back(*it);
+      running_.push_back(*it);
+      it = queue_.erase(it);
+    } else if (options_.backfill) {
+      ++it;  // head blocked; look further down the queue
+    } else {
+      break;  // strict FCFS: stop at the first job that cannot start
+    }
+  }
+  return started;
+}
+
+bool Scheduler::try_start(Job& job, Seconds now) {
+  const auto alloc =
+      allocator_.allocate(free_nodes(), cores_per_node_, job.nprocs(),
+                          options_.max_procs_per_node);
+  if (!alloc) return false;
+  for (const hw::NodeId id : alloc->nodes) node_owner_[id] = job.id();
+  job.start(alloc->nodes, alloc->procs_per_node, now);
+  return true;
+}
+
+std::vector<hw::NodeId> Scheduler::free_nodes() const {
+  std::vector<hw::NodeId> out;
+  for (std::size_t i = 0; i < node_owner_.size(); ++i) {
+    if (!node_owner_[i]) out.push_back(static_cast<hw::NodeId>(i));
+  }
+  return out;
+}
+
+std::size_t Scheduler::free_node_count() const {
+  return static_cast<std::size_t>(
+      std::count(node_owner_.begin(), node_owner_.end(), std::nullopt));
+}
+
+int Scheduler::total_cores() const {
+  return std::accumulate(cores_per_node_.begin(), cores_per_node_.end(), 0);
+}
+
+int Scheduler::max_job_width() const {
+  int width = 0;
+  for (const int cores : cores_per_node_) {
+    width += options_.max_procs_per_node > 0
+                 ? std::min(cores, options_.max_procs_per_node)
+                 : cores;
+  }
+  return width;
+}
+
+Job* Scheduler::find(JobId id) {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+const Job* Scheduler::find(JobId id) const {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+std::optional<JobId> Scheduler::job_on_node(hw::NodeId node) const {
+  if (node >= node_owner_.size()) return std::nullopt;
+  return node_owner_[node];
+}
+
+void Scheduler::release(JobId id) {
+  for (auto& owner : node_owner_) {
+    if (owner == id) owner.reset();
+  }
+}
+
+void Scheduler::on_job_finished(JobId id) {
+  Job* job = find(id);
+  if (job == nullptr || job->state() != JobState::kFinished) {
+    throw std::logic_error("Scheduler::on_job_finished: job not finished");
+  }
+  release(id);
+  const auto it = std::find(running_.begin(), running_.end(), id);
+  if (it == running_.end()) {
+    throw std::logic_error("Scheduler::on_job_finished: job not running");
+  }
+  running_.erase(it);
+  finished_.push_back(id);
+}
+
+}  // namespace pcap::sched

@@ -1,0 +1,65 @@
+// Priority queue of timed events with stable FIFO ordering at equal times.
+//
+// Stability matters: the cluster schedules the telemetry tick, the job tick
+// and the manager cycle at the same instants, and their relative order must
+// be the insertion order, deterministically, or experiments would not be
+// reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace pcap::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+struct Event {
+  Seconds time{0.0};
+  std::uint64_t sequence = 0;  // tie-breaker: insertion order
+  EventId id = 0;
+  EventFn fn;
+};
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `t`; returns a handle for cancel().
+  EventId schedule(Seconds t, EventFn fn);
+
+  /// Lazily cancels an event; it stays queued but will not fire.
+  /// Returns false if the id was never issued or already fired/cancelled.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event. Requires !empty().
+  [[nodiscard]] Seconds next_time() const;
+
+  /// Pops and returns the earliest live event. Requires !empty().
+  Event pop();
+
+  void clear();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  mutable std::vector<bool> cancelled_;  // indexed by EventId
+  std::uint64_t next_sequence_ = 0;
+  EventId next_id_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace pcap::sim

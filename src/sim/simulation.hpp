@@ -1,0 +1,76 @@
+// Discrete-event simulation engine.
+//
+// The engine owns the clock and the event queue. Components register
+// one-shot events or periodic processes; run_until() advances the clock to
+// each event in order. All model time in the library flows from here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/event_queue.hpp"
+
+namespace pcap::sim {
+
+class Simulation;
+
+/// Handle to a periodic process; cancel() stops future firings.
+class PeriodicHandle {
+ public:
+  PeriodicHandle() = default;
+
+  void cancel();
+  [[nodiscard]] bool active() const;
+
+ private:
+  friend class Simulation;
+  struct State {
+    bool cancelled = false;
+  };
+  explicit PeriodicHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+
+  [[nodiscard]] Seconds now() const { return now_; }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+  /// Schedules `fn` after a relative delay (>= 0).
+  EventId schedule_in(Seconds delay, EventFn fn);
+
+  /// Schedules `fn` at an absolute time (>= now()).
+  EventId schedule_at(Seconds t, EventFn fn);
+
+  /// Registers `fn(now)` to fire every `period`, first at now()+offset.
+  /// The callback runs until cancelled or the simulation ends.
+  PeriodicHandle every(Seconds period, Seconds offset,
+                       std::function<void(Seconds)> fn);
+
+  /// Runs events until the queue is empty or the clock would pass `end`.
+  /// The clock finishes exactly at `end`.
+  void run_until(Seconds end);
+
+  /// Runs a single event if one is pending; returns false otherwise.
+  bool step();
+
+  /// Drops all pending events and resets the clock to zero.
+  void reset();
+
+ private:
+  void schedule_periodic(Seconds first, Seconds period,
+                         std::shared_ptr<PeriodicHandle::State> state,
+                         std::shared_ptr<std::function<void(Seconds)>> fn);
+
+  EventQueue queue_;
+  Seconds now_{0.0};
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace pcap::sim

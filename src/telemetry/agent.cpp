@@ -1,0 +1,46 @@
+#include "telemetry/agent.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcap::telemetry {
+
+ProfilingAgent::ProfilingAgent(hw::NodeId node, AgentParams params,
+                               common::Rng rng)
+    : node_(node), params_(params), rng_(rng) {
+  if (params_.utilization_noise < 0.0 || params_.nic_noise < 0.0) {
+    throw std::invalid_argument("ProfilingAgent: negative noise");
+  }
+}
+
+NodeSample ProfilingAgent::sample(const hw::Node& node, Seconds now) {
+  if (node.id() != node_) {
+    throw std::invalid_argument("ProfilingAgent: sampling a foreign node");
+  }
+  const hw::OperatingPoint& op = node.operating_point();
+
+  hw::OperatingPoint observed = op;
+  if (params_.utilization_noise > 0.0) {
+    observed.cpu_utilization = std::clamp(
+        op.cpu_utilization + rng_.normal(0.0, params_.utilization_noise), 0.0,
+        1.0);
+  }
+  if (params_.nic_noise > 0.0) {
+    observed.nic_bytes =
+        op.nic_bytes * std::max(0.0, rng_.normal(1.0, params_.nic_noise));
+  }
+
+  NodeSample s;
+  s.node = node_;
+  s.time = now;
+  s.cpu_utilization = observed.cpu_utilization;
+  s.mem_used = observed.mem_used;
+  s.nic_bytes = observed.nic_bytes;
+  s.level = node.level();
+  s.estimated_power = node.spec().power_model.power(node.level(), observed);
+  s.temperature = node.temperature();
+  s.busy = node.busy();
+  return s;
+}
+
+}  // namespace pcap::telemetry

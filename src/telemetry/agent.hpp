@@ -1,0 +1,37 @@
+// Per-node profiling agent.
+//
+// §II.C: "We deploy a profiling agent to each node in the candidate set to
+// profile its local operation state." The agent reads the node's counters
+// the way /proc and the NIC log would expose them — i.e. with a little
+// sampling noise — and evaluates formula (1) locally.
+#pragma once
+
+#include "common/rng.hpp"
+#include "telemetry/sample.hpp"
+
+namespace pcap::telemetry {
+
+struct AgentParams {
+  /// Absolute gaussian noise on the CPU utilisation reading.
+  double utilization_noise = 0.01;
+  /// Relative gaussian noise on the NIC byte counter.
+  double nic_noise = 0.02;
+};
+
+class ProfilingAgent {
+ public:
+  ProfilingAgent(hw::NodeId node, AgentParams params, common::Rng rng);
+
+  [[nodiscard]] hw::NodeId node_id() const { return node_; }
+
+  /// Samples the node at `now`. The estimated power is formula (1) applied
+  /// to the (noisy) readings at the node's current level.
+  NodeSample sample(const hw::Node& node, Seconds now);
+
+ private:
+  hw::NodeId node_;
+  AgentParams params_;
+  common::Rng rng_;
+};
+
+}  // namespace pcap::telemetry

@@ -1,0 +1,109 @@
+#include "telemetry/collector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcap::telemetry {
+
+Collector::Collector(CollectorParams params, common::Rng rng)
+    : params_(params), rng_(rng), cost_model_(params.cost) {
+  if (params_.history_depth < 2) {
+    throw std::invalid_argument(
+        "Collector: history must hold at least two samples");
+  }
+  if (params_.transport.loss_rate < 0.0 ||
+      params_.transport.loss_rate >= 1.0) {
+    throw std::invalid_argument("Collector: loss rate must be in [0, 1)");
+  }
+  if (params_.transport.delay_cycles < 0) {
+    throw std::invalid_argument("Collector: negative transport delay");
+  }
+}
+
+void Collector::set_candidate_set(const std::vector<hw::NodeId>& nodes) {
+  candidates_ = nodes;
+  std::sort(candidates_.begin(), candidates_.end());
+  candidates_.erase(std::unique(candidates_.begin(), candidates_.end()),
+                    candidates_.end());
+
+  // Drop agents for nodes no longer monitored.
+  for (auto it = agents_.begin(); it != agents_.end();) {
+    if (!std::binary_search(candidates_.begin(), candidates_.end(),
+                            it->first)) {
+      histories_.erase(it->first);
+      in_flight_.erase(it->first);
+      it = agents_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Create agents for newly monitored nodes.
+  for (const hw::NodeId id : candidates_) {
+    if (agents_.count(id) == 0) {
+      agents_.emplace(id, ProfilingAgent(id, params_.agent, rng_.fork(id)));
+      histories_.emplace(id,
+                         common::RingBuffer<NodeSample>(params_.history_depth));
+    }
+  }
+}
+
+void Collector::collect(const std::vector<hw::Node>& nodes, Seconds now,
+                        std::size_t monitored_jobs) {
+  ++cycle_counter_;
+  const TransportParams& tp = params_.transport;
+  for (const hw::NodeId id : candidates_) {
+    if (id >= nodes.size()) {
+      throw std::out_of_range("Collector::collect: candidate id out of range");
+    }
+    auto& agent = agents_.at(id);
+    NodeSample sample = agent.sample(nodes[id], now);
+
+    if (tp.loss_rate > 0.0 && rng_.bernoulli(tp.loss_rate)) {
+      ++samples_lost_;  // report dropped on the management fabric
+    } else if (tp.delay_cycles == 0) {
+      histories_.at(id).push(sample);
+      ++samples_delivered_;
+    } else {
+      in_flight_[id].push_back(
+          InFlight{cycle_counter_ + static_cast<std::uint64_t>(tp.delay_cycles),
+                   sample});
+    }
+
+    // Deliver whatever has arrived by now (in order).
+    const auto it = in_flight_.find(id);
+    if (it != in_flight_.end()) {
+      auto& queue = it->second;
+      while (!queue.empty() &&
+             queue.front().deliver_at_cycle <= cycle_counter_) {
+        histories_.at(id).push(queue.front().sample);
+        queue.pop_front();
+        ++samples_delivered_;
+      }
+    }
+  }
+  last_manager_utilization_ =
+      cost_model_.cpu_utilization(candidates_.size(), monitored_jobs,
+                                  cycle_period_);
+}
+
+std::optional<NodeSample> Collector::latest(hw::NodeId id) const {
+  const auto it = histories_.find(id);
+  if (it == histories_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+std::optional<NodeSample> Collector::previous(hw::NodeId id) const {
+  const auto it = histories_.find(id);
+  if (it == histories_.end() || it->second.size() < 2) return std::nullopt;
+  return it->second[it->second.size() - 2];
+}
+
+Watts Collector::estimated_candidate_power() const {
+  Watts total{0.0};
+  for (const hw::NodeId id : candidates_) {
+    if (const auto s = latest(id)) total += s->estimated_power;
+  }
+  return total;
+}
+
+}  // namespace pcap::telemetry

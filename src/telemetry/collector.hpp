@@ -1,0 +1,100 @@
+// Global telemetry collector.
+//
+// Owns one profiling agent per candidate node and keeps a short history of
+// samples per node so the manager can compute both state-based quantities
+// (current estimated power) and change-based ones (ΔP between the last two
+// samples, §IV.B). The candidate set can change at runtime (§II.A: the set
+// "may vary during the execution of the system").
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "common/rng.hpp"
+#include "telemetry/agent.hpp"
+#include "telemetry/management_cost.hpp"
+#include "telemetry/sample.hpp"
+
+namespace pcap::telemetry {
+
+/// Management-plane transport model. Agent reports travel over the same
+/// interconnect the jobs use; on a loaded fabric they arrive late or not
+/// at all, and the manager must act on the freshest sample it has.
+struct TransportParams {
+  double loss_rate = 0.0;  ///< probability an agent report is dropped
+  int delay_cycles = 0;    ///< cycles between sampling and delivery
+};
+
+struct CollectorParams {
+  AgentParams agent;
+  std::size_t history_depth = 8;
+  ManagementCostParams cost;
+  TransportParams transport;
+};
+
+class Collector {
+ public:
+  Collector(CollectorParams params, common::Rng rng);
+
+  /// Replaces the candidate set; agents for new nodes are created,
+  /// agents (and histories) for removed nodes are dropped.
+  void set_candidate_set(const std::vector<hw::NodeId>& nodes);
+  [[nodiscard]] const std::vector<hw::NodeId>& candidate_set() const {
+    return candidates_;
+  }
+  [[nodiscard]] bool is_candidate(hw::NodeId id) const {
+    return agents_.count(id) != 0;
+  }
+
+  /// Samples every candidate node present in `nodes` (indexed by id) and
+  /// appends to histories. Also records the cost-model accounting for this
+  /// cycle given the number of currently monitored jobs.
+  void collect(const std::vector<hw::Node>& nodes, Seconds now,
+               std::size_t monitored_jobs);
+
+  /// Latest sample of a node; nullopt if never sampled / not a candidate.
+  [[nodiscard]] std::optional<NodeSample> latest(hw::NodeId id) const;
+  /// Sample before the latest one (for rate-of-change policies).
+  [[nodiscard]] std::optional<NodeSample> previous(hw::NodeId id) const;
+
+  /// Sum of the latest estimated powers over the candidate set.
+  [[nodiscard]] Watts estimated_candidate_power() const;
+
+  /// Modelled CPU utilisation of the management node in the last cycle.
+  [[nodiscard]] double last_cycle_manager_utilization() const {
+    return last_manager_utilization_;
+  }
+  /// Reports dropped by the transport so far.
+  [[nodiscard]] std::uint64_t samples_lost() const { return samples_lost_; }
+  /// Reports delivered into histories so far.
+  [[nodiscard]] std::uint64_t samples_delivered() const {
+    return samples_delivered_;
+  }
+  [[nodiscard]] const ManagementCostModel& cost_model() const {
+    return cost_model_;
+  }
+  void set_cycle_period(Seconds period) { cycle_period_ = period; }
+
+ private:
+  CollectorParams params_;
+  common::Rng rng_;
+  ManagementCostModel cost_model_;
+  Seconds cycle_period_{1.0};
+  std::vector<hw::NodeId> candidates_;
+  std::unordered_map<hw::NodeId, ProfilingAgent> agents_;
+  std::unordered_map<hw::NodeId, common::RingBuffer<NodeSample>> histories_;
+  struct InFlight {
+    std::uint64_t deliver_at_cycle;
+    NodeSample sample;
+  };
+  std::unordered_map<hw::NodeId, std::deque<InFlight>> in_flight_;
+  std::uint64_t cycle_counter_ = 0;
+  std::uint64_t samples_lost_ = 0;
+  std::uint64_t samples_delivered_ = 0;
+  double last_manager_utilization_ = 0.0;
+};
+
+}  // namespace pcap::telemetry

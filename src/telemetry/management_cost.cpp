@@ -1,0 +1,37 @@
+#include "telemetry/management_cost.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pcap::telemetry {
+
+ManagementCostModel::ManagementCostModel(ManagementCostParams params)
+    : params_(params) {
+  if (params_.base_us < 0.0 || params_.collect_us_per_node < 0.0 ||
+      params_.history_us_per_node < 0.0 || params_.sort_us_per_nlogn < 0.0 ||
+      params_.jobmap_us_per_node_job < 0.0) {
+    throw std::invalid_argument("ManagementCostModel: negative coefficient");
+  }
+}
+
+double ManagementCostModel::cycle_cost_us(std::size_t candidate_nodes,
+                                          std::size_t monitored_jobs) const {
+  const auto n = static_cast<double>(candidate_nodes);
+  const auto j = static_cast<double>(monitored_jobs);
+  const double nlogn = n > 1.0 ? n * std::log2(n) : n;
+  return params_.base_us + params_.collect_us_per_node * n +
+         params_.history_us_per_node * n + params_.sort_us_per_nlogn * nlogn +
+         params_.jobmap_us_per_node_job * n * j;
+}
+
+double ManagementCostModel::cpu_utilization(std::size_t candidate_nodes,
+                                            std::size_t monitored_jobs,
+                                            Seconds cycle_period) const {
+  if (cycle_period <= Seconds{0.0}) {
+    throw std::invalid_argument("ManagementCostModel: bad cycle period");
+  }
+  const double cost_s = cycle_cost_us(candidate_nodes, monitored_jobs) * 1e-6;
+  return cost_s / cycle_period.value();
+}
+
+}  // namespace pcap::telemetry

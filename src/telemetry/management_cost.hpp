@@ -1,0 +1,52 @@
+// Management-cost model of the central power manager (Figure 5).
+//
+// §V.D: "the CPU utilization of the central management node increases
+// non-linearly with the size of A_candidate". We model one control cycle's
+// CPU time on the management node as
+//
+//   cost(n, j) = base
+//              + collect * n            (receive + decode agent messages)
+//              + history * n            (ring-buffer update, Δ computation)
+//              + sort * n * log2(n)     (ranking nodes/jobs by power)
+//              + jobmap * n * j         (node -> job aggregation)
+//
+// with n = |A_candidate| and j = number of monitored jobs. Since j itself
+// grows with n on a loaded machine, the n*j term dominates at scale and
+// yields the super-linear curve of Figure 5.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace pcap::telemetry {
+
+struct ManagementCostParams {
+  double base_us = 250.0;
+  double collect_us_per_node = 35.0;
+  double history_us_per_node = 12.0;
+  double sort_us_per_nlogn = 4.0;
+  double jobmap_us_per_node_job = 1.8;
+};
+
+class ManagementCostModel {
+ public:
+  explicit ManagementCostModel(ManagementCostParams params = {});
+
+  /// CPU time of one control cycle, microseconds.
+  [[nodiscard]] double cycle_cost_us(std::size_t candidate_nodes,
+                                     std::size_t monitored_jobs) const;
+
+  /// Fraction of the management node's cycle budget consumed,
+  /// cost / cycle_period (can exceed 1 when the manager saturates).
+  [[nodiscard]] double cpu_utilization(std::size_t candidate_nodes,
+                                       std::size_t monitored_jobs,
+                                       Seconds cycle_period) const;
+
+  [[nodiscard]] const ManagementCostParams& params() const { return params_; }
+
+ private:
+  ManagementCostParams params_;
+};
+
+}  // namespace pcap::telemetry

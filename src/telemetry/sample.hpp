@@ -1,0 +1,25 @@
+// Telemetry sample types.
+#pragma once
+
+#include "common/units.hpp"
+#include "hw/dvfs.hpp"
+#include "hw/node.hpp"
+
+namespace pcap::telemetry {
+
+/// One observation of a node, as a profiling agent reports it to the
+/// global manager: the /proc-style counters of §V.A plus the formula-(1)
+/// power estimate computed locally on the node.
+struct NodeSample {
+  hw::NodeId node = 0;
+  Seconds time{0.0};
+  double cpu_utilization = 0.0;
+  Bytes mem_used{0.0};
+  Bytes nic_bytes{0.0};
+  hw::Level level = 0;
+  Watts estimated_power{0.0};
+  Celsius temperature{0.0};  ///< on-board sensor reading
+  bool busy = false;
+};
+
+}  // namespace pcap::telemetry

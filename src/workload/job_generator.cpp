@@ -1,0 +1,62 @@
+#include "workload/job_generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcap::workload {
+
+JobGenerator::JobGenerator(std::vector<AppModel> suite,
+                           std::vector<int> nprocs_choices, common::Rng rng,
+                           int max_nprocs, double privileged_fraction)
+    : suite_(std::move(suite)),
+      nprocs_choices_(std::move(nprocs_choices)),
+      rng_(rng),
+      privileged_fraction_(privileged_fraction) {
+  if (privileged_fraction_ < 0.0 || privileged_fraction_ > 1.0) {
+    throw std::invalid_argument("JobGenerator: bad privileged fraction");
+  }
+  if (suite_.empty()) throw std::invalid_argument("JobGenerator: empty suite");
+  for (const auto& app : suite_) app.validate();
+  if (max_nprocs > 0) {
+    std::erase_if(nprocs_choices_, [max_nprocs](int n) {
+      return n > max_nprocs;
+    });
+  }
+  if (nprocs_choices_.empty()) {
+    throw std::invalid_argument("JobGenerator: no feasible NPROCS choices");
+  }
+  for (int n : nprocs_choices_) {
+    if (n <= 0) throw std::invalid_argument("JobGenerator: bad NPROCS");
+  }
+}
+
+JobGenerator JobGenerator::paper_default(common::Rng rng, int max_nprocs,
+                                         NpbClass cls,
+                                         double privileged_fraction) {
+  return JobGenerator(npb_suite(cls), npb_nprocs_choices(), rng, max_nprocs,
+                      privileged_fraction);
+}
+
+JobDraw JobGenerator::draw() {
+  JobDraw d;
+  d.app_index = rng_.index(suite_.size());
+  d.nprocs = nprocs_choices_[rng_.index(nprocs_choices_.size())];
+  if (privileged_fraction_ > 0.0 && rng_.bernoulli(privileged_fraction_)) {
+    d.priority = JobPriority::kPrivileged;
+  }
+  return d;
+}
+
+Job JobGenerator::make_job(const JobDraw& draw, Seconds submit_time) {
+  if (draw.app_index >= suite_.size()) {
+    throw std::invalid_argument("JobGenerator::make_job: bad app index");
+  }
+  return Job(next_id_++, suite_[draw.app_index], draw.nprocs, submit_time,
+             draw.priority);
+}
+
+Job JobGenerator::next(Seconds submit_time) {
+  return make_job(draw(), submit_time);
+}
+
+}  // namespace pcap::workload

@@ -1,0 +1,61 @@
+// Random job generation following the paper's experimental protocol:
+// "evaluation jobs were generated at random by first selecting one
+// application from the benchmark, and then set the NPROCS parameter at
+// random to be one of the values 8, 16, 32, 64, 128, 256. An evaluation
+// job is added to the job queue whenever the queue is empty." (§V.C)
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "workload/job.hpp"
+#include "workload/npb.hpp"
+
+namespace pcap::workload {
+
+struct JobDraw {
+  std::size_t app_index = 0;  ///< index into the generator's suite
+  int nprocs = 0;
+  JobPriority priority = JobPriority::kNormal;
+};
+
+class JobGenerator {
+ public:
+  /// `max_nprocs` clips the NPROCS choices so a draw never exceeds the
+  /// cluster's capacity (e.g. small test clusters).
+  /// `privileged_fraction` of draws are marked privileged (§II.A): their
+  /// nodes join A_uncontrollable for the duration of the job.
+  JobGenerator(std::vector<AppModel> suite, std::vector<int> nprocs_choices,
+               common::Rng rng, int max_nprocs = 0,
+               double privileged_fraction = 0.0);
+
+  /// Convenience: the paper's NPB suite + NPROCS set.
+  static JobGenerator paper_default(common::Rng rng, int max_nprocs = 0,
+                                    NpbClass cls = NpbClass::kD,
+                                    double privileged_fraction = 0.0);
+
+  /// Uniform draw of (application, nprocs).
+  JobDraw draw();
+
+  /// Materialises the next job from a draw.
+  Job make_job(const JobDraw& draw, Seconds submit_time);
+
+  /// draw() + make_job() with a fresh id.
+  Job next(Seconds submit_time);
+
+  [[nodiscard]] const std::vector<AppModel>& suite() const { return suite_; }
+  [[nodiscard]] const std::vector<int>& nprocs_choices() const {
+    return nprocs_choices_;
+  }
+  [[nodiscard]] JobId jobs_issued() const { return next_id_; }
+
+ private:
+  std::vector<AppModel> suite_;
+  std::vector<int> nprocs_choices_;
+  common::Rng rng_;
+  double privileged_fraction_;
+  JobId next_id_ = 0;
+};
+
+}  // namespace pcap::workload

@@ -1,0 +1,318 @@
+#include "workload/npb.hpp"
+
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+
+namespace pcap::workload {
+
+double npb_class_scale(NpbClass cls) {
+  switch (cls) {
+    case NpbClass::kC:
+      return 1.0 / 16.0;
+    case NpbClass::kD:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+namespace {
+
+AppModel finalize(AppModel m, NpbClass cls) {
+  m.reference_duration_s *= npb_class_scale(cls);
+  m.validate();
+  return m;
+}
+
+}  // namespace
+
+AppModel make_ep(NpbClass cls) {
+  AppModel m;
+  m.name = "EP";
+  m.prologue = {
+      Phase{.name = "init",
+            .cpu_utilization = 0.25,
+            .frequency_sensitivity = 0.40,
+            .mem_fraction = 0.08,
+            .comm_bytes_per_proc_per_s = 1e6,
+            .seconds_per_iteration = 45.0},
+  };
+  m.iteration = {
+      Phase{.name = "generate",
+            .cpu_utilization = 0.98,
+            .frequency_sensitivity = 0.95,
+            .mem_fraction = 0.08,
+            .comm_bytes_per_proc_per_s = 2e4,
+            .seconds_per_iteration = 160.0},
+      Phase{.name = "reduce",
+            .cpu_utilization = 0.30,
+            .frequency_sensitivity = 0.30,
+            .mem_fraction = 0.08,
+            .comm_bytes_per_proc_per_s = 4e7,
+            .network_sensitivity = 0.60,
+            .seconds_per_iteration = 6.0},
+  };
+  m.reference_duration_s = 420.0;
+  m.reference_nprocs = 64;
+  m.scaling_alpha = 0.98;  // embarrassingly parallel scales near-perfectly
+  return finalize(std::move(m), cls);
+}
+
+AppModel make_cg(NpbClass cls) {
+  AppModel m;
+  m.name = "CG";
+  m.prologue = {
+      Phase{.name = "makea",
+            .cpu_utilization = 0.22,
+            .frequency_sensitivity = 0.35,
+            .mem_fraction = 0.45,
+            .comm_bytes_per_proc_per_s = 2e6,
+            .seconds_per_iteration = 75.0},
+  };
+  m.iteration = {
+      Phase{.name = "spmv",
+            .cpu_utilization = 0.42,
+            .frequency_sensitivity = 0.35,
+            .mem_fraction = 0.60,
+            .comm_bytes_per_proc_per_s = 6e7,
+            .network_sensitivity = 0.35,
+            .seconds_per_iteration = 40.0},
+      Phase{.name = "dot+axpy",
+            .cpu_utilization = 0.28,
+            .frequency_sensitivity = 0.30,
+            .mem_fraction = 0.60,
+            .comm_bytes_per_proc_per_s = 9e7,
+            .network_sensitivity = 0.55,
+            .seconds_per_iteration = 18.0},
+  };
+  m.reference_duration_s = 520.0;
+  m.reference_nprocs = 64;
+  m.scaling_alpha = 0.80;  // irregular communication limits scaling
+  return finalize(std::move(m), cls);
+}
+
+AppModel make_lu(NpbClass cls) {
+  AppModel m;
+  m.name = "LU";
+  m.prologue = {
+      Phase{.name = "setbv+setiv",
+            .cpu_utilization = 0.25,
+            .frequency_sensitivity = 0.40,
+            .mem_fraction = 0.30,
+            .comm_bytes_per_proc_per_s = 2e6,
+            .seconds_per_iteration = 90.0},
+  };
+  m.iteration = {
+      Phase{.name = "ssor-sweep",
+            .cpu_utilization = 0.88,
+            .frequency_sensitivity = 0.62,
+            .mem_fraction = 0.38,
+            .comm_bytes_per_proc_per_s = 1.5e7,
+            .seconds_per_iteration = 70.0},
+      Phase{.name = "rhs-exchange",
+            .cpu_utilization = 0.30,
+            .frequency_sensitivity = 0.35,
+            .mem_fraction = 0.38,
+            .comm_bytes_per_proc_per_s = 7e7,
+            .network_sensitivity = 0.50,
+            .seconds_per_iteration = 18.0},
+  };
+  m.reference_duration_s = 900.0;
+  m.reference_nprocs = 64;
+  m.scaling_alpha = 0.88;
+  return finalize(std::move(m), cls);
+}
+
+AppModel make_bt(NpbClass cls) {
+  AppModel m;
+  m.name = "BT";
+  m.prologue = {
+      Phase{.name = "initialize",
+            .cpu_utilization = 0.25,
+            .frequency_sensitivity = 0.40,
+            .mem_fraction = 0.35,
+            .comm_bytes_per_proc_per_s = 2e6,
+            .seconds_per_iteration = 90.0},
+  };
+  m.iteration = {
+      Phase{.name = "xyz-solve",
+            .cpu_utilization = 0.80,
+            .frequency_sensitivity = 0.58,
+            .mem_fraction = 0.45,
+            .comm_bytes_per_proc_per_s = 2.5e7,
+            .seconds_per_iteration = 80.0},
+      Phase{.name = "face-exchange",
+            .cpu_utilization = 0.28,
+            .frequency_sensitivity = 0.30,
+            .mem_fraction = 0.45,
+            .comm_bytes_per_proc_per_s = 8e7,
+            .network_sensitivity = 0.50,
+            .seconds_per_iteration = 20.0},
+  };
+  m.reference_duration_s = 1100.0;
+  m.reference_nprocs = 64;
+  m.scaling_alpha = 0.90;
+  return finalize(std::move(m), cls);
+}
+
+AppModel make_sp(NpbClass cls) {
+  AppModel m;
+  m.name = "SP";
+  m.prologue = {
+      Phase{.name = "initialize",
+            .cpu_utilization = 0.25,
+            .frequency_sensitivity = 0.40,
+            .mem_fraction = 0.38,
+            .comm_bytes_per_proc_per_s = 2e6,
+            .seconds_per_iteration = 90.0},
+  };
+  m.iteration = {
+      Phase{.name = "adi-sweep",
+            .cpu_utilization = 0.70,
+            .frequency_sensitivity = 0.52,
+            .mem_fraction = 0.48,
+            .comm_bytes_per_proc_per_s = 3.5e7,
+            .seconds_per_iteration = 55.0},
+      Phase{.name = "boundary-exchange",
+            .cpu_utilization = 0.26,
+            .frequency_sensitivity = 0.28,
+            .mem_fraction = 0.48,
+            .comm_bytes_per_proc_per_s = 9.5e7,
+            .network_sensitivity = 0.55,
+            .seconds_per_iteration = 20.0},
+  };
+  m.reference_duration_s = 1000.0;
+  m.reference_nprocs = 64;
+  m.scaling_alpha = 0.86;
+  return finalize(std::move(m), cls);
+}
+
+AppModel make_mg(NpbClass cls) {
+  AppModel m;
+  m.name = "MG";
+  m.prologue = {
+      Phase{.name = "setup-grids",
+            .cpu_utilization = 0.20,
+            .frequency_sensitivity = 0.35,
+            .mem_fraction = 0.40,
+            .comm_bytes_per_proc_per_s = 2e6,
+            .seconds_per_iteration = 60.0},
+  };
+  m.iteration = {
+      Phase{.name = "v-cycle-smooth",
+            .cpu_utilization = 0.55,
+            .frequency_sensitivity = 0.40,
+            .mem_fraction = 0.55,
+            .comm_bytes_per_proc_per_s = 3e7,
+            .seconds_per_iteration = 35.0},
+      Phase{.name = "coarse-exchange",
+            .cpu_utilization = 0.25,
+            .frequency_sensitivity = 0.25,
+            .mem_fraction = 0.55,
+            .comm_bytes_per_proc_per_s = 1.1e8,
+            .network_sensitivity = 0.60,
+            .seconds_per_iteration = 12.0},
+  };
+  m.reference_duration_s = 450.0;
+  m.reference_nprocs = 64;
+  m.scaling_alpha = 0.82;
+  return finalize(std::move(m), cls);
+}
+
+AppModel make_ft(NpbClass cls) {
+  AppModel m;
+  m.name = "FT";
+  m.prologue = {
+      Phase{.name = "init-arrays",
+            .cpu_utilization = 0.22,
+            .frequency_sensitivity = 0.35,
+            .mem_fraction = 0.50,
+            .comm_bytes_per_proc_per_s = 2e6,
+            .seconds_per_iteration = 70.0},
+  };
+  m.iteration = {
+      Phase{.name = "local-fft",
+            .cpu_utilization = 0.68,
+            .frequency_sensitivity = 0.50,
+            .mem_fraction = 0.62,
+            .comm_bytes_per_proc_per_s = 1e7,
+            .seconds_per_iteration = 25.0},
+      Phase{.name = "all-to-all-transpose",
+            .cpu_utilization = 0.22,
+            .frequency_sensitivity = 0.15,
+            .mem_fraction = 0.62,
+            .comm_bytes_per_proc_per_s = 2.2e8,
+            .network_sensitivity = 0.90,
+            .seconds_per_iteration = 18.0},
+  };
+  m.reference_duration_s = 650.0;
+  m.reference_nprocs = 64;
+  m.scaling_alpha = 0.78;  // transposes throttle scaling hard
+  return finalize(std::move(m), cls);
+}
+
+AppModel make_is(NpbClass cls) {
+  AppModel m;
+  m.name = "IS";
+  m.prologue = {
+      Phase{.name = "key-generation",
+            .cpu_utilization = 0.35,
+            .frequency_sensitivity = 0.55,
+            .mem_fraction = 0.30,
+            .comm_bytes_per_proc_per_s = 1e6,
+            .seconds_per_iteration = 25.0},
+  };
+  m.iteration = {
+      Phase{.name = "local-rank",
+            .cpu_utilization = 0.45,
+            .frequency_sensitivity = 0.30,
+            .mem_fraction = 0.38,
+            .comm_bytes_per_proc_per_s = 2e7,
+            .seconds_per_iteration = 10.0},
+      Phase{.name = "bucket-redistribute",
+            .cpu_utilization = 0.20,
+            .frequency_sensitivity = 0.12,
+            .mem_fraction = 0.38,
+            .comm_bytes_per_proc_per_s = 1.8e8,
+            .network_sensitivity = 0.85,
+            .seconds_per_iteration = 8.0},
+  };
+  m.reference_duration_s = 180.0;  // IS is the shortest NPB kernel
+  m.reference_nprocs = 64;
+  m.scaling_alpha = 0.72;
+  return finalize(std::move(m), cls);
+}
+
+std::vector<AppModel> npb_suite(NpbClass cls) {
+  return {make_ep(cls), make_cg(cls), make_lu(cls), make_bt(cls),
+          make_sp(cls)};
+}
+
+std::vector<AppModel> npb_extended_suite(NpbClass cls) {
+  auto suite = npb_suite(cls);
+  suite.push_back(make_mg(cls));
+  suite.push_back(make_ft(cls));
+  suite.push_back(make_is(cls));
+  return suite;
+}
+
+AppModel npb_by_name(const std::string& name, NpbClass cls) {
+  const std::string n = common::to_lower(name);
+  if (n == "ep") return make_ep(cls);
+  if (n == "cg") return make_cg(cls);
+  if (n == "lu") return make_lu(cls);
+  if (n == "bt") return make_bt(cls);
+  if (n == "sp") return make_sp(cls);
+  if (n == "mg") return make_mg(cls);
+  if (n == "ft") return make_ft(cls);
+  if (n == "is") return make_is(cls);
+  throw std::invalid_argument("npb_by_name: unknown benchmark '" + name +
+                              "'");
+}
+
+const std::vector<int>& npb_nprocs_choices() {
+  static const std::vector<int> choices = {8, 16, 32, 64, 128, 256};
+  return choices;
+}
+
+}  // namespace pcap::workload

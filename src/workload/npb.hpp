@@ -1,0 +1,62 @@
+// NAS Parallel Benchmark behaviour models.
+//
+// The paper evaluates with five NPB MPI applications — EP, CG, LU, BT, SP —
+// at CLASS = D and NPROCS in {8, 16, 32, 64, 128, 256} (§V.B). We model
+// each benchmark's well-known character:
+//
+//   EP  embarrassingly parallel   — pure compute, almost no communication,
+//                                    highly frequency-sensitive.
+//   CG  conjugate gradient        — memory-bandwidth bound sparse algebra
+//                                    with heavy irregular communication.
+//   LU  LU factorisation          — compute-heavy with pipelined exchanges.
+//   BT  block tridiagonal solver  — balanced compute + structured exchange.
+//   SP  scalar pentadiagonal      — like BT, a bit more communication.
+//
+// Frequency sensitivities follow the usual compute-vs-memory boundedness
+// ordering (EP > LU > BT > SP > CG), which is what makes DVFS capping hurt
+// EP most and CG least — a prerequisite for reproducing the paper's ~2 %
+// mean performance loss.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/app_model.hpp"
+
+namespace pcap::workload {
+
+enum class NpbClass { kC, kD };
+
+/// Problem-class multiplier applied to reference durations (class D is the
+/// paper's configuration; class C is ~16x smaller and handy for tests).
+double npb_class_scale(NpbClass cls);
+
+AppModel make_ep(NpbClass cls = NpbClass::kD);
+AppModel make_cg(NpbClass cls = NpbClass::kD);
+AppModel make_lu(NpbClass cls = NpbClass::kD);
+AppModel make_bt(NpbClass cls = NpbClass::kD);
+AppModel make_sp(NpbClass cls = NpbClass::kD);
+
+// The remaining NPB kernels (not part of the paper's evaluation, provided
+// as workload-library extensions):
+//   MG  multigrid           — memory-bound V-cycles with long-range comm.
+//   FT  3-D FFT             — all-to-all transposes dominate (network).
+//   IS  integer bucket sort — short, communication-heavy, integer-only.
+AppModel make_mg(NpbClass cls = NpbClass::kD);
+AppModel make_ft(NpbClass cls = NpbClass::kD);
+AppModel make_is(NpbClass cls = NpbClass::kD);
+
+/// The paper's benchmark suite in a stable order {EP, CG, LU, BT, SP}.
+std::vector<AppModel> npb_suite(NpbClass cls = NpbClass::kD);
+
+/// The paper's five plus {MG, FT, IS}.
+std::vector<AppModel> npb_extended_suite(NpbClass cls = NpbClass::kD);
+
+/// Lookup by (case-insensitive) name; throws std::invalid_argument for
+/// anything that is not one of the five benchmarks.
+AppModel npb_by_name(const std::string& name, NpbClass cls = NpbClass::kD);
+
+/// The paper's NPROCS draw set {8, 16, 32, 64, 128, 256}.
+const std::vector<int>& npb_nprocs_choices();
+
+}  // namespace pcap::workload

@@ -1,0 +1,59 @@
+// Phase descriptors: the unit of application behaviour.
+//
+// An application is modelled as a repeating iteration of phases; each phase
+// states what the node's devices are doing (CPU utilisation, memory
+// footprint, NIC traffic) and how sensitive its progress is to clock
+// frequency. These are exactly the inputs of the paper's formula (1), so
+// the profiling agents observe realistic signals.
+#pragma once
+
+#include <string>
+
+namespace pcap::workload {
+
+struct Phase {
+  std::string name;
+
+  /// CPU utilisation demanded on a fully occupied node, in [0, 1].
+  double cpu_utilization = 0.0;
+
+  /// Frequency-sensitive fraction of the phase's work, in [0, 1].
+  /// 1.0 = perfectly compute-bound (halving the clock halves progress);
+  /// 0.0 = progress independent of clock (memory/network bound).
+  double frequency_sensitivity = 0.5;
+
+  /// Fraction of node memory touched when the node is fully occupied.
+  double mem_fraction = 0.0;
+
+  /// NIC traffic per process, bytes per second (both directions summed).
+  double comm_bytes_per_proc_per_s = 0.0;
+
+  /// Fraction of the phase's progress gated by the network, in [0, 1]:
+  /// under interconnect contention delivering fraction f of the offered
+  /// traffic, progress scales by (1 - ns + ns * f).
+  double network_sensitivity = 0.0;
+
+  /// Wall-clock seconds this phase lasts per iteration at full speed.
+  double seconds_per_iteration = 1.0;
+};
+
+/// Amdahl-style slowdown law on clock frequency: the achievable progress
+/// rate (<= 1) of a phase when the clock runs at `relative_speed` (= f/f_max)
+/// of nominal:
+///
+///   rate = 1 / ( s / r + (1 - s) )     with s = frequency_sensitivity.
+///
+/// A fully compute-bound phase (s=1) degrades proportionally to the clock;
+/// a fully memory-bound one (s=0) does not degrade at all.
+double frequency_progress_rate(double frequency_sensitivity,
+                               double relative_speed);
+
+/// Progress multiplier (<= 1) when the interconnect delivers
+/// `delivered_fraction` of the phase's offered traffic.
+double network_progress_rate(double network_sensitivity,
+                             double delivered_fraction);
+
+/// Validates a phase's ranges; throws std::invalid_argument.
+void validate_phase(const Phase& p);
+
+}  // namespace pcap::workload

@@ -1,0 +1,75 @@
+#include "workload/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace pcap::workload {
+
+void WorkloadTrace::add(TraceEntry entry) {
+  if (!entries_.empty() && entry.submit_time_s < entries_.back().submit_time_s) {
+    throw std::invalid_argument("WorkloadTrace: submit times must not regress");
+  }
+  if (entry.nprocs <= 0) {
+    throw std::invalid_argument("WorkloadTrace: nprocs <= 0");
+  }
+  entries_.push_back(std::move(entry));
+}
+
+std::string WorkloadTrace::to_csv() const {
+  std::ostringstream out;
+  common::CsvWriter w(out, {"submit_s", "app", "nprocs"});
+  for (const auto& e : entries_) {
+    w.cell(e.submit_time_s)
+        .cell(e.app_name)
+        .cell(static_cast<std::int64_t>(e.nprocs));
+    w.end_row();
+  }
+  return out.str();
+}
+
+WorkloadTrace WorkloadTrace::from_csv(const std::string& text) {
+  WorkloadTrace trace;
+  const auto rows = common::parse_csv(text);
+  if (rows.empty()) return trace;
+  for (std::size_t i = 1; i < rows.size(); ++i) {  // skip header
+    const auto& row = rows[i];
+    if (row.size() != 3) {
+      throw std::runtime_error("WorkloadTrace: malformed row " +
+                               std::to_string(i));
+    }
+    trace.add(TraceEntry{.submit_time_s = std::stod(row[0]),
+                         .app_name = row[1],
+                         .nprocs = std::stoi(row[2])});
+  }
+  return trace;
+}
+
+void WorkloadTrace::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("WorkloadTrace: cannot write " + path);
+  out << to_csv();
+}
+
+WorkloadTrace WorkloadTrace::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("WorkloadTrace: cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return from_csv(ss.str());
+}
+
+std::vector<Job> WorkloadTrace::materialize(NpbClass cls) const {
+  std::vector<Job> jobs;
+  jobs.reserve(entries_.size());
+  JobId id = 0;
+  for (const auto& e : entries_) {
+    jobs.emplace_back(id++, npb_by_name(e.app_name, cls), e.nprocs,
+                      Seconds{e.submit_time_s});
+  }
+  return jobs;
+}
+
+}  // namespace pcap::workload

@@ -1,0 +1,48 @@
+// Workload trace record/replay.
+//
+// A trace pins down the exact job sequence (submit time, benchmark,
+// NPROCS) so two policies can be compared on identical offered load, and
+// experiments can be archived as CSV artefacts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "workload/job.hpp"
+#include "workload/npb.hpp"
+
+namespace pcap::workload {
+
+struct TraceEntry {
+  double submit_time_s = 0.0;
+  std::string app_name;
+  int nprocs = 0;
+};
+
+class WorkloadTrace {
+ public:
+  WorkloadTrace() = default;
+
+  void add(TraceEntry entry);
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// CSV round-trip ("submit_s,app,nprocs" header).
+  [[nodiscard]] std::string to_csv() const;
+  static WorkloadTrace from_csv(const std::string& text);
+
+  void save(const std::string& path) const;
+  static WorkloadTrace load(const std::string& path);
+
+  /// Materialises jobs (ids assigned in order) using NPB models.
+  [[nodiscard]] std::vector<Job> materialize(NpbClass cls = NpbClass::kD) const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace pcap::workload

@@ -1,0 +1,95 @@
+#include "telemetry/agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/node_spec.hpp"
+
+namespace pcap::telemetry {
+namespace {
+
+hw::Node busy_node(hw::NodeId id = 3) {
+  hw::Node n(id, hw::tianhe1a_node_spec());
+  hw::OperatingPoint op;
+  op.cpu_utilization = 0.7;
+  op.mem_used = n.spec().mem_total * 0.4;
+  op.mem_total = n.spec().mem_total;
+  op.nic_bytes = Bytes{1e9};
+  op.tau = Seconds{1.0};
+  op.nic_bandwidth = n.spec().nic_bandwidth;
+  n.set_operating_point(op);
+  n.set_busy(true);
+  return n;
+}
+
+TEST(Agent, NoiselessSampleMatchesNodeEstimate) {
+  AgentParams p;
+  p.utilization_noise = 0.0;
+  p.nic_noise = 0.0;
+  ProfilingAgent agent(3, p, common::Rng(1));
+  const hw::Node n = busy_node();
+  const NodeSample s = agent.sample(n, Seconds{10.0});
+  EXPECT_EQ(s.node, 3u);
+  EXPECT_EQ(s.time, Seconds{10.0});
+  EXPECT_DOUBLE_EQ(s.cpu_utilization, 0.7);
+  EXPECT_EQ(s.level, n.level());
+  EXPECT_TRUE(s.busy);
+  EXPECT_DOUBLE_EQ(s.estimated_power.value(), n.estimated_power().value());
+}
+
+TEST(Agent, NoisySampleStaysClose) {
+  ProfilingAgent agent(3, AgentParams{}, common::Rng(2));
+  const hw::Node n = busy_node();
+  for (int i = 0; i < 100; ++i) {
+    const NodeSample s = agent.sample(n, Seconds{static_cast<double>(i)});
+    EXPECT_NEAR(s.cpu_utilization, 0.7, 0.06);
+    EXPECT_NEAR(s.estimated_power.value(), n.estimated_power().value(),
+                n.estimated_power().value() * 0.1);
+  }
+}
+
+TEST(Agent, NoiseClampsUtilizationToValidRange) {
+  AgentParams p;
+  p.utilization_noise = 0.5;  // huge noise
+  ProfilingAgent agent(3, p, common::Rng(3));
+  const hw::Node n = busy_node();
+  for (int i = 0; i < 200; ++i) {
+    const NodeSample s = agent.sample(n, Seconds{0.0});
+    EXPECT_GE(s.cpu_utilization, 0.0);
+    EXPECT_LE(s.cpu_utilization, 1.0);
+  }
+}
+
+TEST(Agent, ForeignNodeThrows) {
+  ProfilingAgent agent(3, AgentParams{}, common::Rng(4));
+  const hw::Node n = busy_node(/*id=*/4);
+  EXPECT_THROW(agent.sample(n, Seconds{0.0}), std::invalid_argument);
+}
+
+TEST(Agent, NegativeNoiseThrows) {
+  AgentParams p;
+  p.utilization_noise = -0.1;
+  EXPECT_THROW(ProfilingAgent(1, p, common::Rng(1)), std::invalid_argument);
+}
+
+TEST(Agent, ReportsThrottledLevel) {
+  ProfilingAgent agent(3, AgentParams{}, common::Rng(5));
+  hw::Node n = busy_node();
+  n.set_level(2);
+  const NodeSample s = agent.sample(n, Seconds{0.0});
+  EXPECT_EQ(s.level, 2);
+}
+
+TEST(Agent, EstimateUsesCurrentLevel) {
+  AgentParams p;
+  p.utilization_noise = 0.0;
+  p.nic_noise = 0.0;
+  ProfilingAgent agent(3, p, common::Rng(6));
+  hw::Node n = busy_node();
+  const Watts top = agent.sample(n, Seconds{0.0}).estimated_power;
+  n.set_level(0);
+  const Watts floor = agent.sample(n, Seconds{1.0}).estimated_power;
+  EXPECT_LT(floor, top);
+}
+
+}  // namespace
+}  // namespace pcap::telemetry

@@ -1,0 +1,236 @@
+#include "baselines/feedback_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/budget_manager.hpp"
+
+#include "hw/node_spec.hpp"
+#include "workload/npb.hpp"
+
+namespace pcap::baselines {
+namespace {
+
+struct Rig {
+  std::vector<hw::Node> nodes;
+  sched::Scheduler scheduler;
+
+  explicit Rig(int n)
+      : scheduler(std::vector<int>(static_cast<std::size_t>(n), 12), {},
+                  common::Rng(3)) {
+    for (int i = 0; i < n; ++i) {
+      nodes.emplace_back(static_cast<hw::NodeId>(i),
+                         hw::tianhe1a_node_spec());
+    }
+    for (auto& node : nodes) {
+      hw::OperatingPoint op;
+      op.cpu_utilization = 0.9;
+      op.mem_used = node.spec().mem_total * 0.4;
+      op.mem_total = node.spec().mem_total;
+      op.tau = Seconds{1.0};
+      op.nic_bandwidth = node.spec().nic_bandwidth;
+      node.set_operating_point(op);
+      node.set_busy(true);
+    }
+  }
+};
+
+FeedbackParams params() {
+  FeedbackParams p;
+  p.setpoint = Watts{1000.0};
+  p.gain = 1.0;
+  p.collector.agent.utilization_noise = 0.0;
+  p.collector.agent.nic_noise = 0.0;
+  return p;
+}
+
+TEST(Feedback, ThrottlesOnPositiveError) {
+  Rig rig(4);
+  FeedbackManager m(params(), common::Rng(1));
+  m.set_candidate_set({0, 1, 2, 3});
+  const auto r =
+      m.cycle(Watts{1100.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  EXPECT_GT(r.targets, 0u);
+  bool any_throttled = false;
+  for (const auto& n : rig.nodes) any_throttled |= !n.at_highest();
+  EXPECT_TRUE(any_throttled);
+}
+
+TEST(Feedback, ThrottleScalesWithError) {
+  Rig big(8);
+  Rig small(8);
+  FeedbackManager m_big(params(), common::Rng(1));
+  FeedbackManager m_small(params(), common::Rng(1));
+  m_big.set_candidate_set({0, 1, 2, 3, 4, 5, 6, 7});
+  m_small.set_candidate_set({0, 1, 2, 3, 4, 5, 6, 7});
+  const auto r_small =
+      m_small.cycle(Watts{1020.0}, small.nodes, small.scheduler, Seconds{1.0});
+  const auto r_big =
+      m_big.cycle(Watts{1500.0}, big.nodes, big.scheduler, Seconds{1.0});
+  EXPECT_GT(r_big.targets, r_small.targets);
+}
+
+TEST(Feedback, HoldsInsideHysteresisBand) {
+  Rig rig(4);
+  FeedbackManager m(params(), common::Rng(1));
+  m.set_candidate_set({0, 1, 2, 3});
+  // Slightly below the setpoint: inside the 2% band, no action.
+  const auto r =
+      m.cycle(Watts{990.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  EXPECT_EQ(r.targets, 0u);
+}
+
+TEST(Feedback, RestoresWellBelowSetpoint) {
+  Rig rig(4);
+  FeedbackManager m(params(), common::Rng(1));
+  m.set_candidate_set({0, 1, 2, 3});
+  // Throttle hard first.
+  for (int i = 0; i < 5; ++i) {
+    m.cycle(Watts{1600.0}, rig.nodes, rig.scheduler,
+            Seconds{static_cast<double>(i + 1)});
+  }
+  int throttled_levels = 0;
+  for (const auto& n : rig.nodes) throttled_levels += 9 - n.level();
+  ASSERT_GT(throttled_levels, 0);
+  // Far below setpoint: restore.
+  m.cycle(Watts{500.0}, rig.nodes, rig.scheduler, Seconds{10.0});
+  int after = 0;
+  for (const auto& n : rig.nodes) after += 9 - n.level();
+  EXPECT_LT(after, throttled_levels);
+}
+
+TEST(Feedback, IdleNodesNotThrottled) {
+  Rig rig(2);
+  rig.nodes[1].set_busy(false);
+  FeedbackManager m(params(), common::Rng(1));
+  m.set_candidate_set({0, 1});
+  m.cycle(Watts{2000.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  EXPECT_TRUE(rig.nodes[1].at_highest());
+}
+
+TEST(Feedback, BadParamsThrow) {
+  FeedbackParams p = params();
+  p.setpoint = Watts{0.0};
+  EXPECT_THROW(FeedbackManager(p, common::Rng(1)), std::invalid_argument);
+  p = params();
+  p.gain = 0.0;
+  EXPECT_THROW(FeedbackManager(p, common::Rng(1)), std::invalid_argument);
+  p = params();
+  p.hysteresis = -0.1;
+  EXPECT_THROW(FeedbackManager(p, common::Rng(1)), std::invalid_argument);
+}
+
+TEST(Feedback, Name) {
+  FeedbackManager m(params(), common::Rng(1));
+  EXPECT_EQ(m.name(), "feedback");
+}
+
+BudgetParams budget_params(double watts) {
+  BudgetParams p;
+  p.global_budget = Watts{watts};
+  p.collector.agent.utilization_noise = 0.0;
+  p.collector.agent.nic_noise = 0.0;
+  return p;
+}
+
+TEST(Budget, GenerousBudgetKeepsNodesAtTop) {
+  Rig rig(4);
+  BudgetManager m(budget_params(4.0 * 500.0), common::Rng(1));
+  m.set_candidate_set({0, 1, 2, 3});
+  m.cycle(Watts{1200.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  for (const auto& n : rig.nodes) EXPECT_TRUE(n.at_highest());
+}
+
+TEST(Budget, TightBudgetThrottlesEveryNode) {
+  Rig rig(4);
+  BudgetManager m(budget_params(4.0 * 250.0), common::Rng(1));
+  m.set_candidate_set({0, 1, 2, 3});
+  m.cycle(Watts{1400.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  for (const auto& n : rig.nodes) {
+    EXPECT_FALSE(n.at_highest());
+    // Each node fits its budget at the chosen level.
+    EXPECT_LE(n.estimated_power().value(), 260.0 + 60.0);  // some slack for
+    // the even/demand split: budgets differ slightly per node.
+  }
+}
+
+TEST(Budget, DemandProportionalAllocationFavoursBusyNodes) {
+  Rig rig(2);
+  // Node 0 hot, node 1 idle-ish.
+  hw::OperatingPoint cool = rig.nodes[1].operating_point();
+  cool.cpu_utilization = 0.05;
+  rig.nodes[1].set_operating_point(cool);
+
+  BudgetParams p = budget_params(2.0 * 300.0);
+  p.demand_weight = 0.9;
+  BudgetManager m(p, common::Rng(1));
+  m.set_candidate_set({0, 1});
+  m.cycle(Watts{700.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  const auto& budgets = m.last_budgets();
+  ASSERT_EQ(budgets.size(), 2u);
+  EXPECT_GT(budgets[0], budgets[1]);
+}
+
+TEST(Budget, BudgetsSumToGlobal) {
+  Rig rig(6);
+  BudgetManager m(budget_params(1800.0), common::Rng(1));
+  m.set_candidate_set({0, 1, 2, 3, 4, 5});
+  m.cycle(Watts{2000.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  Watts total{0.0};
+  for (const Watts b : m.last_budgets()) total += b;
+  EXPECT_NEAR(total.value(), 1800.0, 1e-6);
+}
+
+TEST(Budget, RecoversWhenDemandDrops) {
+  Rig rig(2);
+  BudgetManager m(budget_params(2.0 * 260.0), common::Rng(1));
+  m.set_candidate_set({0, 1});
+  m.cycle(Watts{800.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  ASSERT_FALSE(rig.nodes[0].at_highest());
+  // Nodes go idle: per-node estimates fall, the budget re-admits the top
+  // level.
+  for (auto& n : rig.nodes) {
+    hw::OperatingPoint op = n.operating_point();
+    op.cpu_utilization = 0.02;
+    op.nic_bytes = Bytes{0.0};
+    op.mem_used = Bytes{0.0};
+    n.set_operating_point(op);
+    n.set_busy(false);
+  }
+  m.cycle(Watts{300.0}, rig.nodes, rig.scheduler, Seconds{2.0});
+  EXPECT_TRUE(rig.nodes[0].at_highest());
+}
+
+TEST(Budget, BadParamsThrow) {
+  EXPECT_THROW(BudgetManager(budget_params(0.0), common::Rng(1)),
+               std::invalid_argument);
+  BudgetParams p = budget_params(100.0);
+  p.demand_weight = 1.5;
+  EXPECT_THROW(BudgetManager(p, common::Rng(1)), std::invalid_argument);
+}
+
+TEST(Budget, Name) {
+  BudgetManager m(budget_params(100.0), common::Rng(1));
+  EXPECT_EQ(m.name(), "budget");
+}
+
+TEST(Feedback, ConvergesUnderProportionalControl) {
+  // Drive the manager with a synthetic plant: power proportional to the
+  // average level. It should settle near the setpoint without ringing
+  // down to the floor.
+  Rig rig(8);
+  FeedbackManager m(params(), common::Rng(1));
+  m.set_candidate_set({0, 1, 2, 3, 4, 5, 6, 7});
+  double measured = 1400.0;
+  for (int i = 0; i < 50; ++i) {
+    m.cycle(Watts{measured}, rig.nodes, rig.scheduler,
+            Seconds{static_cast<double>(i + 1)});
+    double level_sum = 0.0;
+    for (const auto& n : rig.nodes) level_sum += n.level();
+    // Plant: 600 W base + 800 W scaled by mean level ratio.
+    measured = 600.0 + 800.0 * (level_sum / (8.0 * 9.0));
+  }
+  EXPECT_NEAR(measured, 1000.0, 120.0);
+}
+
+}  // namespace
+}  // namespace pcap::baselines

@@ -1,0 +1,224 @@
+#include "telemetry/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/node_spec.hpp"
+
+namespace pcap::telemetry {
+namespace {
+
+std::vector<hw::Node> make_nodes(std::size_t n) {
+  std::vector<hw::Node> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    hw::Node node(static_cast<hw::NodeId>(i), hw::tianhe1a_node_spec());
+    hw::OperatingPoint op;
+    op.cpu_utilization = 0.5;
+    op.mem_used = node.spec().mem_total * 0.3;
+    op.mem_total = node.spec().mem_total;
+    op.tau = Seconds{1.0};
+    op.nic_bandwidth = node.spec().nic_bandwidth;
+    node.set_operating_point(op);
+    node.set_busy(true);
+    nodes.push_back(std::move(node));
+  }
+  return nodes;
+}
+
+CollectorParams quiet_params() {
+  CollectorParams p;
+  p.agent.utilization_noise = 0.0;
+  p.agent.nic_noise = 0.0;
+  return p;
+}
+
+TEST(Collector, CandidateSetSortedAndDeduplicated) {
+  Collector c(quiet_params(), common::Rng(1));
+  c.set_candidate_set({3, 1, 3, 2});
+  EXPECT_EQ(c.candidate_set(), (std::vector<hw::NodeId>{1, 2, 3}));
+  EXPECT_TRUE(c.is_candidate(1));
+  EXPECT_FALSE(c.is_candidate(0));
+}
+
+TEST(Collector, CollectRecordsLatestSample) {
+  Collector c(quiet_params(), common::Rng(2));
+  c.set_candidate_set({0, 1});
+  auto nodes = make_nodes(3);
+  c.collect(nodes, Seconds{1.0}, 1);
+  const auto s = c.latest(0);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->time, Seconds{1.0});
+  EXPECT_DOUBLE_EQ(s->estimated_power.value(),
+                   nodes[0].estimated_power().value());
+}
+
+TEST(Collector, NonCandidateNotSampled) {
+  Collector c(quiet_params(), common::Rng(3));
+  c.set_candidate_set({0});
+  auto nodes = make_nodes(3);
+  c.collect(nodes, Seconds{1.0}, 1);
+  EXPECT_FALSE(c.latest(2).has_value());
+}
+
+TEST(Collector, PreviousRequiresTwoSamples) {
+  Collector c(quiet_params(), common::Rng(4));
+  c.set_candidate_set({0});
+  auto nodes = make_nodes(1);
+  c.collect(nodes, Seconds{1.0}, 1);
+  EXPECT_FALSE(c.previous(0).has_value());
+  c.collect(nodes, Seconds{2.0}, 1);
+  const auto prev = c.previous(0);
+  ASSERT_TRUE(prev.has_value());
+  EXPECT_EQ(prev->time, Seconds{1.0});
+  EXPECT_EQ(c.latest(0)->time, Seconds{2.0});
+}
+
+TEST(Collector, HistoryRollsOver) {
+  CollectorParams p = quiet_params();
+  p.history_depth = 3;
+  Collector c(p, common::Rng(5));
+  c.set_candidate_set({0});
+  auto nodes = make_nodes(1);
+  for (int t = 1; t <= 10; ++t) {
+    c.collect(nodes, Seconds{static_cast<double>(t)}, 1);
+  }
+  EXPECT_EQ(c.latest(0)->time, Seconds{10.0});
+  EXPECT_EQ(c.previous(0)->time, Seconds{9.0});
+}
+
+TEST(Collector, RemovedCandidateDropsHistory) {
+  Collector c(quiet_params(), common::Rng(6));
+  c.set_candidate_set({0, 1});
+  auto nodes = make_nodes(2);
+  c.collect(nodes, Seconds{1.0}, 1);
+  c.set_candidate_set({0});
+  EXPECT_FALSE(c.latest(1).has_value());
+  // Re-adding starts fresh.
+  c.set_candidate_set({0, 1});
+  EXPECT_FALSE(c.latest(1).has_value());
+}
+
+TEST(Collector, SurvivingCandidateKeepsHistoryAcrossSetChange) {
+  Collector c(quiet_params(), common::Rng(7));
+  c.set_candidate_set({0, 1});
+  auto nodes = make_nodes(2);
+  c.collect(nodes, Seconds{1.0}, 1);
+  c.set_candidate_set({0});
+  EXPECT_TRUE(c.latest(0).has_value());
+}
+
+TEST(Collector, EstimatedCandidatePowerSums) {
+  Collector c(quiet_params(), common::Rng(8));
+  c.set_candidate_set({0, 1});
+  auto nodes = make_nodes(2);
+  c.collect(nodes, Seconds{1.0}, 1);
+  const double expected = nodes[0].estimated_power().value() +
+                          nodes[1].estimated_power().value();
+  EXPECT_NEAR(c.estimated_candidate_power().value(), expected, 1e-9);
+}
+
+TEST(Collector, OutOfRangeCandidateThrows) {
+  Collector c(quiet_params(), common::Rng(9));
+  c.set_candidate_set({5});
+  auto nodes = make_nodes(2);
+  EXPECT_THROW(c.collect(nodes, Seconds{1.0}, 1), std::out_of_range);
+}
+
+TEST(Collector, ManagerUtilizationGrowsWithCandidates) {
+  auto nodes = make_nodes(64);
+  Collector small(quiet_params(), common::Rng(10));
+  small.set_candidate_set({0, 1, 2, 3});
+  small.collect(nodes, Seconds{1.0}, 8);
+
+  Collector large(quiet_params(), common::Rng(10));
+  std::vector<hw::NodeId> all;
+  for (hw::NodeId i = 0; i < 64; ++i) all.push_back(i);
+  large.set_candidate_set(all);
+  large.collect(nodes, Seconds{1.0}, 8);
+
+  EXPECT_GT(large.last_cycle_manager_utilization(),
+            small.last_cycle_manager_utilization());
+}
+
+TEST(Collector, TooShallowHistoryThrows) {
+  CollectorParams p = quiet_params();
+  p.history_depth = 1;
+  EXPECT_THROW(Collector(p, common::Rng(1)), std::invalid_argument);
+}
+
+TEST(CollectorTransport, LossDropsSomeReports) {
+  CollectorParams p = quiet_params();
+  p.transport.loss_rate = 0.5;
+  Collector c(p, common::Rng(21));
+  c.set_candidate_set({0});
+  auto nodes = make_nodes(1);
+  for (int t = 1; t <= 400; ++t) {
+    c.collect(nodes, Seconds{static_cast<double>(t)}, 1);
+  }
+  EXPECT_GT(c.samples_lost(), 100u);
+  EXPECT_GT(c.samples_delivered(), 100u);
+  EXPECT_EQ(c.samples_lost() + c.samples_delivered(), 400u);
+}
+
+TEST(CollectorTransport, LatestSurvivesLoss) {
+  // Even under heavy loss the manager keeps acting on the freshest
+  // delivered sample rather than failing.
+  CollectorParams p = quiet_params();
+  p.transport.loss_rate = 0.8;
+  Collector c(p, common::Rng(22));
+  c.set_candidate_set({0});
+  auto nodes = make_nodes(1);
+  for (int t = 1; t <= 200; ++t) {
+    c.collect(nodes, Seconds{static_cast<double>(t)}, 1);
+  }
+  const auto s = c.latest(0);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_GT(s->time.value(), 0.0);
+  EXPECT_LE(s->time.value(), 200.0);
+}
+
+TEST(CollectorTransport, DelayShiftsDelivery) {
+  CollectorParams p = quiet_params();
+  p.transport.delay_cycles = 2;
+  Collector c(p, common::Rng(23));
+  c.set_candidate_set({0});
+  auto nodes = make_nodes(1);
+  c.collect(nodes, Seconds{1.0}, 1);
+  EXPECT_FALSE(c.latest(0).has_value());  // still in flight
+  c.collect(nodes, Seconds{2.0}, 1);
+  EXPECT_FALSE(c.latest(0).has_value());
+  c.collect(nodes, Seconds{3.0}, 1);
+  const auto s = c.latest(0);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_DOUBLE_EQ(s->time.value(), 1.0);  // the cycle-1 sample arrived
+}
+
+TEST(CollectorTransport, DelayedSamplesArriveInOrder) {
+  CollectorParams p = quiet_params();
+  p.transport.delay_cycles = 3;
+  Collector c(p, common::Rng(24));
+  c.set_candidate_set({0});
+  auto nodes = make_nodes(1);
+  for (int t = 1; t <= 10; ++t) {
+    c.collect(nodes, Seconds{static_cast<double>(t)}, 1);
+  }
+  const auto latest = c.latest(0);
+  const auto prev = c.previous(0);
+  ASSERT_TRUE(latest && prev);
+  EXPECT_DOUBLE_EQ(latest->time.value(), 7.0);  // t=10 delivered t-3
+  EXPECT_DOUBLE_EQ(prev->time.value(), 6.0);
+}
+
+TEST(CollectorTransport, BadParamsThrow) {
+  CollectorParams p = quiet_params();
+  p.transport.loss_rate = 1.0;
+  EXPECT_THROW(Collector(p, common::Rng(1)), std::invalid_argument);
+  p = quiet_params();
+  p.transport.loss_rate = -0.1;
+  EXPECT_THROW(Collector(p, common::Rng(1)), std::invalid_argument);
+  p = quiet_params();
+  p.transport.delay_cycles = -1;
+  EXPECT_THROW(Collector(p, common::Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcap::telemetry

@@ -1,0 +1,114 @@
+#include "cluster/config_loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/scenario.hpp"
+
+namespace pcap::cluster {
+namespace {
+
+ExperimentConfig load(const std::string& text) {
+  return apply_config(paper_scenario(), common::Config::parse(text));
+}
+
+TEST(ConfigLoader, EmptyConfigKeepsDefaults) {
+  const ExperimentConfig base = paper_scenario();
+  const ExperimentConfig cfg = load("");
+  EXPECT_EQ(cfg.cluster.num_nodes, base.cluster.num_nodes);
+  EXPECT_EQ(cfg.manager, base.manager);
+  EXPECT_EQ(cfg.training.value(), base.training.value());
+  EXPECT_EQ(cfg.capping.steady_green_cycles,
+            base.capping.steady_green_cycles);
+}
+
+TEST(ConfigLoader, ClusterSection) {
+  const ExperimentConfig cfg = load(
+      "[cluster]\n"
+      "nodes = 48\n"
+      "seed = 99\n"
+      "tick_s = 0.5\n"
+      "control_period_s = 2.0\n"
+      "npb_class = C\n"
+      "max_procs_per_node = 6\n"
+      "privileged_fraction = 0.15\n");
+  EXPECT_EQ(cfg.cluster.num_nodes, 48u);
+  EXPECT_EQ(cfg.cluster.seed, 99u);
+  EXPECT_DOUBLE_EQ(cfg.cluster.tick.value(), 0.5);
+  EXPECT_DOUBLE_EQ(cfg.cluster.control_period.value(), 2.0);
+  EXPECT_EQ(cfg.cluster.npb_class, workload::NpbClass::kC);
+  EXPECT_EQ(cfg.cluster.scheduler.max_procs_per_node, 6);
+  EXPECT_DOUBLE_EQ(cfg.cluster.privileged_job_fraction, 0.15);
+}
+
+TEST(ConfigLoader, ManagerSection) {
+  const ExperimentConfig cfg = load(
+      "[manager]\n"
+      "policy = hri-c\n"
+      "candidate_count = 32\n"
+      "dynamic_candidates = true\n"
+      "tg_cycles = 20\n"
+      "red_margin = 0.05\n"
+      "yellow_margin = 0.12\n");
+  EXPECT_EQ(cfg.manager, "hri-c");
+  EXPECT_EQ(cfg.candidate_count, 32);
+  EXPECT_TRUE(cfg.dynamic_candidates);
+  EXPECT_EQ(cfg.capping.steady_green_cycles, 20);
+  EXPECT_DOUBLE_EQ(cfg.red_margin, 0.05);
+  EXPECT_DOUBLE_EQ(cfg.yellow_margin, 0.12);
+}
+
+TEST(ConfigLoader, ExperimentSection) {
+  const ExperimentConfig cfg = load(
+      "[experiment]\n"
+      "training_h = 1.5\n"
+      "measured_h = 3\n"
+      "provision_w = 30000\n");
+  EXPECT_DOUBLE_EQ(cfg.training.value(), 1.5 * 3600.0);
+  EXPECT_DOUBLE_EQ(cfg.measured.value(), 3 * 3600.0);
+  EXPECT_DOUBLE_EQ(cfg.provision.value(), 30000.0);
+}
+
+TEST(ConfigLoader, TelemetrySection) {
+  const ExperimentConfig cfg = load(
+      "[telemetry]\n"
+      "loss_rate = 0.2\n"
+      "delay_cycles = 3\n");
+  EXPECT_DOUBLE_EQ(cfg.transport.loss_rate, 0.2);
+  EXPECT_EQ(cfg.transport.delay_cycles, 3);
+}
+
+TEST(ConfigLoader, UnknownKeyThrows) {
+  EXPECT_THROW(load("[cluster]\nnoodles = 128\n"), std::runtime_error);
+  EXPECT_THROW(load("typo = 1\n"), std::runtime_error);
+}
+
+TEST(ConfigLoader, BadNpbClassThrows) {
+  EXPECT_THROW(load("[cluster]\nnpb_class = E\n"), std::runtime_error);
+}
+
+TEST(ConfigLoader, MissingFileThrows) {
+  EXPECT_THROW(experiment_from_file("/no/such/file.ini"),
+               std::runtime_error);
+}
+
+TEST(ConfigLoader, LoadedConfigRunsEndToEnd) {
+  ExperimentConfig cfg = load(
+      "[cluster]\n"
+      "nodes = 12\n"
+      "npb_class = C\n"
+      "[manager]\n"
+      "policy = mpc\n"
+      "dynamic_candidates = true\n"
+      "[experiment]\n"
+      "training_h = 0.25\n"
+      "measured_h = 0.5\n"
+      "calibration_h = 0.25\n"
+      "[telemetry]\n"
+      "loss_rate = 0.1\n");
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_EQ(r.manager, "mpc");
+  EXPECT_GT(r.p_max, Watts{0.0});
+}
+
+}  // namespace
+}  // namespace pcap::cluster

@@ -1,0 +1,104 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pcap::common {
+namespace {
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter w(out, {"a", "b"});
+  w.cell("x").cell(std::int64_t{42});
+  w.end_row();
+  EXPECT_EQ(out.str(), "a,b\nx,42\n");
+  EXPECT_EQ(w.rows_written(), 1u);
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter w(out, {"v"});
+  w.cell("has,comma");
+  w.end_row();
+  w.cell("has\"quote");
+  w.end_row();
+  w.cell("has\nnewline");
+  w.end_row();
+  EXPECT_EQ(out.str(),
+            "v\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(CsvWriter, DoubleFormatting) {
+  std::ostringstream out;
+  CsvWriter w(out, {"v"});
+  w.cell(3.5);
+  w.end_row();
+  EXPECT_EQ(out.str(), "v\n3.5\n");
+}
+
+TEST(CsvWriter, RowWidthMismatchThrows) {
+  std::ostringstream out;
+  CsvWriter w(out, {"a", "b"});
+  w.cell("only one");
+  EXPECT_THROW(w.end_row(), std::logic_error);
+}
+
+TEST(CsvWriter, EmptyHeaderThrows) {
+  std::ostringstream out;
+  EXPECT_THROW(CsvWriter(out, {}), std::logic_error);
+}
+
+TEST(ParseCsv, Simple) {
+  const auto rows = parse_csv("a,b\n1,2\n3,4\n");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(ParseCsv, QuotedFields) {
+  const auto rows = parse_csv("\"x,y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "x,y");
+  EXPECT_EQ(rows[0][1], "he said \"hi\"");
+}
+
+TEST(ParseCsv, CarriageReturnsStripped) {
+  const auto rows = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "2");
+}
+
+TEST(ParseCsv, MissingTrailingNewline) {
+  const auto rows = parse_csv("a,b\n1,2");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "2");
+}
+
+TEST(ParseCsv, EmptyTextGivesNoRows) {
+  EXPECT_TRUE(parse_csv("").empty());
+}
+
+TEST(ParseCsv, EmptyFieldsPreserved) {
+  const auto rows = parse_csv("a,,c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[0][1], "");
+}
+
+TEST(CsvRoundTrip, WriterOutputParsesBack) {
+  std::ostringstream out;
+  CsvWriter w(out, {"name", "value"});
+  w.cell("plain").cell(1.25);
+  w.end_row();
+  w.cell("with,comma").cell(-3.0);
+  w.end_row();
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[1][0], "plain");
+  EXPECT_EQ(rows[2][0], "with,comma");
+  EXPECT_EQ(rows[2][1], "-3");
+}
+
+}  // namespace
+}  // namespace pcap::common

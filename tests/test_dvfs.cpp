@@ -1,0 +1,122 @@
+#include "hw/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcap::hw {
+namespace {
+
+using namespace pcap::literals;
+
+TEST(DvfsLadder, Xeon5670HasTenLevels) {
+  const DvfsLadder l = DvfsLadder::xeon_x5670();
+  EXPECT_EQ(l.num_levels(), 10);
+  EXPECT_EQ(l.lowest(), 0);
+  EXPECT_EQ(l.highest(), 9);
+  EXPECT_DOUBLE_EQ(l.frequency(0).gigahertz(), 1.60);
+  EXPECT_DOUBLE_EQ(l.frequency(9).gigahertz(), 2.93);
+}
+
+TEST(DvfsLadder, FrequenciesAscend) {
+  const DvfsLadder l = DvfsLadder::xeon_x5670();
+  for (Level i = 1; i < l.num_levels(); ++i) {
+    EXPECT_LT(l.frequency(i - 1), l.frequency(i));
+  }
+}
+
+TEST(DvfsLadder, VoltagesAscend) {
+  const DvfsLadder l = DvfsLadder::xeon_x5670();
+  for (Level i = 1; i < l.num_levels(); ++i) {
+    EXPECT_LE(l.voltage(i - 1), l.voltage(i));
+  }
+  EXPECT_DOUBLE_EQ(l.voltage(0), 0.85);
+  EXPECT_DOUBLE_EQ(l.voltage(9), 1.20);
+}
+
+TEST(DvfsLadder, RelativeSpeedTopIsOne) {
+  const DvfsLadder l = DvfsLadder::xeon_x5670();
+  EXPECT_DOUBLE_EQ(l.relative_speed(l.highest()), 1.0);
+  EXPECT_NEAR(l.relative_speed(0), 1.60 / 2.93, 1e-12);
+}
+
+TEST(DvfsLadder, PowerScaleTopIsOne) {
+  const DvfsLadder l = DvfsLadder::xeon_x5670();
+  EXPECT_DOUBLE_EQ(l.power_scale(l.highest()), 1.0);
+}
+
+TEST(DvfsLadder, PowerScaleFallsFasterThanSpeed) {
+  // f*V^2 scaling: lowering the clock saves proportionally more power
+  // than it costs speed — the whole premise of DVFS capping.
+  const DvfsLadder l = DvfsLadder::xeon_x5670();
+  for (Level i = 0; i < l.highest(); ++i) {
+    EXPECT_LT(l.power_scale(i), l.relative_speed(i));
+  }
+}
+
+TEST(DvfsLadder, ValidChecksRange) {
+  const DvfsLadder l = DvfsLadder::xeon_x5670();
+  EXPECT_TRUE(l.valid(0));
+  EXPECT_TRUE(l.valid(9));
+  EXPECT_FALSE(l.valid(-1));
+  EXPECT_FALSE(l.valid(10));
+}
+
+TEST(DvfsLadder, OutOfRangeAccessThrows) {
+  const DvfsLadder l = DvfsLadder::xeon_x5670();
+  EXPECT_THROW((void)l.frequency(10), std::out_of_range);
+  EXPECT_THROW((void)l.voltage(-1), std::out_of_range);
+}
+
+TEST(DvfsLadder, EmptyThrows) {
+  EXPECT_THROW(DvfsLadder({}, 0.8, 1.0), std::invalid_argument);
+}
+
+TEST(DvfsLadder, NonAscendingThrows) {
+  EXPECT_THROW(DvfsLadder({2.0_GHz, 1.0_GHz}, 0.8, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(DvfsLadder({2.0_GHz, 2.0_GHz}, 0.8, 1.0),
+               std::invalid_argument);
+}
+
+TEST(DvfsLadder, BadVoltageRangeThrows) {
+  EXPECT_THROW(DvfsLadder({1.0_GHz}, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(DvfsLadder({1.0_GHz}, 1.2, 1.0), std::invalid_argument);
+}
+
+TEST(DvfsLadder, SingleLevelLadder) {
+  const DvfsLadder l({2.93_GHz}, 1.2, 1.2);
+  EXPECT_EQ(l.num_levels(), 1);
+  EXPECT_DOUBLE_EQ(l.relative_speed(0), 1.0);
+  EXPECT_DOUBLE_EQ(l.power_scale(0), 1.0);
+}
+
+TEST(DvfsLadder, CoarseLadderIsValid) {
+  const DvfsLadder l = DvfsLadder::coarse_low_power();
+  EXPECT_EQ(l.num_levels(), 4);
+  EXPECT_GT(l.frequency(3), l.frequency(0));
+}
+
+// Property: across every level of both factory ladders, speed and power
+// scale are in (0, 1] and monotone in the level.
+class LadderMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(LadderMonotonicity, SpeedAndPowerMonotone) {
+  const DvfsLadder l = GetParam() == 0 ? DvfsLadder::xeon_x5670()
+                                       : DvfsLadder::coarse_low_power();
+  double prev_speed = 0.0;
+  double prev_power = 0.0;
+  for (Level i = 0; i < l.num_levels(); ++i) {
+    const double s = l.relative_speed(i);
+    const double p = l.power_scale(i);
+    EXPECT_GT(s, prev_speed);
+    EXPECT_GT(p, prev_power);
+    EXPECT_LE(s, 1.0);
+    EXPECT_LE(p, 1.0);
+    prev_speed = s;
+    prev_power = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ladders, LadderMonotonicity, ::testing::Values(0, 1));
+
+}  // namespace
+}  // namespace pcap::hw

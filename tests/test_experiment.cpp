@@ -1,0 +1,179 @@
+// Integration tests: full training + measurement experiments on a small
+// cluster, checking the paper's qualitative claims hold end to end.
+#include "cluster/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/scenario.hpp"
+
+namespace pcap::cluster {
+namespace {
+
+ExperimentConfig quick_config(std::uint64_t seed = 7) {
+  ExperimentConfig cfg = small_scenario(seed);
+  cfg.cluster.num_nodes = 12;
+  cfg.calibration_duration = Seconds{900.0};
+  cfg.training = Seconds{900.0};
+  cfg.measured = Seconds{2700.0};
+  return cfg;
+}
+
+TEST(Experiment, ProbePeakIsPositiveAndDeterministic) {
+  const ExperimentConfig cfg = quick_config();
+  const Watts a = probe_uncapped_peak(cfg.cluster, Seconds{600.0});
+  const Watts b = probe_uncapped_peak(cfg.cluster, Seconds{600.0});
+  EXPECT_GT(a, Watts{0.0});
+  EXPECT_DOUBLE_EQ(a.value(), b.value());
+}
+
+TEST(Experiment, UncappedRunIsPerfect) {
+  ExperimentConfig cfg = quick_config();
+  cfg.manager = "none";
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_EQ(r.manager, "none");
+  EXPECT_NEAR(r.perf.performance, 1.0, 0.01);
+  EXPECT_GT(r.perf.finished_jobs, 0u);
+  EXPECT_GT(r.p_max, Watts{0.0});
+  EXPECT_GE(r.p_max, r.mean_power);
+}
+
+TEST(Experiment, CappingReducesOverspendAndKeepsPerformance) {
+  ExperimentConfig cfg = quick_config();
+  cfg.manager = "none";
+  const ExperimentResult none = run_experiment(cfg);
+  cfg.manager = "mpc";
+  const ExperimentResult mpc = run_experiment(cfg);
+
+  // The headline claims, scaled down: overspend drops substantially,
+  // peak power does not rise, performance stays within a few percent.
+  EXPECT_LT(mpc.delta_pxt, none.delta_pxt);
+  EXPECT_LE(mpc.p_max.value(), none.p_max.value() * 1.01);
+  EXPECT_GT(mpc.perf.performance, 0.9);
+  EXPECT_GT(mpc.yellow_cycles, 0u);
+}
+
+TEST(Experiment, EveryPolicyRunsEndToEnd) {
+  for (const char* manager :
+       {"mpc", "mpc-c", "lpc", "lpc-c", "bfp", "hri", "hri-c", "uniform",
+        "sla", "feedback", "budget"}) {
+    ExperimentConfig cfg = quick_config();
+    cfg.manager = manager;
+    cfg.measured = Seconds{900.0};
+    const ExperimentResult r = run_experiment(cfg);
+    EXPECT_EQ(r.manager, manager);
+    EXPECT_GT(r.p_max, Watts{0.0}) << manager;
+    EXPECT_GT(r.perf.finished_jobs, 0u) << manager;
+  }
+}
+
+TEST(Experiment, UnknownManagerThrows) {
+  ExperimentConfig cfg = quick_config();
+  cfg.manager = "quantum";
+  EXPECT_THROW(run_experiment(cfg), std::invalid_argument);
+}
+
+TEST(Experiment, ExplicitProvisionSkipsCalibration) {
+  ExperimentConfig cfg = quick_config();
+  cfg.manager = "mpc";
+  cfg.provision = Watts{3000.0};
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_EQ(r.provision, Watts{3000.0});
+}
+
+TEST(Experiment, CandidateCountLimitsSet) {
+  ExperimentConfig cfg = quick_config();
+  cfg.manager = "mpc";
+  cfg.candidate_count = 4;
+  cfg.measured = Seconds{900.0};
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_EQ(r.candidate_count, 4u);
+}
+
+TEST(Experiment, ZeroCandidatesMeansNoCapping) {
+  ExperimentConfig cfg = quick_config();
+  cfg.manager = "mpc";
+  cfg.candidate_count = 0;
+  cfg.measured = Seconds{900.0};
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_EQ(r.candidate_count, 0u);
+  EXPECT_EQ(r.yellow_cycles, 0u);  // NoCappingManager reports green always
+  EXPECT_NEAR(r.perf.performance, 1.0, 0.01);
+}
+
+TEST(Experiment, LargerCandidateSetCapsNoWorse) {
+  ExperimentConfig cfg = quick_config(11);
+  cfg.manager = "mpc";
+  cfg.candidate_count = 2;
+  const ExperimentResult small = run_experiment(cfg);
+  cfg.candidate_count = -1;
+  const ExperimentResult all = run_experiment(cfg);
+  // More controllable nodes -> at least as much overspend suppression
+  // (allow small numerical slack: the runs differ stochastically).
+  EXPECT_LE(all.delta_pxt, small.delta_pxt + 0.002);
+}
+
+TEST(Experiment, StateCyclesSumToMeasuredTicks) {
+  ExperimentConfig cfg = quick_config();
+  cfg.manager = "mpc";
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_EQ(r.green_cycles + r.yellow_cycles + r.red_cycles,
+            static_cast<std::size_t>(cfg.measured.value()));
+}
+
+TEST(Experiment, ThresholdsAreLearnedInPaperRatios) {
+  ExperimentConfig cfg = quick_config();
+  cfg.manager = "mpc";
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_GT(r.p_low, Watts{0.0});
+  EXPECT_NEAR(r.p_low.value() / r.p_high.value(), 0.84 / 0.93, 1e-6);
+}
+
+TEST(Experiment, HeterogeneousScenarioCapsEndToEnd) {
+  ExperimentConfig cfg = heterogeneous_scenario(3);
+  cfg.training = Seconds{900.0};
+  cfg.measured = Seconds{1800.0};
+  cfg.manager = "mpc";
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_GT(r.perf.finished_jobs, 0u);
+  EXPECT_GT(r.perf.performance, 0.85);
+}
+
+TEST(Experiment, CappingSurvivesTelemetryLoss) {
+  // Failure injection: 20% of agent reports lost, the rest a cycle late.
+  // The architecture acts on the freshest delivered estimates and must
+  // still suppress the overspend relative to no capping.
+  ExperimentConfig cfg = quick_config(13);
+  cfg.manager = "none";
+  const ExperimentResult none = run_experiment(cfg);
+
+  cfg.manager = "mpc";
+  cfg.transport.loss_rate = 0.2;
+  cfg.transport.delay_cycles = 1;
+  const ExperimentResult mpc = run_experiment(cfg);
+  EXPECT_LT(mpc.delta_pxt, none.delta_pxt);
+  EXPECT_GT(mpc.perf.performance, 0.85);
+  EXPECT_GT(mpc.yellow_cycles, 0u);
+}
+
+TEST(Experiment, DynamicCandidatesWithPrivilegedJobs) {
+  ExperimentConfig cfg = quick_config(17);
+  cfg.manager = "mpc";
+  cfg.dynamic_candidates = true;
+  cfg.cluster.privileged_job_fraction = 0.25;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_GT(r.perf.finished_jobs, 0u);
+  // Candidate count reflects the last selection (may exclude privileged
+  // nodes), never more than the machine.
+  EXPECT_LE(r.candidate_count, cfg.cluster.num_nodes);
+}
+
+TEST(Experiment, ManagerUtilizationPositiveWhenMonitoring) {
+  ExperimentConfig cfg = quick_config();
+  cfg.manager = "mpc";
+  cfg.measured = Seconds{900.0};
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_GT(r.mean_manager_utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace pcap::cluster

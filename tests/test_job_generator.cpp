@@ -1,0 +1,98 @@
+#include "workload/job_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace pcap::workload {
+namespace {
+
+TEST(JobGenerator, PaperDefaultUsesFullSuite) {
+  auto gen = JobGenerator::paper_default(common::Rng(1));
+  EXPECT_EQ(gen.suite().size(), 5u);
+  EXPECT_EQ(gen.nprocs_choices().size(), 6u);
+}
+
+TEST(JobGenerator, MaxNprocsClipsChoices) {
+  auto gen = JobGenerator::paper_default(common::Rng(1), 100);
+  for (const int n : gen.nprocs_choices()) EXPECT_LE(n, 100);
+  EXPECT_EQ(gen.nprocs_choices(), (std::vector<int>{8, 16, 32, 64}));
+}
+
+TEST(JobGenerator, NoFeasibleChoicesThrows) {
+  EXPECT_THROW(JobGenerator::paper_default(common::Rng(1), 4),
+               std::invalid_argument);
+}
+
+TEST(JobGenerator, EmptySuiteThrows) {
+  EXPECT_THROW(JobGenerator({}, {8}, common::Rng(1)), std::invalid_argument);
+}
+
+TEST(JobGenerator, DrawsCoverAllAppsAndSizes) {
+  auto gen = JobGenerator::paper_default(common::Rng(3));
+  std::set<std::size_t> apps;
+  std::set<int> sizes;
+  for (int i = 0; i < 2000; ++i) {
+    const JobDraw d = gen.draw();
+    apps.insert(d.app_index);
+    sizes.insert(d.nprocs);
+  }
+  EXPECT_EQ(apps.size(), 5u);
+  EXPECT_EQ(sizes.size(), 6u);
+}
+
+TEST(JobGenerator, DrawsAreRoughlyUniform) {
+  auto gen = JobGenerator::paper_default(common::Rng(5));
+  std::map<std::size_t, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[gen.draw().app_index];
+  for (const auto& [app, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / n, 0.2, 0.01) << app;
+  }
+}
+
+TEST(JobGenerator, IdsIncrease) {
+  auto gen = JobGenerator::paper_default(common::Rng(7));
+  const Job a = gen.next(Seconds{0.0});
+  const Job b = gen.next(Seconds{1.0});
+  EXPECT_EQ(a.id() + 1, b.id());
+  EXPECT_EQ(gen.jobs_issued(), 2u);
+}
+
+TEST(JobGenerator, NextStampsSubmitTime) {
+  auto gen = JobGenerator::paper_default(common::Rng(9));
+  const Job j = gen.next(Seconds{123.0});
+  EXPECT_EQ(j.submit_time(), Seconds{123.0});
+  EXPECT_EQ(j.state(), JobState::kQueued);
+}
+
+TEST(JobGenerator, DeterministicAcrossInstances) {
+  auto a = JobGenerator::paper_default(common::Rng(11));
+  auto b = JobGenerator::paper_default(common::Rng(11));
+  for (int i = 0; i < 100; ++i) {
+    const JobDraw da = a.draw();
+    const JobDraw db = b.draw();
+    EXPECT_EQ(da.app_index, db.app_index);
+    EXPECT_EQ(da.nprocs, db.nprocs);
+  }
+}
+
+TEST(JobGenerator, MakeJobValidatesIndex) {
+  auto gen = JobGenerator::paper_default(common::Rng(13));
+  JobDraw d;
+  d.app_index = 99;
+  d.nprocs = 8;
+  EXPECT_THROW(gen.make_job(d, Seconds{0.0}), std::invalid_argument);
+}
+
+TEST(JobGenerator, JobsMatchDrawnParameters) {
+  auto gen = JobGenerator::paper_default(common::Rng(17));
+  const JobDraw d = gen.draw();
+  const Job j = gen.make_job(d, Seconds{5.0});
+  EXPECT_EQ(j.nprocs(), d.nprocs);
+  EXPECT_EQ(j.app().name, gen.suite()[d.app_index].name);
+}
+
+}  // namespace
+}  // namespace pcap::workload

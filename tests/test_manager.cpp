@@ -1,0 +1,305 @@
+#include "power/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/node_spec.hpp"
+#include "power/policy_registry.hpp"
+#include "workload/npb.hpp"
+
+namespace pcap::power {
+namespace {
+
+struct Rig {
+  std::vector<hw::Node> nodes;
+  sched::Scheduler scheduler;
+
+  explicit Rig(int n)
+      : scheduler(std::vector<int>(static_cast<std::size_t>(n), 12), {},
+                  common::Rng(3)) {
+    for (int i = 0; i < n; ++i) {
+      nodes.emplace_back(static_cast<hw::NodeId>(i),
+                         hw::tianhe1a_node_spec());
+    }
+  }
+
+  void load(double utilization) {
+    for (auto& n : nodes) {
+      hw::OperatingPoint op;
+      op.cpu_utilization = utilization;
+      op.mem_used = n.spec().mem_total * 0.4;
+      op.mem_total = n.spec().mem_total;
+      op.tau = Seconds{1.0};
+      op.nic_bandwidth = n.spec().nic_bandwidth;
+      n.set_operating_point(op);
+      n.set_busy(true);
+    }
+  }
+
+  void run_job(workload::JobId id, int nprocs) {
+    scheduler.submit(workload::Job(
+        id, workload::npb_by_name("lu", workload::NpbClass::kC), nprocs,
+        Seconds{0.0}));
+    scheduler.try_launch(Seconds{0.0});
+  }
+};
+
+CappingManagerParams fast_params() {
+  CappingManagerParams p;
+  p.thresholds.provision = Watts{2000.0};
+  p.thresholds.training_cycles = 2;
+  p.thresholds.adjust_period_cycles = 100;
+  p.capping.steady_green_cycles = 3;
+  p.collector.agent.utilization_noise = 0.0;
+  p.collector.agent.nic_noise = 0.0;
+  return p;
+}
+
+TEST(CappingManager, NameIncludesPolicy) {
+  CappingManager m(fast_params(), make_policy("mpc"), common::Rng(1));
+  EXPECT_EQ(m.name(), "capping:mpc");
+}
+
+TEST(CappingManager, NullPolicyThrows) {
+  EXPECT_THROW(CappingManager(fast_params(), nullptr, common::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(CappingManager, TrainingCyclesDoNotThrottle) {
+  Rig rig(4);
+  rig.load(0.9);
+  rig.run_job(1, 48);
+  CappingManager m(fast_params(), make_policy("mpc"), common::Rng(1));
+  m.set_candidate_set({0, 1, 2, 3});
+  // Extremely high reading; still training -> no commands.
+  const auto r1 =
+      m.cycle(Watts{1e6}, rig.nodes, rig.scheduler, Seconds{1.0});
+  EXPECT_TRUE(r1.training);
+  EXPECT_EQ(r1.targets, 0u);
+  for (const auto& n : rig.nodes) EXPECT_TRUE(n.at_highest());
+}
+
+TEST(CappingManager, YellowCycleThrottlesJobNodes) {
+  Rig rig(4);
+  rig.load(0.9);
+  rig.run_job(1, 24);  // nodes 0, 1
+  CappingManagerParams p = fast_params();
+  p.thresholds.training_cycles = 0;
+  p.thresholds.adjust_period_cycles = 1000;
+  CappingManager m(p, make_policy("mpc"), common::Rng(1));
+  m.set_candidate_set({0, 1, 2, 3});
+
+  // Thresholds from provision 2000: P_L = 1680, P_H = 1860.
+  const auto r =
+      m.cycle(Watts{1700.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  EXPECT_FALSE(r.training);
+  EXPECT_EQ(r.state, PowerState::kYellow);
+  EXPECT_EQ(r.targets, 2u);
+  EXPECT_EQ(r.transitions, 2u);
+  EXPECT_EQ(rig.nodes[0].level(), 8);
+  EXPECT_EQ(rig.nodes[1].level(), 8);
+  EXPECT_EQ(rig.nodes[2].level(), 9);  // not part of the job
+}
+
+TEST(CappingManager, RedCycleFloorsCandidates) {
+  Rig rig(4);
+  rig.load(0.9);
+  rig.run_job(1, 24);
+  CappingManagerParams p = fast_params();
+  p.thresholds.training_cycles = 0;
+  CappingManager m(p, make_policy("mpc"), common::Rng(1));
+  m.set_candidate_set({0, 1, 2});  // node 3 stays unmanaged
+
+  const auto r =
+      m.cycle(Watts{1900.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  EXPECT_EQ(r.state, PowerState::kRed);
+  EXPECT_EQ(rig.nodes[0].level(), 0);
+  EXPECT_EQ(rig.nodes[1].level(), 0);
+  EXPECT_EQ(rig.nodes[2].level(), 0);
+  EXPECT_EQ(rig.nodes[3].level(), 9);  // outside A_candidate
+}
+
+TEST(CappingManager, SteadyGreenRestores) {
+  Rig rig(2);
+  rig.load(0.9);
+  rig.run_job(1, 24);
+  CappingManagerParams p = fast_params();
+  p.thresholds.training_cycles = 0;
+  p.capping.steady_green_cycles = 2;
+  CappingManager m(p, make_policy("mpc"), common::Rng(1));
+  m.set_candidate_set({0, 1});
+
+  m.cycle(Watts{1700.0}, rig.nodes, rig.scheduler, Seconds{1.0});  // yellow
+  EXPECT_EQ(rig.nodes[0].level(), 8);
+  m.cycle(Watts{100.0}, rig.nodes, rig.scheduler, Seconds{2.0});  // green 1
+  EXPECT_EQ(rig.nodes[0].level(), 8);
+  m.cycle(Watts{100.0}, rig.nodes, rig.scheduler, Seconds{3.0});  // green 2
+  EXPECT_EQ(rig.nodes[0].level(), 9);
+  EXPECT_TRUE(m.engine().degraded().empty());
+}
+
+TEST(CappingManager, BuildContextMapsJobsToCandidates) {
+  Rig rig(4);
+  rig.load(0.8);
+  rig.run_job(1, 24);  // nodes 0,1
+  rig.run_job(2, 12);  // node 2
+  CappingManagerParams p = fast_params();
+  p.thresholds.training_cycles = 0;
+  CappingManager m(p, make_policy("mpc"), common::Rng(1));
+  m.set_candidate_set({0, 1});  // only job 1's nodes monitored
+
+  m.cycle(Watts{100.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  const PolicyContext ctx =
+      m.build_context(Watts{100.0}, rig.nodes, rig.scheduler);
+  EXPECT_EQ(ctx.nodes.size(), 2u);
+  ASSERT_EQ(ctx.jobs.size(), 1u);  // job 2 invisible: no candidate nodes
+  EXPECT_EQ(ctx.jobs[0].id, 1u);
+  EXPECT_EQ(ctx.jobs[0].nodes.size(), 2u);
+  EXPECT_GT(ctx.jobs[0].power, Watts{0.0});
+  EXPECT_GT(ctx.jobs[0].saving_one_level, Watts{0.0});
+}
+
+TEST(CappingManager, ContextRateNeedsTwoCycles) {
+  Rig rig(2);
+  rig.load(0.8);
+  rig.run_job(1, 24);
+  CappingManagerParams p = fast_params();
+  p.thresholds.training_cycles = 0;
+  CappingManager m(p, make_policy("hri"), common::Rng(1));
+  m.set_candidate_set({0, 1});
+
+  m.cycle(Watts{100.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  PolicyContext ctx = m.build_context(Watts{100.0}, rig.nodes, rig.scheduler);
+  EXPECT_DOUBLE_EQ(ctx.jobs[0].rate_of_increase(), 0.0);  // no history yet
+
+  m.cycle(Watts{100.0}, rig.nodes, rig.scheduler, Seconds{2.0});
+  ctx = m.build_context(Watts{100.0}, rig.nodes, rig.scheduler);
+  EXPECT_GT(ctx.jobs[0].power_prev, Watts{0.0});
+}
+
+TEST(CappingManager, ThresholdsLearnFromPeak) {
+  Rig rig(2);
+  rig.load(0.5);
+  CappingManagerParams p = fast_params();
+  p.thresholds.training_cycles = 2;
+  CappingManager m(p, make_policy("mpc"), common::Rng(1));
+  m.set_candidate_set({0, 1});
+
+  m.cycle(Watts{1500.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  m.cycle(Watts{1200.0}, rig.nodes, rig.scheduler, Seconds{2.0});
+  EXPECT_FALSE(m.thresholds().training());
+  EXPECT_EQ(m.thresholds().p_peak(), Watts{1500.0});
+}
+
+TEST(CappingManager, UncontrollableNodesNeverChange) {
+  Rig rig(2);
+  rig.nodes[1] = hw::Node(1, hw::uncontrollable_node_spec());
+  rig.load(0.9);
+  rig.run_job(1, 24);
+  CappingManagerParams p = fast_params();
+  p.thresholds.training_cycles = 0;
+  CappingManager m(p, make_policy("mpc"), common::Rng(1));
+  m.set_candidate_set({0, 1});
+
+  m.cycle(Watts{1900.0}, rig.nodes, rig.scheduler, Seconds{1.0});  // red
+  EXPECT_EQ(rig.nodes[0].level(), 0);
+  EXPECT_TRUE(rig.nodes[1].at_highest());  // no DVFS facility
+}
+
+TEST(NodeController, AppliesAndCounts) {
+  Rig rig(3);
+  NodeController ctl;
+  const std::vector<LevelCommand> cmds = {{0, 5}, {1, 9}, {2, 0}};
+  // Node 1 is already at 9: received but not applied.
+  EXPECT_EQ(ctl.apply(cmds, rig.nodes), 2u);
+  EXPECT_EQ(ctl.commands_received(), 3u);
+  EXPECT_EQ(ctl.transitions_applied(), 2u);
+  EXPECT_EQ(ctl.commands_ignored(), 1u);
+  EXPECT_EQ(rig.nodes[0].level(), 5);
+  EXPECT_EQ(rig.nodes[2].level(), 0);
+}
+
+TEST(NodeController, ClampsOutOfRangeLevels) {
+  Rig rig(1);
+  NodeController ctl;
+  ctl.apply({{0, 99}}, rig.nodes);
+  EXPECT_EQ(rig.nodes[0].level(), 9);
+  ctl.apply({{0, -5}}, rig.nodes);
+  EXPECT_EQ(rig.nodes[0].level(), 0);
+}
+
+TEST(NodeController, UnknownNodeThrows) {
+  Rig rig(1);
+  NodeController ctl;
+  EXPECT_THROW(ctl.apply({{7, 3}}, rig.nodes), std::out_of_range);
+}
+
+TEST(NodeController, ResetCounters) {
+  Rig rig(1);
+  NodeController ctl;
+  ctl.apply({{0, 3}}, rig.nodes);
+  ctl.reset_counters();
+  EXPECT_EQ(ctl.commands_received(), 0u);
+  EXPECT_EQ(ctl.transitions_applied(), 0u);
+}
+
+TEST(NoCappingManager, DoesNothing) {
+  Rig rig(2);
+  rig.load(0.9);
+  NoCappingManager m;
+  EXPECT_EQ(m.name(), "none");
+  const auto r =
+      m.cycle(Watts{9999.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  EXPECT_EQ(r.targets, 0u);
+  EXPECT_EQ(r.transitions, 0u);
+  for (const auto& n : rig.nodes) EXPECT_TRUE(n.at_highest());
+}
+
+TEST(CappingManager, DynamicSelectorExcludesPrivilegedJob) {
+  Rig rig(4);
+  rig.load(0.9);
+  // Privileged job on nodes 0-1, normal job on nodes 2-3.
+  rig.scheduler.submit(workload::Job(
+      1, workload::npb_by_name("ep", workload::NpbClass::kC), 24,
+      Seconds{0.0}, workload::JobPriority::kPrivileged));
+  rig.scheduler.try_launch(Seconds{0.0});
+  rig.run_job(2, 24);
+
+  CappingManagerParams p = fast_params();
+  p.thresholds.training_cycles = 0;
+  p.selector = CandidateSelectorParams{};
+  CappingManager m(p, make_policy("mpc"), common::Rng(1));
+  // No explicit set_candidate_set: the selector populates it.
+
+  // Red reading floors every candidate — but never the privileged nodes.
+  m.cycle(Watts{1900.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  EXPECT_EQ(m.candidate_set(), (std::vector<hw::NodeId>{2, 3}));
+  EXPECT_TRUE(rig.nodes[0].at_highest());
+  EXPECT_TRUE(rig.nodes[1].at_highest());
+  EXPECT_EQ(rig.nodes[2].level(), 0);
+  EXPECT_EQ(rig.nodes[3].level(), 0);
+}
+
+TEST(CappingManager, DynamicSelectorRespectsMaxCandidates) {
+  Rig rig(8);
+  rig.load(0.5);
+  CappingManagerParams p = fast_params();
+  CandidateSelectorParams sel;
+  sel.max_candidates = 3;
+  p.selector = sel;
+  CappingManager m(p, make_policy("mpc"), common::Rng(1));
+  m.cycle(Watts{500.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  EXPECT_EQ(m.candidate_set().size(), 3u);
+}
+
+TEST(CappingManager, ManagerUtilizationReported) {
+  Rig rig(8);
+  rig.load(0.5);
+  CappingManager m(fast_params(), make_policy("mpc"), common::Rng(1));
+  m.set_candidate_set({0, 1, 2, 3, 4, 5, 6, 7});
+  const auto r =
+      m.cycle(Watts{500.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  EXPECT_GT(r.manager_utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace pcap::power

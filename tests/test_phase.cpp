@@ -1,0 +1,96 @@
+#include "workload/phase.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace pcap::workload {
+namespace {
+
+TEST(FrequencyProgressRate, FullSpeedIsOne) {
+  EXPECT_DOUBLE_EQ(frequency_progress_rate(0.5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(frequency_progress_rate(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(frequency_progress_rate(0.0, 1.0), 1.0);
+}
+
+TEST(FrequencyProgressRate, ComputeBoundScalesWithClock) {
+  // s = 1: progress rate equals the clock ratio.
+  EXPECT_DOUBLE_EQ(frequency_progress_rate(1.0, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(frequency_progress_rate(1.0, 0.25), 0.25);
+}
+
+TEST(FrequencyProgressRate, MemoryBoundIgnoresClock) {
+  EXPECT_DOUBLE_EQ(frequency_progress_rate(0.0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(frequency_progress_rate(0.0, 0.1), 1.0);
+}
+
+TEST(FrequencyProgressRate, AmdahlMiddleGround) {
+  // s = 0.5, r = 0.5: rate = 1 / (0.5/0.5 + 0.5) = 2/3.
+  EXPECT_NEAR(frequency_progress_rate(0.5, 0.5), 2.0 / 3.0, 1e-12);
+}
+
+TEST(FrequencyProgressRate, NonPositiveSpeedThrows) {
+  EXPECT_THROW(frequency_progress_rate(0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(frequency_progress_rate(0.5, -1.0), std::invalid_argument);
+}
+
+// Property grid: rate is always in (0, 1] for r in (0, 1], and it is
+// monotone both in the clock ratio (faster clock, faster progress) and in
+// the sensitivity (more compute-bound, more slowdown).
+class RateProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RateProperty, BoundedAndMonotone) {
+  const auto [s, r] = GetParam();
+  const double rate = frequency_progress_rate(s, r);
+  EXPECT_GT(rate, 0.0);
+  EXPECT_LE(rate, 1.0 + 1e-12);
+  // Faster clock never slows progress.
+  EXPECT_LE(rate, frequency_progress_rate(s, std::min(1.0, r + 0.1)) + 1e-12);
+  // Higher sensitivity never speeds progress at reduced clock.
+  if (s + 0.1 <= 1.0) {
+    EXPECT_GE(rate, frequency_progress_rate(s + 0.1, r) - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RateProperty,
+    ::testing::Combine(::testing::Values(0.0, 0.3, 0.5, 0.8, 0.9),
+                       ::testing::Values(0.2, 0.55, 0.8, 1.0)));
+
+TEST(ValidatePhase, AcceptsReasonablePhase) {
+  Phase p;
+  p.cpu_utilization = 0.8;
+  p.frequency_sensitivity = 0.5;
+  p.mem_fraction = 0.3;
+  p.comm_bytes_per_proc_per_s = 1e6;
+  p.seconds_per_iteration = 10.0;
+  EXPECT_NO_THROW(validate_phase(p));
+}
+
+TEST(ValidatePhase, RejectsOutOfRange) {
+  Phase p;
+  p.seconds_per_iteration = 10.0;
+
+  p.cpu_utilization = 1.5;
+  EXPECT_THROW(validate_phase(p), std::invalid_argument);
+  p.cpu_utilization = 0.5;
+
+  p.frequency_sensitivity = -0.1;
+  EXPECT_THROW(validate_phase(p), std::invalid_argument);
+  p.frequency_sensitivity = 0.5;
+
+  p.mem_fraction = 2.0;
+  EXPECT_THROW(validate_phase(p), std::invalid_argument);
+  p.mem_fraction = 0.2;
+
+  p.comm_bytes_per_proc_per_s = -1.0;
+  EXPECT_THROW(validate_phase(p), std::invalid_argument);
+  p.comm_bytes_per_proc_per_s = 0.0;
+
+  p.seconds_per_iteration = 0.0;
+  EXPECT_THROW(validate_phase(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcap::workload

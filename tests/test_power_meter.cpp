@@ -1,0 +1,92 @@
+#include "hw/power_meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/node_spec.hpp"
+
+namespace pcap::hw {
+namespace {
+
+std::vector<Node> make_nodes(std::size_t n) {
+  std::vector<Node> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.emplace_back(static_cast<NodeId>(i), tianhe1a_node_spec());
+  }
+  return nodes;
+}
+
+TEST(PowerMeter, ExactSumsTruePower) {
+  const auto nodes = make_nodes(4);
+  Watts expected{0.0};
+  for (const Node& n : nodes) expected += n.true_power();
+  EXPECT_DOUBLE_EQ(SystemPowerMeter::exact(nodes, 1.0).value(),
+                   expected.value());
+}
+
+TEST(PowerMeter, PsuEfficiencyScalesWallPower) {
+  const auto nodes = make_nodes(2);
+  const Watts it = SystemPowerMeter::exact(nodes, 1.0);
+  const Watts wall = SystemPowerMeter::exact(nodes, 0.92);
+  EXPECT_NEAR(wall.value(), it.value() / 0.92, 1e-9);
+  EXPECT_GT(wall, it);
+}
+
+TEST(PowerMeter, NoiselessMeasureEqualsExact) {
+  auto nodes = make_nodes(3);
+  PowerMeterParams p;
+  p.noise_sigma = 0.0;
+  SystemPowerMeter meter(p, common::Rng(1));
+  EXPECT_DOUBLE_EQ(meter.measure(nodes).value(),
+                   SystemPowerMeter::exact(nodes, p.psu_efficiency).value());
+}
+
+TEST(PowerMeter, NoiseIsSmallAndUnbiased) {
+  auto nodes = make_nodes(4);
+  PowerMeterParams p;
+  p.noise_sigma = 0.002;
+  SystemPowerMeter meter(p, common::Rng(7));
+  const double truth = SystemPowerMeter::exact(nodes, p.psu_efficiency).value();
+  double sum = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double m = meter.measure(nodes).value();
+    EXPECT_NEAR(m, truth, truth * 0.02);  // 10 sigma
+    sum += m;
+  }
+  EXPECT_NEAR(sum / n, truth, truth * 0.001);
+}
+
+TEST(PowerMeter, BadEfficiencyThrows) {
+  PowerMeterParams p;
+  p.psu_efficiency = 0.0;
+  EXPECT_THROW(SystemPowerMeter(p, common::Rng(1)), std::invalid_argument);
+  p.psu_efficiency = 1.5;
+  EXPECT_THROW(SystemPowerMeter(p, common::Rng(1)), std::invalid_argument);
+}
+
+TEST(PowerMeter, NegativeNoiseThrows) {
+  PowerMeterParams p;
+  p.noise_sigma = -0.1;
+  EXPECT_THROW(SystemPowerMeter(p, common::Rng(1)), std::invalid_argument);
+}
+
+TEST(PowerMeter, EmptyClusterReadsZero) {
+  const std::vector<Node> none;
+  EXPECT_DOUBLE_EQ(SystemPowerMeter::exact(none, 0.92).value(), 0.0);
+}
+
+TEST(PowerMeter, ThrottledClusterReadsLower) {
+  auto nodes = make_nodes(4);
+  OperatingPoint op;
+  op.cpu_utilization = 0.9;
+  op.mem_total = nodes[0].spec().mem_total;
+  op.nic_bandwidth = nodes[0].spec().nic_bandwidth;
+  for (auto& n : nodes) n.set_operating_point(op);
+  const Watts before = SystemPowerMeter::exact(nodes, 0.92);
+  for (auto& n : nodes) n.set_level(0);
+  const Watts after = SystemPowerMeter::exact(nodes, 0.92);
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace pcap::hw

@@ -1,0 +1,121 @@
+#include "metrics/power_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcap::metrics {
+namespace {
+
+PowerTrace trace(std::vector<double> watts, double dt = 1.0) {
+  PowerTrace t;
+  t.dt = Seconds{dt};
+  t.watts = std::move(watts);
+  return t;
+}
+
+TEST(PowerTrace, DurationAndAdd) {
+  PowerTrace t;
+  t.dt = Seconds{2.0};
+  t.add(Watts{100.0});
+  t.add(Watts{200.0});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.duration(), Seconds{4.0});
+}
+
+TEST(PeakPower, FindsMax) {
+  EXPECT_DOUBLE_EQ(peak_power(trace({100.0, 300.0, 200.0})).value(), 300.0);
+}
+
+TEST(PeakPower, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(peak_power(trace({})).value(), 0.0);
+}
+
+TEST(MeanPower, Averages) {
+  EXPECT_DOUBLE_EQ(mean_power(trace({100.0, 200.0, 300.0})).value(), 200.0);
+}
+
+TEST(TotalEnergy, IntegratesOverDt) {
+  EXPECT_DOUBLE_EQ(total_energy(trace({100.0, 200.0}, 2.0)).value(), 600.0);
+}
+
+TEST(OverspentEnergy, OnlyAboveThreshold) {
+  // Above 150: (50 + 0 + 150) * dt.
+  EXPECT_DOUBLE_EQ(
+      overspent_energy(trace({200.0, 100.0, 300.0}), Watts{150.0}).value(),
+      200.0);
+}
+
+TEST(OverspentEnergy, ZeroWhenNeverAbove) {
+  EXPECT_DOUBLE_EQ(
+      overspent_energy(trace({100.0, 120.0}), Watts{150.0}).value(), 0.0);
+}
+
+TEST(TimeAbove, CountsSamples) {
+  EXPECT_DOUBLE_EQ(
+      time_above(trace({200.0, 100.0, 151.0}, 2.0), Watts{150.0}).value(),
+      4.0);
+}
+
+TEST(AccumulatedOverspend, MatchesPaperFormula) {
+  // P = {200, 100, 300}, th = 150. Overspend = 200, total = 600.
+  EXPECT_NEAR(accumulated_overspend(trace({200.0, 100.0, 300.0}),
+                                    Watts{150.0}),
+              200.0 / 600.0, 1e-12);
+}
+
+TEST(AccumulatedOverspend, ZeroForSafeTrace) {
+  EXPECT_DOUBLE_EQ(
+      accumulated_overspend(trace({100.0, 100.0}), Watts{150.0}), 0.0);
+}
+
+TEST(AccumulatedOverspend, EmptyTraceIsZero) {
+  EXPECT_DOUBLE_EQ(accumulated_overspend(trace({}), Watts{150.0}), 0.0);
+}
+
+TEST(AccumulatedOverspend, IndependentOfDt) {
+  // The ratio of two integrals over the same trace cancels dt.
+  const double a =
+      accumulated_overspend(trace({200.0, 100.0, 300.0}, 1.0), Watts{150.0});
+  const double b =
+      accumulated_overspend(trace({200.0, 100.0, 300.0}, 5.0), Watts{150.0});
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(AccumulatedOverspend, CappingReducesIt) {
+  // A capped version of the same trace (clipped at 250) must score lower.
+  const auto uncapped = trace({200.0, 100.0, 300.0, 280.0});
+  auto capped = uncapped;
+  for (double& w : capped.watts) w = std::min(w, 250.0);
+  EXPECT_LT(accumulated_overspend(capped, Watts{150.0}),
+            accumulated_overspend(uncapped, Watts{150.0}));
+}
+
+TEST(FractionAbove, CountsInclusive) {
+  EXPECT_DOUBLE_EQ(fraction_above(trace({100.0, 150.0, 200.0}), Watts{150.0}),
+                   2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(fraction_above(trace({}), Watts{1.0}), 0.0);
+}
+
+TEST(EnergyDelayProduct, Powers) {
+  EXPECT_DOUBLE_EQ(energy_delay_product(Joules{100.0}, Seconds{2.0}, 1),
+                   200.0);
+  EXPECT_DOUBLE_EQ(energy_delay_product(Joules{100.0}, Seconds{2.0}, 2),
+                   400.0);
+  EXPECT_DOUBLE_EQ(energy_delay_product(Joules{100.0}, Seconds{2.0}, 0),
+                   100.0);
+  EXPECT_THROW(energy_delay_product(Joules{1.0}, Seconds{1.0}, -1),
+               std::invalid_argument);
+}
+
+TEST(WorkPerWatt, Green500Style) {
+  // 1000 work units in 10 s at mean 50 W -> 100 units/s / 50 W = 2.
+  EXPECT_DOUBLE_EQ(work_per_watt(1000.0, Joules{500.0}, Seconds{10.0}), 2.0);
+  EXPECT_DOUBLE_EQ(work_per_watt(1.0, Joules{0.0}, Seconds{10.0}), 0.0);
+}
+
+TEST(Pue, FacilityOverIt) {
+  EXPECT_DOUBLE_EQ(pue(Watts{170.0}, Watts{100.0}), 1.7);
+  EXPECT_THROW(pue(Watts{100.0}, Watts{0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcap::metrics

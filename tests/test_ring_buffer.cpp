@@ -1,0 +1,101 @@
+#include "common/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/rng.hpp"
+
+namespace pcap::common {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+}
+
+TEST(RingBuffer, PushAndIndex) {
+  RingBuffer<int> rb(4);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb[0], 1);
+  EXPECT_EQ(rb[1], 2);
+  EXPECT_EQ(rb[2], 3);
+  EXPECT_EQ(rb.front(), 1);
+  EXPECT_EQ(rb.back(), 3);
+}
+
+TEST(RingBuffer, OverwritesOldest) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.push(i);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb[0], 3);
+  EXPECT_EQ(rb[1], 4);
+  EXPECT_EQ(rb[2], 5);
+}
+
+TEST(RingBuffer, CapacityOne) {
+  RingBuffer<int> rb(1);
+  rb.push(1);
+  rb.push(2);
+  EXPECT_EQ(rb.size(), 1u);
+  EXPECT_EQ(rb.back(), 2);
+  EXPECT_EQ(rb.front(), 2);
+}
+
+TEST(RingBuffer, Clear) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(9);
+  EXPECT_EQ(rb.front(), 9);
+}
+
+TEST(RingBuffer, MutableIndexing) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb[0] = 42;
+  EXPECT_EQ(rb.front(), 42);
+}
+
+TEST(RingBuffer, MoveOnlyTypes) {
+  RingBuffer<std::unique_ptr<int>> rb(2);
+  rb.push(std::make_unique<int>(5));
+  rb.push(std::make_unique<int>(6));
+  rb.push(std::make_unique<int>(7));
+  EXPECT_EQ(*rb[0], 6);
+  EXPECT_EQ(*rb[1], 7);
+}
+
+// Property: behaves exactly like a size-capped deque under random pushes.
+class RingBufferModel : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingBufferModel, MatchesDequeReference) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t cap = 1 + rng.index(16);
+  RingBuffer<int> rb(cap);
+  std::deque<int> ref;
+  for (int step = 0; step < 500; ++step) {
+    const int v = static_cast<int>(rng.uniform_int(-1000, 1000));
+    rb.push(v);
+    ref.push_back(v);
+    if (ref.size() > cap) ref.pop_front();
+    ASSERT_EQ(rb.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(rb[i], ref[i]) << "step " << step << " index " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingBufferModel, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace pcap::common

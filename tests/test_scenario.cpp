@@ -1,0 +1,55 @@
+#include "cluster/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcap::cluster {
+namespace {
+
+TEST(PaperScenario, MatchesTestbedDescription) {
+  const ExperimentConfig cfg = paper_scenario();
+  // §V.A: 128 Tianhe-1A nodes with 10-level DVFS; §V.C: T_g = 10, 12 h
+  // measured runs; §III.A margins 7 %/16 %.
+  EXPECT_EQ(cfg.cluster.num_nodes, 128u);
+  EXPECT_EQ(cfg.cluster.spec->ladder.num_levels(), 10);
+  EXPECT_EQ(cfg.cluster.spec->total_cores(), 12);
+  EXPECT_EQ(cfg.capping.steady_green_cycles, 10);
+  EXPECT_DOUBLE_EQ(cfg.measured.value(), 12 * 3600.0);
+  EXPECT_DOUBLE_EQ(cfg.red_margin, 0.07);
+  EXPECT_DOUBLE_EQ(cfg.yellow_margin, 0.16);
+  EXPECT_EQ(cfg.cluster.npb_class, workload::NpbClass::kD);
+  EXPECT_EQ(cfg.manager, "mpc");
+}
+
+TEST(PaperScenario, SeedPropagates) {
+  EXPECT_EQ(paper_scenario(99).cluster.seed, 99u);
+  EXPECT_NE(paper_scenario(1).cluster.seed, paper_scenario(2).cluster.seed);
+}
+
+TEST(SmallScenario, IsFastVariant) {
+  const ExperimentConfig cfg = small_scenario();
+  EXPECT_LT(cfg.cluster.num_nodes, paper_scenario().cluster.num_nodes);
+  EXPECT_EQ(cfg.cluster.npb_class, workload::NpbClass::kC);
+  EXPECT_LT(cfg.measured.value(), paper_scenario().measured.value());
+}
+
+TEST(HeterogeneousScenario, MixesNodeTypes) {
+  const ExperimentConfig cfg = heterogeneous_scenario();
+  ASSERT_FALSE(cfg.cluster.node_specs.empty());
+  bool has_tianhe = false;
+  bool has_low_power = false;
+  for (const auto& spec : cfg.cluster.node_specs) {
+    if (spec->name == "tianhe1a") has_tianhe = true;
+    if (spec->name == "low_power") has_low_power = true;
+  }
+  EXPECT_TRUE(has_tianhe);
+  EXPECT_TRUE(has_low_power);
+}
+
+TEST(Scenarios, AllBuildClustersWithoutThrowing) {
+  EXPECT_NO_THROW(Cluster{paper_scenario().cluster});
+  EXPECT_NO_THROW(Cluster{small_scenario().cluster});
+  EXPECT_NO_THROW(Cluster{heterogeneous_scenario().cluster});
+}
+
+}  // namespace
+}  // namespace pcap::cluster

@@ -1,0 +1,200 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace pcap::common {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats target;
+  target.merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 1.5);
+}
+
+TEST(RunningStats, Reset) {
+  RunningStats s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(TimeWeightedMean, UniformWeights) {
+  TimeWeightedMean m;
+  m.add(2.0, 1.0);
+  m.add(4.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+}
+
+TEST(TimeWeightedMean, WeightsMatter) {
+  TimeWeightedMean m;
+  m.add(10.0, 3.0);
+  m.add(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(m.total_time(), 4.0);
+  EXPECT_DOUBLE_EQ(m.integral(), 30.0);
+}
+
+TEST(TimeWeightedMean, EmptyIsZero) {
+  TimeWeightedMean m;
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, CountsLandInRightBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(3.0);
+  h.add(3.5);
+  h.add(9.9);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(1), 2u);
+  EXPECT_EQ(h.bin(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsAndCounts) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-5.0);
+  h.add(15.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(4), 1u);
+}
+
+TEST(Histogram, QuantileMedian) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, QuantileEmptyReturnsLo) {
+  Histogram h(5.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+}
+
+TEST(Histogram, Reset) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.5);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.bin(1), 0u);
+}
+
+TEST(PercentileSampler, ExactValues) {
+  PercentileSampler p;
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(p.percentile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0.25), 2.0);
+}
+
+TEST(PercentileSampler, Interpolates) {
+  PercentileSampler p;
+  p.add(0.0);
+  p.add(10.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0.5), 5.0);
+}
+
+TEST(PercentileSampler, EmptyReturnsZero) {
+  PercentileSampler p;
+  EXPECT_DOUBLE_EQ(p.percentile(0.5), 0.0);
+}
+
+// Property sweep: RunningStats matches a naive two-pass computation for
+// random data of varying sizes.
+class RunningStatsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RunningStatsProperty, MatchesTwoPass) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 10 + GetParam() * 37;
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform(-100.0, 100.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= n;
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= (n - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunningStatsProperty,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace pcap::common

@@ -1,0 +1,75 @@
+#include "common/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcap::common {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t x \n"), "x");
+  EXPECT_EQ(trim("nospace"), "nospace");
+}
+
+TEST(Trim, AllWhitespaceBecomesEmpty) {
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Split, BasicFields) {
+  const auto v = split("a,b,c", ',');
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[2], "c");
+}
+
+TEST(Split, EmptyFieldsPreserved) {
+  const auto v = split("a,,c,", ',');
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[1], "");
+  EXPECT_EQ(v[3], "");
+}
+
+TEST(Split, NoDelimiterGivesSingleField) {
+  const auto v = split("abc", ',');
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], "abc");
+}
+
+TEST(Split, EmptyStringGivesOneEmptyField) {
+  const auto v = split("", ',');
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], "");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("hello world", "hello"));
+  EXPECT_FALSE(starts_with("hello", "hello world"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(ToLower, Ascii) {
+  EXPECT_EQ(to_lower("MPC-C"), "mpc-c");
+  EXPECT_EQ(to_lower("already"), "already");
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strprintf, FormatsLikePrintf) {
+  EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strprintf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+TEST(Strprintf, LongOutput) {
+  const std::string s = strprintf("%0512d", 7);
+  EXPECT_EQ(s.size(), 512u);
+  EXPECT_EQ(s.back(), '7');
+}
+
+}  // namespace
+}  // namespace pcap::common

@@ -1,0 +1,96 @@
+#include "hw/thermal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pcap::hw {
+namespace {
+
+ThermalParams params() {
+  ThermalParams p;
+  p.thermal_resistance = 0.1;
+  p.time_constant = Seconds{100.0};
+  p.ambient = Celsius{20.0};
+  p.leakage_reference = Celsius{50.0};
+  p.leakage_coefficient = 0.002;
+  return p;
+}
+
+TEST(Thermal, EquilibriumIsAmbientPlusRTimesP) {
+  const ThermalModel m(params());
+  EXPECT_DOUBLE_EQ(m.equilibrium(Watts{300.0}).value(), 20.0 + 30.0);
+  EXPECT_DOUBLE_EQ(m.equilibrium(Watts{0.0}).value(), 20.0);
+}
+
+TEST(Thermal, StepApproachesEquilibrium) {
+  const ThermalModel m(params());
+  Celsius t{20.0};
+  for (int i = 0; i < 1000; ++i) t = m.step(t, Watts{300.0}, Seconds{1.0});
+  EXPECT_NEAR(t.value(), 50.0, 0.1);
+}
+
+TEST(Thermal, StepMonotoneTowardsTarget) {
+  const ThermalModel m(params());
+  const Celsius t1 = m.step(Celsius{20.0}, Watts{300.0}, Seconds{1.0});
+  const Celsius t2 = m.step(t1, Watts{300.0}, Seconds{1.0});
+  EXPECT_GT(t1, Celsius{20.0});
+  EXPECT_GT(t2, t1);
+  EXPECT_LT(t2, Celsius{50.0});
+}
+
+TEST(Thermal, CoolsWhenPowerDrops) {
+  const ThermalModel m(params());
+  const Celsius hot{45.0};
+  const Celsius cooled = m.step(hot, Watts{0.0}, Seconds{10.0});
+  EXPECT_LT(cooled, hot);
+  EXPECT_GT(cooled, Celsius{20.0});
+}
+
+TEST(Thermal, LargeStepIsStable) {
+  // Exact exponential integration cannot overshoot, even for dt >> tau.
+  const ThermalModel m(params());
+  const Celsius t = m.step(Celsius{20.0}, Watts{300.0}, Seconds{1e6});
+  EXPECT_NEAR(t.value(), 50.0, 1e-6);
+}
+
+TEST(Thermal, StepExactExponential) {
+  const ThermalModel m(params());
+  // One step of dt = tau: gap shrinks by e^-1.
+  const Celsius t = m.step(Celsius{20.0}, Watts{300.0}, Seconds{100.0});
+  EXPECT_NEAR(t.value(), 50.0 - 30.0 * std::exp(-1.0), 1e-9);
+}
+
+TEST(Thermal, LeakageBelowReferenceIsOne) {
+  const ThermalModel m(params());
+  EXPECT_DOUBLE_EQ(m.leakage_factor(Celsius{30.0}), 1.0);
+  EXPECT_DOUBLE_EQ(m.leakage_factor(Celsius{50.0}), 1.0);
+}
+
+TEST(Thermal, LeakageGrowsAboveReference) {
+  const ThermalModel m(params());
+  EXPECT_DOUBLE_EQ(m.leakage_factor(Celsius{60.0}), 1.0 + 0.002 * 10.0);
+  EXPECT_GT(m.leakage_factor(Celsius{80.0}), m.leakage_factor(Celsius{60.0}));
+}
+
+TEST(Thermal, ZeroCoefficientDisablesLeakage) {
+  ThermalParams p = params();
+  p.leakage_coefficient = 0.0;
+  const ThermalModel m(p);
+  EXPECT_DOUBLE_EQ(m.leakage_factor(Celsius{90.0}), 1.0);
+}
+
+TEST(Thermal, BadParamsThrow) {
+  ThermalParams p = params();
+  p.time_constant = Seconds{0.0};
+  EXPECT_THROW(ThermalModel{p}, std::invalid_argument);
+  p = params();
+  p.thermal_resistance = -1.0;
+  EXPECT_THROW(ThermalModel{p}, std::invalid_argument);
+  p = params();
+  p.leakage_coefficient = -0.1;
+  EXPECT_THROW(ThermalModel{p}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcap::hw

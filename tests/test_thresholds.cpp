@@ -1,0 +1,157 @@
+#include "power/thresholds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace pcap::power {
+namespace {
+
+ThresholdParams params(std::int64_t training = 10, std::int64_t adjust = 5) {
+  ThresholdParams p;
+  p.provision = Watts{1000.0};
+  p.training_cycles = training;
+  p.adjust_period_cycles = adjust;
+  return p;
+}
+
+TEST(Thresholds, InitialPeakIsProvision) {
+  const ThresholdLearner l(params());
+  EXPECT_EQ(l.p_peak(), Watts{1000.0});
+  EXPECT_TRUE(l.training());
+}
+
+TEST(Thresholds, PaperFactors) {
+  // P_H = 93% of P_peak, P_L = 84% of P_peak (§III.A).
+  const ThresholdLearner l(params());
+  EXPECT_NEAR(l.p_high().value(), 930.0, 1e-9);
+  EXPECT_NEAR(l.p_low().value(), 840.0, 1e-9);
+  EXPECT_LE(l.p_low(), l.p_high());
+}
+
+TEST(Thresholds, TrainingEndsAfterConfiguredCycles) {
+  ThresholdLearner l(params(3));
+  l.observe(Watts{500.0});
+  EXPECT_TRUE(l.training());
+  l.observe(Watts{500.0});
+  EXPECT_TRUE(l.training());
+  l.observe(Watts{500.0});
+  EXPECT_FALSE(l.training());
+  EXPECT_EQ(l.cycles_observed(), 3);
+}
+
+TEST(Thresholds, TrainingPeakBecomesPPeak) {
+  ThresholdLearner l(params(3));
+  l.observe(Watts{700.0});
+  l.observe(Watts{900.0});  // training max
+  l.observe(Watts{800.0});
+  EXPECT_FALSE(l.training());
+  EXPECT_EQ(l.p_peak(), Watts{900.0});
+  EXPECT_NEAR(l.p_low().value(), 0.84 * 900.0, 1e-9);
+  EXPECT_NEAR(l.p_high().value(), 0.93 * 900.0, 1e-9);
+  EXPECT_EQ(l.adjustments(), 1);
+}
+
+TEST(Thresholds, TrainingCanLowerPeakBelowProvision) {
+  // The paper replaces the provision-initialised P_peak with the observed
+  // training maximum, which can be lower.
+  ThresholdLearner l(params(2));
+  l.observe(Watts{400.0});
+  l.observe(Watts{450.0});
+  EXPECT_EQ(l.p_peak(), Watts{450.0});
+}
+
+TEST(Thresholds, PeriodicAdjustmentAfterTraining) {
+  ThresholdLearner l(params(1, 3));
+  l.observe(Watts{500.0});  // training ends, peak = 500
+  EXPECT_EQ(l.p_peak(), Watts{500.0});
+  l.observe(Watts{600.0});
+  l.observe(Watts{650.0});
+  EXPECT_EQ(l.p_peak(), Watts{500.0});  // not yet adjusted
+  l.observe(Watts{550.0});              // t_p cycles reached
+  EXPECT_EQ(l.p_peak(), Watts{650.0});  // running max adopted
+}
+
+TEST(Thresholds, RunningPeakTracksGlobalMax) {
+  ThresholdLearner l(params(2));
+  l.observe(Watts{300.0});
+  l.observe(Watts{800.0});
+  l.observe(Watts{100.0});
+  EXPECT_EQ(l.running_peak(), Watts{800.0});
+}
+
+TEST(Thresholds, ZeroTrainingStartsLive) {
+  ThresholdLearner l(params(0, 2));
+  EXPECT_FALSE(l.training());
+  l.observe(Watts{100.0});
+  l.observe(Watts{200.0});
+  EXPECT_EQ(l.p_peak(), Watts{200.0});
+}
+
+TEST(Thresholds, ManualPeakOverridesAndFreezes) {
+  ThresholdLearner l(params(1, 1));
+  l.set_manual_peak(Watts{2000.0});
+  EXPECT_EQ(l.p_peak(), Watts{2000.0});
+  for (int i = 0; i < 10; ++i) l.observe(Watts{3000.0});
+  EXPECT_EQ(l.p_peak(), Watts{2000.0});  // frozen
+}
+
+TEST(Thresholds, ManualPeakWithoutFreezeKeepsLearning) {
+  ThresholdLearner l(params(1, 1));
+  l.set_manual_peak(Watts{2000.0}, /*freeze=*/false);
+  l.observe(Watts{3000.0});  // ends training, adopts running peak
+  l.observe(Watts{3000.0});
+  EXPECT_EQ(l.p_peak(), Watts{3000.0});
+}
+
+TEST(Thresholds, CustomMargins) {
+  ThresholdParams p = params();
+  p.red_margin = 0.05;
+  p.yellow_margin = 0.20;
+  const ThresholdLearner l(p);
+  EXPECT_NEAR(l.p_high().value(), 950.0, 1e-9);
+  EXPECT_NEAR(l.p_low().value(), 800.0, 1e-9);
+}
+
+TEST(Thresholds, BadParamsThrow) {
+  ThresholdParams p = params();
+  p.provision = Watts{0.0};
+  EXPECT_THROW(ThresholdLearner{p}, std::invalid_argument);
+
+  p = params();
+  p.red_margin = 0.2;
+  p.yellow_margin = 0.1;  // yellow < red
+  EXPECT_THROW(ThresholdLearner{p}, std::invalid_argument);
+
+  p = params();
+  p.yellow_margin = 1.0;
+  EXPECT_THROW(ThresholdLearner{p}, std::invalid_argument);
+
+  p = params();
+  p.adjust_period_cycles = 0;
+  EXPECT_THROW(ThresholdLearner{p}, std::invalid_argument);
+
+  EXPECT_THROW(ThresholdLearner(params()).set_manual_peak(Watts{0.0}),
+               std::invalid_argument);
+}
+
+// Property: whatever the observation sequence, P_L <= P_H always holds and
+// both track 84%/93% of the current P_peak.
+class ThresholdInvariant : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThresholdInvariant, FactorsHoldUnderRandomLoad) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  ThresholdLearner l(params(20, 7));
+  for (int i = 0; i < 500; ++i) {
+    l.observe(Watts{rng.uniform(100.0, 2000.0)});
+    ASSERT_LE(l.p_low(), l.p_high());
+    ASSERT_NEAR(l.p_low().value(), 0.84 * l.p_peak().value(), 1e-9);
+    ASSERT_NEAR(l.p_high().value(), 0.93 * l.p_peak().value(), 1e-9);
+    ASSERT_GE(l.running_peak(), l.p_peak() * 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThresholdInvariant, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace pcap::power

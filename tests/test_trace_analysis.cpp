@@ -1,0 +1,121 @@
+#include "metrics/trace_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcap::metrics {
+namespace {
+
+PowerTrace trace(std::vector<double> watts, double dt = 1.0) {
+  PowerTrace t;
+  t.dt = Seconds{dt};
+  t.watts = std::move(watts);
+  return t;
+}
+
+TEST(Excursions, NoneWhenAlwaysBelow) {
+  EXPECT_TRUE(find_excursions(trace({1.0, 2.0, 3.0}), Watts{5.0}).empty());
+}
+
+TEST(Excursions, SingleSpike) {
+  const auto ex = find_excursions(trace({1.0, 6.0, 7.0, 2.0}), Watts{5.0});
+  ASSERT_EQ(ex.size(), 1u);
+  EXPECT_EQ(ex[0].start, 1u);
+  EXPECT_EQ(ex[0].length, 2u);
+  EXPECT_DOUBLE_EQ(ex[0].peak_w, 7.0);
+  EXPECT_DOUBLE_EQ(ex[0].area_js, 1.0 + 2.0);
+}
+
+TEST(Excursions, MultipleSpikes) {
+  const auto ex =
+      find_excursions(trace({6.0, 1.0, 6.0, 6.0, 1.0, 8.0}), Watts{5.0});
+  ASSERT_EQ(ex.size(), 3u);
+  EXPECT_EQ(ex[0].start, 0u);
+  EXPECT_EQ(ex[1].length, 2u);
+  EXPECT_EQ(ex[2].start, 5u);
+}
+
+TEST(Excursions, OpenEndedSpikeCloses) {
+  const auto ex = find_excursions(trace({1.0, 9.0, 9.0}), Watts{5.0});
+  ASSERT_EQ(ex.size(), 1u);
+  EXPECT_EQ(ex[0].length, 2u);
+}
+
+TEST(Excursions, ExactlyAtThresholdNotAbove) {
+  EXPECT_TRUE(find_excursions(trace({5.0, 5.0}), Watts{5.0}).empty());
+}
+
+TEST(Excursions, DurationUsesDt) {
+  const auto ex = find_excursions(trace({6.0, 6.0}, 4.0), Watts{5.0});
+  ASSERT_EQ(ex.size(), 1u);
+  EXPECT_DOUBLE_EQ(ex[0].duration_s(Seconds{4.0}), 8.0);
+}
+
+TEST(ExcursionStats, Aggregates) {
+  const ExcursionStats s = summarize_excursions(
+      trace({6.0, 1.0, 7.0, 7.0, 1.0}), Watts{5.0});
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.total_time_s, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean_duration_s, 1.5);
+  EXPECT_DOUBLE_EQ(s.max_duration_s, 2.0);
+  EXPECT_DOUBLE_EQ(s.max_peak_w, 7.0);
+  EXPECT_DOUBLE_EQ(s.mean_peak_w, 6.5);
+  EXPECT_DOUBLE_EQ(s.total_overspend_j, 1.0 + 4.0);
+}
+
+TEST(ExcursionStats, EmptyTrace) {
+  const ExcursionStats s = summarize_excursions(trace({}), Watts{5.0});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.total_time_s, 0.0);
+}
+
+std::vector<CyclePoint> states(std::vector<int> seq) {
+  std::vector<CyclePoint> out;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    CyclePoint p;
+    p.time_s = static_cast<double>(i);
+    p.state = seq[i];
+    out.push_back(p);
+  }
+  return out;
+}
+
+TEST(Episodes, SegmentsByState) {
+  const auto eps = find_episodes(states({0, 0, 1, 1, 1, 0, 2}));
+  ASSERT_EQ(eps.size(), 4u);
+  EXPECT_EQ(eps[0].state, 0);
+  EXPECT_EQ(eps[0].length, 2u);
+  EXPECT_EQ(eps[1].state, 1);
+  EXPECT_EQ(eps[1].length, 3u);
+  EXPECT_EQ(eps[3].state, 2);
+}
+
+TEST(Episodes, EmptyInput) {
+  EXPECT_TRUE(find_episodes({}).empty());
+}
+
+TEST(EpisodeStats, PerState) {
+  const auto pts = states({1, 0, 1, 1, 0, 1, 1, 1});
+  const EpisodeStats y = summarize_episodes(pts, 1);
+  EXPECT_EQ(y.count, 3u);
+  EXPECT_DOUBLE_EQ(y.mean_length, 2.0);
+  EXPECT_EQ(y.max_length, 3u);
+  const EpisodeStats g = summarize_episodes(pts, 0);
+  EXPECT_EQ(g.count, 2u);
+  const EpisodeStats r = summarize_episodes(pts, 2);
+  EXPECT_EQ(r.count, 0u);
+}
+
+TEST(Oscillations, CountsQuickYellowReentries) {
+  // yellow at 0, green 1-2, yellow 3 (gap 2), green 4-9, yellow 10 (gap 6)
+  const auto pts = states({1, 0, 0, 1, 0, 0, 0, 0, 0, 0, 1});
+  EXPECT_EQ(count_rethrottle_oscillations(pts, 3), 1u);
+  EXPECT_EQ(count_rethrottle_oscillations(pts, 10), 2u);
+  EXPECT_EQ(count_rethrottle_oscillations(pts, 1), 0u);
+}
+
+TEST(Oscillations, NoYellowNoOscillation) {
+  EXPECT_EQ(count_rethrottle_oscillations(states({0, 0, 0}), 5), 0u);
+}
+
+}  // namespace
+}  // namespace pcap::metrics

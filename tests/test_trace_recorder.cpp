@@ -1,0 +1,90 @@
+#include "metrics/trace_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/csv.hpp"
+
+namespace pcap::metrics {
+namespace {
+
+CyclePoint point(double t, double p, int state = 0) {
+  CyclePoint c;
+  c.time_s = t;
+  c.power_w = p;
+  c.p_low_w = 840.0;
+  c.p_high_w = 930.0;
+  c.state = state;
+  c.running_jobs = 3;
+  c.targets = state == 1 ? 2 : 0;
+  c.transitions = state == 1 ? 2 : 0;
+  c.manager_utilization = 0.01;
+  return c;
+}
+
+TEST(TraceRecorder, RecordsPoints) {
+  TraceRecorder r(Seconds{1.0});
+  r.record(point(1.0, 500.0));
+  r.record(point(2.0, 600.0));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.points()[1].power_w, 600.0);
+}
+
+TEST(TraceRecorder, PowerTraceView) {
+  TraceRecorder r(Seconds{2.0});
+  r.record(point(2.0, 500.0));
+  r.record(point(4.0, 700.0));
+  const PowerTrace t = r.power_trace();
+  EXPECT_EQ(t.dt, Seconds{2.0});
+  EXPECT_EQ(t.watts, (std::vector<double>{500.0, 700.0}));
+  EXPECT_DOUBLE_EQ(mean_power(t).value(), 600.0);
+}
+
+TEST(TraceRecorder, StateCounts) {
+  TraceRecorder r(Seconds{1.0});
+  r.record(point(1.0, 1.0, 0));
+  r.record(point(2.0, 1.0, 1));
+  r.record(point(3.0, 1.0, 1));
+  r.record(point(4.0, 1.0, 2));
+  EXPECT_EQ(r.state_count(0), 1u);
+  EXPECT_EQ(r.state_count(1), 2u);
+  EXPECT_EQ(r.state_count(2), 1u);
+  EXPECT_EQ(r.state_count(3), 0u);
+}
+
+TEST(TraceRecorder, CsvHasHeaderAndRows) {
+  TraceRecorder r(Seconds{1.0});
+  r.record(point(1.0, 500.0, 1));
+  const auto rows = common::parse_csv(r.to_csv());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "time_s");
+  EXPECT_EQ(rows[1][1], "500");
+  EXPECT_EQ(rows[1][4], "1");
+}
+
+TEST(TraceRecorder, SaveWritesFile) {
+  TraceRecorder r(Seconds{1.0});
+  r.record(point(1.0, 500.0));
+  const std::string path = ::testing::TempDir() + "/recorder_test.csv";
+  r.save(path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecorder, BadDtThrows) {
+  EXPECT_THROW(TraceRecorder(Seconds{0.0}), std::invalid_argument);
+  EXPECT_THROW(TraceRecorder(Seconds{-1.0}), std::invalid_argument);
+}
+
+TEST(TraceRecorder, EmptyTraceSafeMetrics) {
+  TraceRecorder r(Seconds{1.0});
+  const PowerTrace t = r.power_trace();
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(peak_power(t).value(), 0.0);
+}
+
+}  // namespace
+}  // namespace pcap::metrics

@@ -1,0 +1,88 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace pcap::workload {
+namespace {
+
+WorkloadTrace sample_trace() {
+  WorkloadTrace t;
+  t.add({0.0, "EP", 64});
+  t.add({10.5, "CG", 8});
+  t.add({100.0, "LU", 256});
+  return t;
+}
+
+TEST(WorkloadTrace, AddAndQuery) {
+  const WorkloadTrace t = sample_trace();
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_FALSE(t.empty());
+  EXPECT_EQ(t.entries()[1].app_name, "CG");
+  EXPECT_DOUBLE_EQ(t.entries()[1].submit_time_s, 10.5);
+}
+
+TEST(WorkloadTrace, RejectsTimeRegression) {
+  WorkloadTrace t;
+  t.add({10.0, "EP", 8});
+  EXPECT_THROW(t.add({5.0, "CG", 8}), std::invalid_argument);
+}
+
+TEST(WorkloadTrace, RejectsBadProcs) {
+  WorkloadTrace t;
+  EXPECT_THROW(t.add({0.0, "EP", 0}), std::invalid_argument);
+}
+
+TEST(WorkloadTrace, CsvRoundTrip) {
+  const WorkloadTrace t = sample_trace();
+  const WorkloadTrace t2 = WorkloadTrace::from_csv(t.to_csv());
+  ASSERT_EQ(t2.size(), 3u);
+  EXPECT_EQ(t2.entries()[0].app_name, "EP");
+  EXPECT_EQ(t2.entries()[2].nprocs, 256);
+  EXPECT_DOUBLE_EQ(t2.entries()[1].submit_time_s, 10.5);
+}
+
+TEST(WorkloadTrace, FromCsvEmptyText) {
+  const WorkloadTrace t = WorkloadTrace::from_csv("");
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(WorkloadTrace, FromCsvMalformedRowThrows) {
+  EXPECT_THROW(WorkloadTrace::from_csv("submit_s,app,nprocs\n1.0,EP\n"),
+               std::runtime_error);
+}
+
+TEST(WorkloadTrace, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/trace_test.csv";
+  sample_trace().save(path);
+  const WorkloadTrace loaded = WorkloadTrace::load(path);
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.entries()[2].app_name, "LU");
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadTrace, LoadMissingFileThrows) {
+  EXPECT_THROW(WorkloadTrace::load("/does/not/exist.csv"),
+               std::runtime_error);
+}
+
+TEST(WorkloadTrace, MaterializeBuildsJobs) {
+  const auto jobs = sample_trace().materialize(NpbClass::kC);
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].id(), 0u);
+  EXPECT_EQ(jobs[1].id(), 1u);
+  EXPECT_EQ(jobs[0].app().name, "EP");
+  EXPECT_EQ(jobs[2].nprocs(), 256);
+  EXPECT_EQ(jobs[1].submit_time(), Seconds{10.5});
+  for (const auto& j : jobs) EXPECT_EQ(j.state(), JobState::kQueued);
+}
+
+TEST(WorkloadTrace, MaterializeUnknownAppThrows) {
+  WorkloadTrace t;
+  t.add({0.0, "UA", 8});
+  EXPECT_THROW(t.materialize(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcap::workload
