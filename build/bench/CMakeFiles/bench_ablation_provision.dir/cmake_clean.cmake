@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_provision.dir/bench_ablation_provision.cpp.o"
+  "CMakeFiles/bench_ablation_provision.dir/bench_ablation_provision.cpp.o.d"
+  "bench_ablation_provision"
+  "bench_ablation_provision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_provision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tg.dir/bench_ablation_tg.cpp.o"
+  "CMakeFiles/bench_ablation_tg.dir/bench_ablation_tg.cpp.o.d"
+  "bench_ablation_tg"
+  "bench_ablation_tg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_policies_extended.dir/bench_policies_extended.cpp.o"
+  "CMakeFiles/bench_policies_extended.dir/bench_policies_extended.cpp.o.d"
+  "bench_policies_extended"
+  "bench_policies_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policies_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_policies_extended.
+# This may be replaced when dependencies are built.

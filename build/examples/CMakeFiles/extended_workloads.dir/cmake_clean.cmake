@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_workloads.dir/extended_workloads.cpp.o"
+  "CMakeFiles/extended_workloads.dir/extended_workloads.cpp.o.d"
+  "extended_workloads"
+  "extended_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcapsim.dir/pcapsim.cpp.o"
+  "CMakeFiles/pcapsim.dir/pcapsim.cpp.o.d"
+  "pcapsim"
+  "pcapsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcapsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

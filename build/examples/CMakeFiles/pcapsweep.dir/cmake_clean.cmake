@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcapsweep.dir/pcapsweep.cpp.o"
+  "CMakeFiles/pcapsweep.dir/pcapsweep.cpp.o.d"
+  "pcapsweep"
+  "pcapsweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcapsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

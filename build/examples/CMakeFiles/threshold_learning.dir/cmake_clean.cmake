@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_learning.dir/threshold_learning.cpp.o"
+  "CMakeFiles/threshold_learning.dir/threshold_learning.cpp.o.d"
+  "threshold_learning"
+  "threshold_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_baselines.dir/budget_manager.cpp.o"
+  "CMakeFiles/pcap_baselines.dir/budget_manager.cpp.o.d"
+  "CMakeFiles/pcap_baselines.dir/feedback_manager.cpp.o"
+  "CMakeFiles/pcap_baselines.dir/feedback_manager.cpp.o.d"
+  "CMakeFiles/pcap_baselines.dir/sla_policy.cpp.o"
+  "CMakeFiles/pcap_baselines.dir/sla_policy.cpp.o.d"
+  "CMakeFiles/pcap_baselines.dir/uniform_policy.cpp.o"
+  "CMakeFiles/pcap_baselines.dir/uniform_policy.cpp.o.d"
+  "libpcap_baselines.a"
+  "libpcap_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/pcap_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/pcap_cluster.dir/config_loader.cpp.o"
+  "CMakeFiles/pcap_cluster.dir/config_loader.cpp.o.d"
+  "CMakeFiles/pcap_cluster.dir/experiment.cpp.o"
+  "CMakeFiles/pcap_cluster.dir/experiment.cpp.o.d"
+  "CMakeFiles/pcap_cluster.dir/scenario.cpp.o"
+  "CMakeFiles/pcap_cluster.dir/scenario.cpp.o.d"
+  "libpcap_cluster.a"
+  "libpcap_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

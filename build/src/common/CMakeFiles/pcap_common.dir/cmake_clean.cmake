@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_common.dir/config.cpp.o"
+  "CMakeFiles/pcap_common.dir/config.cpp.o.d"
+  "CMakeFiles/pcap_common.dir/csv.cpp.o"
+  "CMakeFiles/pcap_common.dir/csv.cpp.o.d"
+  "CMakeFiles/pcap_common.dir/logging.cpp.o"
+  "CMakeFiles/pcap_common.dir/logging.cpp.o.d"
+  "CMakeFiles/pcap_common.dir/rng.cpp.o"
+  "CMakeFiles/pcap_common.dir/rng.cpp.o.d"
+  "CMakeFiles/pcap_common.dir/stats.cpp.o"
+  "CMakeFiles/pcap_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pcap_common.dir/string_util.cpp.o"
+  "CMakeFiles/pcap_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/pcap_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/pcap_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/pcap_common.dir/units.cpp.o"
+  "CMakeFiles/pcap_common.dir/units.cpp.o.d"
+  "libpcap_common.a"
+  "libpcap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/dvfs.cpp" "src/hw/CMakeFiles/pcap_hw.dir/dvfs.cpp.o" "gcc" "src/hw/CMakeFiles/pcap_hw.dir/dvfs.cpp.o.d"
+  "/root/repo/src/hw/node.cpp" "src/hw/CMakeFiles/pcap_hw.dir/node.cpp.o" "gcc" "src/hw/CMakeFiles/pcap_hw.dir/node.cpp.o.d"
+  "/root/repo/src/hw/node_spec.cpp" "src/hw/CMakeFiles/pcap_hw.dir/node_spec.cpp.o" "gcc" "src/hw/CMakeFiles/pcap_hw.dir/node_spec.cpp.o.d"
+  "/root/repo/src/hw/power_meter.cpp" "src/hw/CMakeFiles/pcap_hw.dir/power_meter.cpp.o" "gcc" "src/hw/CMakeFiles/pcap_hw.dir/power_meter.cpp.o.d"
+  "/root/repo/src/hw/power_model.cpp" "src/hw/CMakeFiles/pcap_hw.dir/power_model.cpp.o" "gcc" "src/hw/CMakeFiles/pcap_hw.dir/power_model.cpp.o.d"
+  "/root/repo/src/hw/thermal.cpp" "src/hw/CMakeFiles/pcap_hw.dir/thermal.cpp.o" "gcc" "src/hw/CMakeFiles/pcap_hw.dir/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pcap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_hw.dir/dvfs.cpp.o"
+  "CMakeFiles/pcap_hw.dir/dvfs.cpp.o.d"
+  "CMakeFiles/pcap_hw.dir/node.cpp.o"
+  "CMakeFiles/pcap_hw.dir/node.cpp.o.d"
+  "CMakeFiles/pcap_hw.dir/node_spec.cpp.o"
+  "CMakeFiles/pcap_hw.dir/node_spec.cpp.o.d"
+  "CMakeFiles/pcap_hw.dir/power_meter.cpp.o"
+  "CMakeFiles/pcap_hw.dir/power_meter.cpp.o.d"
+  "CMakeFiles/pcap_hw.dir/power_model.cpp.o"
+  "CMakeFiles/pcap_hw.dir/power_model.cpp.o.d"
+  "CMakeFiles/pcap_hw.dir/thermal.cpp.o"
+  "CMakeFiles/pcap_hw.dir/thermal.cpp.o.d"
+  "libpcap_hw.a"
+  "libpcap_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_interconnect.dir/interconnect.cpp.o"
+  "CMakeFiles/pcap_interconnect.dir/interconnect.cpp.o.d"
+  "libpcap_interconnect.a"
+  "libpcap_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/performance.cpp" "src/metrics/CMakeFiles/pcap_metrics.dir/performance.cpp.o" "gcc" "src/metrics/CMakeFiles/pcap_metrics.dir/performance.cpp.o.d"
+  "/root/repo/src/metrics/power_metrics.cpp" "src/metrics/CMakeFiles/pcap_metrics.dir/power_metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/pcap_metrics.dir/power_metrics.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/metrics/CMakeFiles/pcap_metrics.dir/report.cpp.o" "gcc" "src/metrics/CMakeFiles/pcap_metrics.dir/report.cpp.o.d"
+  "/root/repo/src/metrics/trace_analysis.cpp" "src/metrics/CMakeFiles/pcap_metrics.dir/trace_analysis.cpp.o" "gcc" "src/metrics/CMakeFiles/pcap_metrics.dir/trace_analysis.cpp.o.d"
+  "/root/repo/src/metrics/trace_recorder.cpp" "src/metrics/CMakeFiles/pcap_metrics.dir/trace_recorder.cpp.o" "gcc" "src/metrics/CMakeFiles/pcap_metrics.dir/trace_recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/pcap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pcap_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_metrics.dir/performance.cpp.o"
+  "CMakeFiles/pcap_metrics.dir/performance.cpp.o.d"
+  "CMakeFiles/pcap_metrics.dir/power_metrics.cpp.o"
+  "CMakeFiles/pcap_metrics.dir/power_metrics.cpp.o.d"
+  "CMakeFiles/pcap_metrics.dir/report.cpp.o"
+  "CMakeFiles/pcap_metrics.dir/report.cpp.o.d"
+  "CMakeFiles/pcap_metrics.dir/trace_analysis.cpp.o"
+  "CMakeFiles/pcap_metrics.dir/trace_analysis.cpp.o.d"
+  "CMakeFiles/pcap_metrics.dir/trace_recorder.cpp.o"
+  "CMakeFiles/pcap_metrics.dir/trace_recorder.cpp.o.d"
+  "libpcap_metrics.a"
+  "libpcap_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

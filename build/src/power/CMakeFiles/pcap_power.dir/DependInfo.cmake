@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/candidate_selector.cpp" "src/power/CMakeFiles/pcap_power.dir/candidate_selector.cpp.o" "gcc" "src/power/CMakeFiles/pcap_power.dir/candidate_selector.cpp.o.d"
+  "/root/repo/src/power/capping.cpp" "src/power/CMakeFiles/pcap_power.dir/capping.cpp.o" "gcc" "src/power/CMakeFiles/pcap_power.dir/capping.cpp.o.d"
+  "/root/repo/src/power/manager.cpp" "src/power/CMakeFiles/pcap_power.dir/manager.cpp.o" "gcc" "src/power/CMakeFiles/pcap_power.dir/manager.cpp.o.d"
+  "/root/repo/src/power/node_controller.cpp" "src/power/CMakeFiles/pcap_power.dir/node_controller.cpp.o" "gcc" "src/power/CMakeFiles/pcap_power.dir/node_controller.cpp.o.d"
+  "/root/repo/src/power/policies_change_based.cpp" "src/power/CMakeFiles/pcap_power.dir/policies_change_based.cpp.o" "gcc" "src/power/CMakeFiles/pcap_power.dir/policies_change_based.cpp.o.d"
+  "/root/repo/src/power/policies_state_based.cpp" "src/power/CMakeFiles/pcap_power.dir/policies_state_based.cpp.o" "gcc" "src/power/CMakeFiles/pcap_power.dir/policies_state_based.cpp.o.d"
+  "/root/repo/src/power/policies_thermal.cpp" "src/power/CMakeFiles/pcap_power.dir/policies_thermal.cpp.o" "gcc" "src/power/CMakeFiles/pcap_power.dir/policies_thermal.cpp.o.d"
+  "/root/repo/src/power/policy.cpp" "src/power/CMakeFiles/pcap_power.dir/policy.cpp.o" "gcc" "src/power/CMakeFiles/pcap_power.dir/policy.cpp.o.d"
+  "/root/repo/src/power/policy_registry.cpp" "src/power/CMakeFiles/pcap_power.dir/policy_registry.cpp.o" "gcc" "src/power/CMakeFiles/pcap_power.dir/policy_registry.cpp.o.d"
+  "/root/repo/src/power/state.cpp" "src/power/CMakeFiles/pcap_power.dir/state.cpp.o" "gcc" "src/power/CMakeFiles/pcap_power.dir/state.cpp.o.d"
+  "/root/repo/src/power/thresholds.cpp" "src/power/CMakeFiles/pcap_power.dir/thresholds.cpp.o" "gcc" "src/power/CMakeFiles/pcap_power.dir/thresholds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/telemetry/CMakeFiles/pcap_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/pcap_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pcap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pcap_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_power.dir/candidate_selector.cpp.o"
+  "CMakeFiles/pcap_power.dir/candidate_selector.cpp.o.d"
+  "CMakeFiles/pcap_power.dir/capping.cpp.o"
+  "CMakeFiles/pcap_power.dir/capping.cpp.o.d"
+  "CMakeFiles/pcap_power.dir/manager.cpp.o"
+  "CMakeFiles/pcap_power.dir/manager.cpp.o.d"
+  "CMakeFiles/pcap_power.dir/node_controller.cpp.o"
+  "CMakeFiles/pcap_power.dir/node_controller.cpp.o.d"
+  "CMakeFiles/pcap_power.dir/policies_change_based.cpp.o"
+  "CMakeFiles/pcap_power.dir/policies_change_based.cpp.o.d"
+  "CMakeFiles/pcap_power.dir/policies_state_based.cpp.o"
+  "CMakeFiles/pcap_power.dir/policies_state_based.cpp.o.d"
+  "CMakeFiles/pcap_power.dir/policies_thermal.cpp.o"
+  "CMakeFiles/pcap_power.dir/policies_thermal.cpp.o.d"
+  "CMakeFiles/pcap_power.dir/policy.cpp.o"
+  "CMakeFiles/pcap_power.dir/policy.cpp.o.d"
+  "CMakeFiles/pcap_power.dir/policy_registry.cpp.o"
+  "CMakeFiles/pcap_power.dir/policy_registry.cpp.o.d"
+  "CMakeFiles/pcap_power.dir/state.cpp.o"
+  "CMakeFiles/pcap_power.dir/state.cpp.o.d"
+  "CMakeFiles/pcap_power.dir/thresholds.cpp.o"
+  "CMakeFiles/pcap_power.dir/thresholds.cpp.o.d"
+  "libpcap_power.a"
+  "libpcap_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_sched.dir/allocation.cpp.o"
+  "CMakeFiles/pcap_sched.dir/allocation.cpp.o.d"
+  "CMakeFiles/pcap_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/pcap_sched.dir/scheduler.cpp.o.d"
+  "libpcap_sched.a"
+  "libpcap_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

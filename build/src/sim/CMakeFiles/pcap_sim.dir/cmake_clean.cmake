@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/pcap_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/pcap_sim.dir/simulation.cpp.o"
+  "CMakeFiles/pcap_sim.dir/simulation.cpp.o.d"
+  "libpcap_sim.a"
+  "libpcap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/agent.cpp" "src/telemetry/CMakeFiles/pcap_telemetry.dir/agent.cpp.o" "gcc" "src/telemetry/CMakeFiles/pcap_telemetry.dir/agent.cpp.o.d"
+  "/root/repo/src/telemetry/collector.cpp" "src/telemetry/CMakeFiles/pcap_telemetry.dir/collector.cpp.o" "gcc" "src/telemetry/CMakeFiles/pcap_telemetry.dir/collector.cpp.o.d"
+  "/root/repo/src/telemetry/management_cost.cpp" "src/telemetry/CMakeFiles/pcap_telemetry.dir/management_cost.cpp.o" "gcc" "src/telemetry/CMakeFiles/pcap_telemetry.dir/management_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/pcap_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

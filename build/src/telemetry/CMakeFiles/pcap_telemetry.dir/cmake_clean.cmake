@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_telemetry.dir/agent.cpp.o"
+  "CMakeFiles/pcap_telemetry.dir/agent.cpp.o.d"
+  "CMakeFiles/pcap_telemetry.dir/collector.cpp.o"
+  "CMakeFiles/pcap_telemetry.dir/collector.cpp.o.d"
+  "CMakeFiles/pcap_telemetry.dir/management_cost.cpp.o"
+  "CMakeFiles/pcap_telemetry.dir/management_cost.cpp.o.d"
+  "libpcap_telemetry.a"
+  "libpcap_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_model.cpp" "src/workload/CMakeFiles/pcap_workload.dir/app_model.cpp.o" "gcc" "src/workload/CMakeFiles/pcap_workload.dir/app_model.cpp.o.d"
+  "/root/repo/src/workload/job.cpp" "src/workload/CMakeFiles/pcap_workload.dir/job.cpp.o" "gcc" "src/workload/CMakeFiles/pcap_workload.dir/job.cpp.o.d"
+  "/root/repo/src/workload/job_generator.cpp" "src/workload/CMakeFiles/pcap_workload.dir/job_generator.cpp.o" "gcc" "src/workload/CMakeFiles/pcap_workload.dir/job_generator.cpp.o.d"
+  "/root/repo/src/workload/npb.cpp" "src/workload/CMakeFiles/pcap_workload.dir/npb.cpp.o" "gcc" "src/workload/CMakeFiles/pcap_workload.dir/npb.cpp.o.d"
+  "/root/repo/src/workload/phase.cpp" "src/workload/CMakeFiles/pcap_workload.dir/phase.cpp.o" "gcc" "src/workload/CMakeFiles/pcap_workload.dir/phase.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/pcap_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/pcap_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/pcap_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_workload.dir/app_model.cpp.o"
+  "CMakeFiles/pcap_workload.dir/app_model.cpp.o.d"
+  "CMakeFiles/pcap_workload.dir/job.cpp.o"
+  "CMakeFiles/pcap_workload.dir/job.cpp.o.d"
+  "CMakeFiles/pcap_workload.dir/job_generator.cpp.o"
+  "CMakeFiles/pcap_workload.dir/job_generator.cpp.o.d"
+  "CMakeFiles/pcap_workload.dir/npb.cpp.o"
+  "CMakeFiles/pcap_workload.dir/npb.cpp.o.d"
+  "CMakeFiles/pcap_workload.dir/phase.cpp.o"
+  "CMakeFiles/pcap_workload.dir/phase.cpp.o.d"
+  "CMakeFiles/pcap_workload.dir/trace.cpp.o"
+  "CMakeFiles/pcap_workload.dir/trace.cpp.o.d"
+  "libpcap_workload.a"
+  "libpcap_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_loader.dir/test_config_loader.cpp.o"
+  "CMakeFiles/test_config_loader.dir/test_config_loader.cpp.o.d"
+  "test_config_loader"
+  "test_config_loader.pdb"
+  "test_config_loader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

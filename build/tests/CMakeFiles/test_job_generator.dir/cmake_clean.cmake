@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_job_generator.dir/test_job_generator.cpp.o"
+  "CMakeFiles/test_job_generator.dir/test_job_generator.cpp.o.d"
+  "test_job_generator"
+  "test_job_generator.pdb"
+  "test_job_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_job_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

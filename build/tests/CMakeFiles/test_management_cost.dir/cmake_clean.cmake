@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_management_cost.dir/test_management_cost.cpp.o"
+  "CMakeFiles/test_management_cost.dir/test_management_cost.cpp.o.d"
+  "test_management_cost"
+  "test_management_cost.pdb"
+  "test_management_cost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_management_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

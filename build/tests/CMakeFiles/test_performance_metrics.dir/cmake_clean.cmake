@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_performance_metrics.dir/test_performance_metrics.cpp.o"
+  "CMakeFiles/test_performance_metrics.dir/test_performance_metrics.cpp.o.d"
+  "test_performance_metrics"
+  "test_performance_metrics.pdb"
+  "test_performance_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_performance_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

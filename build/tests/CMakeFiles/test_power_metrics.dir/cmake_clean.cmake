@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_metrics.dir/test_power_metrics.cpp.o"
+  "CMakeFiles/test_power_metrics.dir/test_power_metrics.cpp.o.d"
+  "test_power_metrics"
+  "test_power_metrics.pdb"
+  "test_power_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_state.dir/test_power_state.cpp.o"
+  "CMakeFiles/test_power_state.dir/test_power_state.cpp.o.d"
+  "test_power_state"
+  "test_power_state.pdb"
+  "test_power_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

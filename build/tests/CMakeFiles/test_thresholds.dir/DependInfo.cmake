@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_thresholds.cpp" "tests/CMakeFiles/test_thresholds.dir/test_thresholds.cpp.o" "gcc" "tests/CMakeFiles/test_thresholds.dir/test_thresholds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/pcap_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pcap_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pcap_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/pcap_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/pcap_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/pcap_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pcap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pcap_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/pcap_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
