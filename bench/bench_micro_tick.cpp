@@ -1,0 +1,107 @@
+// Ticks/second of the full Cluster::tick hot path — workload refresh,
+// thermal advance, metering, and the capping control cycle (no training
+// delay, so Algorithm 1 runs from the first control period).
+//
+// Usage: bench_micro_tick [node_count...]
+//   default node counts: 128 1024 8192 32768
+//
+// Each population is measured twice: serial (worker_threads = 1) and
+// parallel (worker_threads = hardware concurrency; populations below the
+// parallel threshold still run serial by design). Results land in
+// BENCH_tick.json at the repo root when they change materially.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "hw/node_spec.hpp"
+#include "power/manager.hpp"
+#include "power/policy_registry.hpp"
+
+using namespace pcap;
+
+namespace {
+
+struct Case {
+  std::size_t nodes;
+  int warm;     // warm-up ticks (thresholds frozen, queue primed)
+  int measure;  // measured ticks
+};
+
+double run_case(const Case& c, std::size_t worker_threads) {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = c.nodes;
+  cfg.spec = hw::tianhe1a_node_spec();
+  cfg.tick = Seconds{1.0};
+  cfg.control_period = Seconds{4.0};
+  cfg.seed = 1234;
+  cfg.scheduler.max_procs_per_node = 3;
+  cfg.worker_threads = worker_threads;
+  cluster::Cluster cl(cfg);
+
+  power::CappingManagerParams p;
+  p.thresholds.provision = cl.theoretical_peak() * 0.9;
+  p.thresholds.training_cycles = 0;
+  p.thresholds.freeze_at_provision = true;
+  p.cycle_period = cfg.control_period;
+  auto mgr = std::make_unique<power::CappingManager>(
+      p, power::make_policy("mpc"), common::Rng(cfg.seed ^ 0x9d2c5680u));
+  mgr->set_candidate_set(cl.controllable_nodes());
+  cl.set_manager(std::move(mgr));
+
+  cl.run(Seconds{static_cast<double>(c.warm)});
+  const auto t0 = std::chrono::steady_clock::now();
+  cl.run(Seconds{static_cast<double>(c.measure)});
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return c.measure / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Case> cases = {
+      {128, 60, 20000}, {1024, 40, 4000}, {8192, 20, 600}, {32768, 8, 150}};
+  if (argc > 1) {
+    std::vector<Case> chosen;
+    for (int i = 1; i < argc; ++i) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(argv[i], &end, 10);
+      if (end == argv[i] || *end != '\0' || parsed == 0 ||
+          parsed > 10'000'000ULL || argv[i][0] == '-') {
+        std::fprintf(stderr,
+                     "bench_micro_tick: bad node count '%s' "
+                     "(expected a positive integer <= 10000000)\n",
+                     argv[i]);
+        return 2;
+      }
+      const auto want = static_cast<std::size_t>(parsed);
+      bool found = false;
+      for (const Case& c : cases) {
+        if (c.nodes == want) {
+          chosen.push_back(c);
+          found = true;
+        }
+      }
+      if (!found) {
+        // Unlisted size: scale the tick budget to roughly constant work.
+        const int measure =
+            std::max(50, static_cast<int>(4'000'000 / std::max<std::size_t>(
+                                                          want, 1)));
+        chosen.push_back(Case{want, 10, measure});
+      }
+    }
+    cases = std::move(chosen);
+  }
+
+  std::printf("%8s  %14s  %14s\n", "nodes", "serial t/s", "parallel t/s");
+  for (const Case& c : cases) {
+    const double serial = run_case(c, 1);
+    const double parallel = run_case(c, 0);
+    std::printf("%8zu  %14.2f  %14.2f\n", c.nodes, serial, parallel);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "cluster/cluster.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
@@ -16,7 +17,6 @@ using workload::JobState;
 Cluster::Cluster(ClusterConfig config)
     : config_(std::move(config)),
       rng_(config_.seed),
-      noise_rng_(rng_.fork("util-noise")),
       meter_(config_.meter, rng_.fork("meter")),
       manager_(std::make_unique<power::NoCappingManager>()) {
   if (config_.tick <= Seconds{0.0}) {
@@ -25,6 +25,7 @@ Cluster::Cluster(ClusterConfig config)
   if (config_.control_period < config_.tick) {
     throw std::invalid_argument("Cluster: control period shorter than tick");
   }
+  if (config_.parallel_grain == 0) config_.parallel_grain = 1;
   control_every_ = static_cast<std::uint64_t>(
       std::llround(config_.control_period.value() / config_.tick.value()));
   if (control_every_ == 0) control_every_ = 1;
@@ -38,7 +39,9 @@ Cluster::Cluster(ClusterConfig config)
   }
   if (specs.empty()) throw std::invalid_argument("Cluster: no nodes");
   common::Rng variation_rng = rng_.fork("variation");
+  common::Rng noise_root = rng_.fork("util-noise");
   nodes_.reserve(specs.size());
+  noise_rngs_.reserve(specs.size());
   std::vector<int> cores;
   cores.reserve(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -47,13 +50,24 @@ Cluster::Cluster(ClusterConfig config)
     util_noise_.emplace_back(0.0, config_.utilization_noise_sigma,
                              config_.utilization_noise_tau_s, 0.0);
     smoothed_util_.push_back(config_.idle_utilization);
+    noise_rngs_.push_back(noise_root.stream(i));
   }
+
+  // Sweep pool: only populations worth fanning out ever spawn workers.
+  if (config_.worker_threads != 1 &&
+      nodes_.size() >= config_.parallel_node_threshold) {
+    pool_ = std::make_unique<common::ThreadPool>(config_.worker_threads);
+  }
+  manager_->set_thread_pool(pool_.get());
 
   sched_ = std::make_unique<sched::Scheduler>(cores, config_.scheduler,
                                               rng_.fork("alloc"));
   fabric_ = std::make_unique<interconnect::Interconnect>(config_.interconnect,
                                                          nodes_.size());
   delivered_.assign(nodes_.size(), 1.0);
+  targets_.resize(nodes_.size());
+  offered_.assign(nodes_.size(), 0.0);
+  node_power_.assign(nodes_.size(), 0.0);
   if (config_.auto_generate_jobs) {
     if (config_.app_suite.empty()) {
       generator_ = workload::JobGenerator::paper_default(
@@ -74,6 +88,7 @@ Cluster::Cluster(ClusterConfig config)
 void Cluster::set_manager(std::unique_ptr<power::PowerManagerBase> manager) {
   if (!manager) throw std::invalid_argument("Cluster: null manager");
   manager_ = std::move(manager);
+  manager_->set_thread_pool(pool_.get());
 }
 
 void Cluster::submit(Job job) {
@@ -135,11 +150,8 @@ void Cluster::ensure_queue_nonempty() {
   if (!generator_) return;
   // "An evaluation job is added to the job queue whenever the queue is
   // empty" (§V.C).
-  while (sched_->queue_length() == 0) {
+  if (sched_->queue_length() == 0) {
     submit(generator_->next(sim_.now()));
-    // One submission suffices; loop guards against a future generator
-    // that could hand out zero-node jobs.
-    break;
   }
 }
 
@@ -152,16 +164,42 @@ void Cluster::tick() {
 
   refresh_workload(dt);
 
+  // One true-power evaluation per node per tick fills the ledger; the
+  // energy attribution, the facility meter and the thermal step all read
+  // it. The meter thereby reports the power that heated the machine over
+  // the tick that just elapsed (temperatures entering the tick), which
+  // keeps the three consumers mutually consistent.
+  sweep(nodes_.size(), [&](std::size_t i) {
+    node_power_[i] = nodes_[i].true_power().value();
+  });
+
   // Attribute each busy node's energy to the job it runs (per-job E, ExD).
-  for (const hw::Node& node : nodes_) {
-    if (const auto owner = sched_->job_on_node(node.id())) {
-      job_energy_j_[*owner] += node.true_power().value() * dt.value();
+  // Partial sums go to per-job slots so the sweep shares no state; the
+  // merge into the ledger stays serial, in running order. jobs_scratch_
+  // was compacted to the surviving jobs when refresh_workload retired the
+  // finished ones, so it aligns with running_jobs() here.
+  const std::vector<JobId>& running = sched_->running_jobs();
+  job_energy_scratch_.assign(running.size(), 0.0);
+  sweep(running.size(), [&](std::size_t j) {
+    const Job* job = jobs_scratch_[j];
+    double joules = 0.0;
+    for (const hw::NodeId nid : job->nodes()) {
+      joules += node_power_[nid] * dt.value();
     }
+    job_energy_scratch_[j] = joules;
+  });
+  for (std::size_t j = 0; j < running.size(); ++j) {
+    job_energy_j_[running[j]] += job_energy_scratch_[j];
   }
 
-  for (hw::Node& node : nodes_) node.advance_thermal(dt);
+  // Advance thermals off the ledger power. The meter folds the ledger
+  // serially in node order, so the worker count cannot perturb the
+  // reading.
+  sweep(nodes_.size(), [&](std::size_t i) { nodes_[i].advance_thermal(dt); });
+  double it_power = 0.0;
+  for (const double p : node_power_) it_power += p;
+  last_power_ = meter_.measure_sum(Watts{it_power});
 
-  last_power_ = meter_.measure(nodes_);
   ++ticks_;
   const bool control_tick = ticks_ % control_every_ == 0;
   if (control_tick) {
@@ -186,55 +224,66 @@ void Cluster::tick() {
 void Cluster::refresh_workload(Seconds dt) {
   const Seconds now = sim_.now();
 
-  // Per-node device-usage targets for this tick; idle unless a job
-  // overwrites them below.
-  struct UsageTarget {
-    double cpu = 0.0;
-    double mem_fraction = 0.02;
-    double nic_bytes = 0.0;
-    bool busy = false;
-  };
-  std::vector<UsageTarget> targets(nodes_.size());
-  for (auto& t : targets) t.cpu = config_.idle_utilization;
+  // Reset every node's usage target (and offered traffic) to idle.
+  sweep(nodes_.size(), [&](std::size_t i) {
+    UsageTarget t;
+    t.cpu = config_.idle_utilization;
+    targets_[i] = t;
+    offered_[i] = 0.0;
+  });
+
+  // Resolve each running job once. jobs_scratch_ mirrors running order
+  // across ticks: launches append to the tail and retirement compacted the
+  // survivors in place last tick, so only the tail needs a scheduler
+  // lookup (Job slots in the scheduler's map are address-stable). The
+  // phase, by contrast, moves with progress, so it resolves every tick.
+  const std::vector<JobId>& running = sched_->running_jobs();
+  const std::size_t known = jobs_scratch_.size();
+  jobs_scratch_.resize(running.size());
+  phases_scratch_.resize(running.size());
+  for (std::size_t j = known; j < running.size(); ++j) {
+    jobs_scratch_[j] = sched_->find(running[j]);
+  }
+  for (std::size_t j = 0; j < running.size(); ++j) {
+    assert(jobs_scratch_[j] != nullptr && jobs_scratch_[j]->id() == running[j]);
+    phases_scratch_[j] = &jobs_scratch_[j]->current_phase();
+  }
 
   // Pass 1: set device-usage targets from each running job's phase.
-  for (const JobId jid : sched_->running_jobs()) {
-    Job* job = sched_->find(jid);
-    const workload::Phase& phase = job->current_phase();
+  // Whole-node exclusive allocation means no two jobs share a node, so
+  // jobs fan out with no write conflicts.
+  sweep(running.size(), [&](std::size_t j) {
+    const Job* job = jobs_scratch_[j];
+    const workload::Phase& phase = *phases_scratch_[j];
     for (std::size_t k = 0; k < job->nodes().size(); ++k) {
       const hw::NodeId nid = job->nodes()[k];
       // Whole-node exclusive allocation: an allocated node runs the phase
       // at its stated intensity regardless of how many ranks landed on it
       // (memory-bandwidth-bound ranks saturate a node's power-relevant
       // resources well below full core occupancy).
-      UsageTarget& t = targets[nid];
+      UsageTarget& t = targets_[nid];
       t.cpu = phase.cpu_utilization;
       t.mem_fraction = phase.mem_fraction;
       t.nic_bytes = phase.comm_bytes_per_proc_per_s *
                     static_cast<double>(job->placement()[k]) * dt.value();
       t.busy = true;
+      offered_[nid] = t.nic_bytes;
     }
-  }
+  });
 
   // Interconnect contention: per-node delivered traffic fractions.
-  {
-    std::vector<double> offered(nodes_.size(), 0.0);
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      offered[i] = targets[i].nic_bytes;
-    }
-    delivered_ = fabric_->delivered_fractions(offered, dt);
-  }
+  fabric_->delivered_fractions_into(offered_, dt, delivered_);
 
   // Pass 2: advance each job at its bottleneck rate — the slowest node
   // gates progress (§IV.A), accounting for both its DVFS level and the
   // network contention its traffic sees.
-  std::vector<JobId> finished;
-  for (const JobId jid : sched_->running_jobs()) {
-    Job* job = sched_->find(jid);
+  job_done_.assign(running.size(), 0);
+  sweep(running.size(), [&](std::size_t j) {
+    Job* job = jobs_scratch_[j];
     // A job launched this very tick has run for zero time; it only sets
     // its nodes' usage targets and starts progressing next tick.
     const bool launched_now = job->start_time() >= now;
-    const workload::Phase& phase = job->current_phase();
+    const workload::Phase& phase = *phases_scratch_[j];
 
     double bottleneck = 1.0;
     for (const hw::NodeId nid : job->nodes()) {
@@ -246,22 +295,23 @@ void Cluster::refresh_workload(Seconds dt) {
     }
 
     if (!launched_now && job->advance(dt, bottleneck, now)) {
-      finished.push_back(jid);
+      job_done_[j] = 1;
     }
-  }
+  });
 
   // Apply targets: utilisation ramps towards the phase target (thousands
   // of MPI ranks do not switch phases within one sampling interval, so
-  // aggregate power ramps rather than steps), then OU noise on top.
+  // aggregate power ramps rather than steps), then OU noise on top —
+  // drawn from node i's own stream.
   const double ramp =
       config_.utilization_ramp_tau_s > 0.0
           ? 1.0 - std::exp(-dt.value() / config_.utilization_ramp_tau_s)
           : 1.0;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+  sweep(nodes_.size(), [&](std::size_t i) {
     hw::Node& node = nodes_[i];
-    const UsageTarget& t = targets[i];
+    const UsageTarget& t = targets_[i];
     smoothed_util_[i] += (t.cpu - smoothed_util_[i]) * ramp;
-    const double noise = util_noise_[i].step(dt.value(), noise_rng_);
+    const double noise = util_noise_[i].step(dt.value(), noise_rngs_[i]);
     hw::OperatingPoint op;
     op.cpu_utilization = std::clamp(smoothed_util_[i] + noise, 0.0, 1.0);
     op.mem_used = node.spec().mem_total * t.mem_fraction;
@@ -271,9 +321,23 @@ void Cluster::refresh_workload(Seconds dt) {
     op.nic_bandwidth = node.spec().nic_bandwidth;
     node.set_operating_point(op);
     node.set_busy(t.busy);
-  }
+  });
 
-  for (const JobId jid : finished) {
+  // Retire finished jobs — serial and in running order, so records append
+  // deterministically whatever the sweep's worker count was. Survivors are
+  // compacted in jobs_scratch_ (the scheduler's erase keeps order), which
+  // the energy attribution in tick() indexes next.
+  finished_scratch_.clear();
+  std::size_t write = 0;
+  for (std::size_t j = 0; j < running.size(); ++j) {
+    if (job_done_[j] != 0) {
+      finished_scratch_.push_back(running[j]);
+    } else {
+      jobs_scratch_[write++] = jobs_scratch_[j];
+    }
+  }
+  jobs_scratch_.resize(write);
+  for (const JobId jid : finished_scratch_) {
     sched_->on_job_finished(jid);
     if (recording_) {
       metrics::JobRecord rec = metrics::make_record(*sched_->find(jid));

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "hw/node.hpp"
 #include "hw/power_meter.hpp"
@@ -66,6 +67,17 @@ struct ClusterConfig {
   double utilization_ramp_tau_s = 45.0;
 
   std::uint64_t seed = 42;
+
+  /// Worker threads for intra-tick node/job sweeps: 0 = hardware
+  /// concurrency, 1 = fully serial (no pool is ever created). Results are
+  /// bit-identical for every setting: all randomness is drawn from
+  /// per-node streams and every reduction runs serially in index order.
+  std::size_t worker_threads = 0;
+  /// Clusters below this node count never create a pool — fan-out
+  /// overhead beats the win on small populations.
+  std::size_t parallel_node_threshold = 1024;
+  /// Indices per pool chunk in a parallel sweep.
+  std::size_t parallel_grain = 256;
 
   /// Paper arrival rule: submit a fresh random job whenever the queue is
   /// empty. When false, jobs come only from submit()/a trace.
@@ -123,6 +135,14 @@ class Cluster {
     return delivered_;
   }
 
+  /// The worker pool driving intra-tick sweeps — shared with the manager's
+  /// telemetry collector, and available to callers running their own
+  /// cluster-level sweeps. nullptr when the cluster runs serial (small
+  /// population or worker_threads == 1).
+  [[nodiscard]] common::ThreadPool* thread_pool() const {
+    return pool_.get();
+  }
+
   // -- measurement ------------------------------------------------------------
   /// Starts/stops recording per-cycle points and finished-job records.
   void start_recording();
@@ -141,9 +161,35 @@ class Cluster {
   }
 
  private:
+  /// Per-node device-usage target for one tick; idle unless a job's phase
+  /// overwrites it in pass 1.
+  struct UsageTarget {
+    double cpu = 0.0;
+    double mem_fraction = 0.02;
+    double nic_bytes = 0.0;
+    bool busy = false;
+  };
+
   void tick();
   void refresh_workload(Seconds dt);
   void ensure_queue_nonempty();
+
+  /// Runs fn(i) for i in [0, n): over the pool in fixed-size chunks when
+  /// one exists and n is big enough to amortise the fan-out, else inline.
+  /// Callers must only write to slots owned by index i; every reduction
+  /// over the results happens serially in index order afterwards — that
+  /// discipline is what keeps serial and parallel runs bit-identical.
+  template <typename Fn>
+  void sweep(std::size_t n, Fn&& fn) {
+    if (pool_ != nullptr && n >= 2 * config_.parallel_grain) {
+      pool_->parallel_for(n, config_.parallel_grain,
+                          [&fn](std::size_t begin, std::size_t end) {
+                            for (std::size_t i = begin; i < end; ++i) fn(i);
+                          });
+    } else {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+    }
+  }
 
   ClusterConfig config_;
   common::Rng rng_;
@@ -152,12 +198,28 @@ class Cluster {
   std::vector<common::OrnsteinUhlenbeck> util_noise_;
   std::vector<double> smoothed_util_;
   std::vector<double> delivered_;
-  common::Rng noise_rng_;
+  /// One independent noise stream per node (root fork "util-noise",
+  /// child = stream(node id)): draws are a pure function of (seed, node),
+  /// never of sweep order — the precondition for parallel ticks.
+  std::vector<common::Rng> noise_rngs_;
+  std::unique_ptr<common::ThreadPool> pool_;
   std::unique_ptr<sched::Scheduler> sched_;
   std::unique_ptr<interconnect::Interconnect> fabric_;
   std::optional<workload::JobGenerator> generator_;
   hw::SystemPowerMeter meter_;
   std::unique_ptr<power::PowerManagerBase> manager_;
+
+  // Preallocated per-tick scratch: steady-state ticks never allocate.
+  std::vector<UsageTarget> targets_;
+  std::vector<double> offered_;
+  std::vector<double> node_power_;  ///< IT-side true power, refreshed per tick
+  std::vector<double> job_energy_scratch_;   ///< per running job, one tick
+  std::vector<unsigned char> job_done_;      ///< pass-2 finished flags
+  /// One scheduler lookup and one phase resolution per job per tick —
+  /// pass 1, pass 2 and energy attribution all read these.
+  std::vector<workload::Job*> jobs_scratch_;
+  std::vector<const workload::Phase*> phases_scratch_;
+  std::vector<workload::JobId> finished_scratch_;
 
   Watts last_power_{0.0};
   power::ManagerReport last_report_;

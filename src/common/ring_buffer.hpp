@@ -19,7 +19,8 @@ class RingBuffer {
 
   void push(T value) {
     data_[head_] = std::move(value);
-    head_ = (head_ + 1) % data_.size();
+    // Wrap by compare, not modulo: push runs once per sample delivered.
+    if (++head_ == data_.size()) head_ = 0;
     if (size_ < data_.size()) ++size_;
   }
 
@@ -49,7 +50,10 @@ class RingBuffer {
  private:
   [[nodiscard]] std::size_t physical(std::size_t logical) const {
     // head_ points at the next write slot; oldest element sits size_ back.
-    return (head_ + data_.size() - size_ + logical) % data_.size();
+    // The sum is < 2 * capacity, so one conditional subtract wraps it.
+    std::size_t idx = head_ + (data_.size() - size_) + logical;
+    if (idx >= data_.size()) idx -= data_.size();
+    return idx;
   }
 
   std::vector<T> data_;

@@ -2,7 +2,6 @@
 
 #include <cassert>
 #include <cmath>
-#include <numbers>
 
 namespace pcap::common {
 
@@ -22,12 +21,6 @@ std::uint64_t hash_tag(std::string_view s) {
   return h;
 }
 
-namespace {
-constexpr std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& w : state_) w = splitmix64(sm);
@@ -41,24 +34,20 @@ Rng Rng::fork(std::uint64_t tag) {
 
 Rng Rng::fork(std::string_view tag) { return fork(hash_tag(tag)); }
 
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
+Rng Rng::stream(std::uint64_t index) const {
+  // Fold the index and all four state words through SplitMix64 without
+  // touching state_: sibling streams decorrelate, the parent stays put.
+  std::uint64_t acc = 0x9e3779b97f4a7c15ULL * (index + 1);
+  for (const std::uint64_t w : state_) {
+    std::uint64_t sm = w ^ acc;
+    acc = splitmix64(sm);
+  }
+  return Rng{acc};
 }
 
-double Rng::uniform() {
-  // 53 high bits -> double in [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+Rng Rng::fork(std::string_view tag, std::uint64_t index) {
+  return fork(tag).stream(index);
 }
-
-double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   assert(lo <= hi);
@@ -79,25 +68,74 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   return lo + static_cast<std::int64_t>(m >> 64);
 }
 
-double Rng::normal() {
-  if (has_spare_normal_) {
-    has_spare_normal_ = false;
-    return spare_normal_;
+namespace detail {
+
+ZigguratTables::ZigguratTables() {
+  const double m1 = 2147483648.0;  // 2^31
+  const double vn = 9.91256303526217e-3;
+  double dn = 3.442619855899;
+  double tn = dn;
+  const double q = vn / std::exp(-0.5 * dn * dn);
+  kn[0] = static_cast<std::uint32_t>((dn / q) * m1);
+  kn[1] = 0;
+  wn[0] = q / m1;
+  wn[127] = dn / m1;
+  fn[0] = 1.0;
+  fn[127] = std::exp(-0.5 * dn * dn);
+  for (int i = 126; i >= 1; --i) {
+    dn = std::sqrt(-2.0 * std::log(vn / dn + std::exp(-0.5 * dn * dn)));
+    kn[i + 1] = static_cast<std::uint32_t>((dn / tn) * m1);
+    tn = dn;
+    fn[i] = std::exp(-0.5 * dn * dn);
+    wn[i] = dn / m1;
   }
-  double u1 = 0.0;
-  do {
-    u1 = uniform();
-  } while (u1 <= 0.0);
-  const double u2 = uniform();
-  const double r = std::sqrt(-2.0 * std::log(u1));
-  const double theta = 2.0 * std::numbers::pi * u2;
-  spare_normal_ = r * std::sin(theta);
-  has_spare_normal_ = true;
-  return r * std::cos(theta);
 }
 
-double Rng::normal(double mean, double stddev) {
-  return mean + stddev * normal();
+const ZigguratTables zig_normal;
+
+}  // namespace detail
+
+namespace {
+constexpr double kZigR = 3.442619855899;  // right edge of the base strip
+}  // namespace
+
+double Rng::normal_slow(std::int32_t hz) {
+  const detail::ZigguratTables& z = detail::zig_normal;
+  std::size_t iz = static_cast<std::uint32_t>(hz) & 127u;
+  for (;;) {
+    if (iz == 0) {
+      // Tail beyond R: Marsaglia's exact exponential-majorant method.
+      double x = 0.0;
+      double y = 0.0;
+      do {
+        double u1 = 0.0;
+        do {
+          u1 = uniform();
+        } while (u1 <= 0.0);
+        double u2 = 0.0;
+        do {
+          u2 = uniform();
+        } while (u2 <= 0.0);
+        x = -std::log(u1) / kZigR;
+        y = -std::log(u2);
+      } while (y + y < x * x);
+      return hz > 0 ? kZigR + x : -(kZigR + x);
+    }
+
+    // Wedge between the strip and the density curve.
+    const double x = hz * z.wn[iz];
+    if (z.fn[iz] + uniform() * (z.fn[iz - 1] - z.fn[iz]) <
+        std::exp(-0.5 * x * x)) {
+      return x;
+    }
+
+    // Rejected: redraw from scratch (mirrors the inline fast path).
+    hz = static_cast<std::int32_t>(next_u64() >> 32);
+    iz = static_cast<std::uint32_t>(hz) & 127u;
+    const std::uint32_t mag = hz < 0 ? 0u - static_cast<std::uint32_t>(hz)
+                                     : static_cast<std::uint32_t>(hz);
+    if (mag < z.kn[iz]) return hz * z.wn[iz];
+  }
 }
 
 double Rng::exponential(double mean) {
@@ -108,8 +146,6 @@ double Rng::exponential(double mean) {
   } while (u <= 0.0);
   return -mean * std::log(u);
 }
-
-bool Rng::bernoulli(double p) { return uniform() < p; }
 
 double Rng::lognormal(double median, double sigma) {
   return median * std::exp(sigma * normal());
@@ -127,9 +163,12 @@ OrnsteinUhlenbeck::OrnsteinUhlenbeck(double mean, double sigma,
 
 double OrnsteinUhlenbeck::step(double dt_seconds, Rng& rng) {
   // Exact discretisation of the OU SDE over a step of dt.
-  const double a = std::exp(-dt_seconds / tau_);
-  const double noise_sd = sigma_ * std::sqrt(1.0 - a * a);
-  value_ = mean_ + a * (value_ - mean_) + noise_sd * rng.normal();
+  if (dt_seconds != cached_dt_) {
+    cached_dt_ = dt_seconds;
+    decay_ = std::exp(-dt_seconds / tau_);
+    noise_sd_ = sigma_ * std::sqrt(1.0 - decay_ * decay_);
+  }
+  value_ = mean_ + decay_ * (value_ - mean_) + noise_sd_ * rng.normal();
   return value_;
 }
 

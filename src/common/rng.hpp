@@ -8,11 +8,26 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <string_view>
 #include <vector>
 
 namespace pcap::common {
+
+namespace detail {
+/// Ziggurat tables for the standard normal (Marsaglia & Tsang 2000, 128
+/// strips), built once at static-initialisation time. kn gates the
+/// no-rejection fast path against a 31-bit magnitude; wn scales the raw
+/// integer into its strip; fn holds the density at each strip boundary.
+struct ZigguratTables {
+  std::uint32_t kn[128];
+  double wn[128];
+  double fn[128];
+  ZigguratTables();
+};
+extern const ZigguratTables zig_normal;
+}  // namespace detail
 
 /// xoshiro256** generator with convenience distributions.
 class Rng {
@@ -27,8 +42,20 @@ class Rng {
   [[nodiscard]] Rng fork(std::uint64_t tag);
   /// Convenience overload hashing a string tag (e.g. component name).
   [[nodiscard]] Rng fork(std::string_view tag);
+  /// Derives the `index`-th child stream as a pure function of the current
+  /// state — the parent is NOT advanced, so the result is independent of
+  /// the order (and number) of stream() calls. This is what makes
+  /// per-element noise draws order-independent: fork one root per purpose,
+  /// then stream(i) per element.
+  [[nodiscard]] Rng stream(std::uint64_t index) const;
+  /// fork(tag) + stream(index) in one call: a named family of indexed
+  /// streams (e.g. fork("util-noise", node_id)). Advances the parent once
+  /// per call like fork(); prefer forking the root once and calling
+  /// stream() when deriving many siblings.
+  [[nodiscard]] Rng fork(std::string_view tag, std::uint64_t index);
 
-  /// Raw 64 uniformly distributed bits.
+  /// Raw 64 uniformly distributed bits. Inline: every distribution below
+  /// bottoms out here, often once per node per tick.
   std::uint64_t next_u64();
 
   // UniformRandomBitGenerator interface so <random> adaptors also work.
@@ -42,7 +69,9 @@ class Rng {
   double uniform(double lo, double hi);
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
-  /// Standard normal via Box-Muller (cached spare).
+  /// Standard normal via the Marsaglia-Tsang ziggurat: the common case is
+  /// one 64-bit draw, one table compare and one multiply; transcendentals
+  /// only on the rare wedge/tail rejections (~2 % of calls).
   double normal();
   /// Normal with the given mean and standard deviation.
   double normal(double mean, double stddev);
@@ -70,10 +99,49 @@ class Rng {
   }
 
  private:
+  /// Wedge/tail handling for normal(): called on the ~2 % of draws the
+  /// ziggurat fast path rejects. Out of line to keep the hot path small.
+  double normal_slow(std::int32_t hz);
+
   std::array<std::uint64_t, 4> state_{};
-  double spare_normal_ = 0.0;
-  bool has_spare_normal_ = false;
 };
+
+inline std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+inline double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+inline double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+inline bool Rng::bernoulli(double p) { return uniform() < p; }
+
+inline double Rng::normal() {
+  const auto hz = static_cast<std::int32_t>(next_u64() >> 32);
+  const std::size_t iz = static_cast<std::uint32_t>(hz) & 127u;
+  // |hz| as an unsigned 31-bit magnitude; 0u - x handles INT32_MIN.
+  const std::uint32_t mag = hz < 0 ? 0u - static_cast<std::uint32_t>(hz)
+                                   : static_cast<std::uint32_t>(hz);
+  if (mag < detail::zig_normal.kn[iz]) return hz * detail::zig_normal.wn[iz];
+  return normal_slow(hz);
+}
+
+inline double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
 
 /// SplitMix64 step — exposed for hashing/tagging purposes.
 std::uint64_t splitmix64(std::uint64_t& state);
@@ -102,6 +170,12 @@ class OrnsteinUhlenbeck {
   double sigma_;
   double tau_;
   double value_;
+  // Discretisation coefficients for the last-used dt; stepping a process
+  // at a fixed cadence (every simulation tick) pays the exp/sqrt once
+  // instead of every step.
+  double cached_dt_ = -1.0;
+  double decay_ = 0.0;
+  double noise_sd_ = 0.0;
 };
 
 }  // namespace pcap::common

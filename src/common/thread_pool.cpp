@@ -1,6 +1,8 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 
 namespace pcap::common {
 
@@ -42,6 +44,46 @@ void ThreadPool::parallel_for(std::size_t n,
     futures.push_back(submit([&fn, i] { fn(i); }));
   }
   for (auto& f : futures) f.get();  // propagates the first exception
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (n <= grain) {
+    fn(0, n);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const auto drain = [&] {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(grain);
+      if (begin >= n) return;
+      fn(begin, std::min(begin + grain, n));
+    }
+  };
+  // Enough helpers to cover every chunk; the caller drains too.
+  const std::size_t chunks = (n + grain - 1) / grain;
+  const std::size_t helpers = std::min(workers_.size(), chunks - 1);
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (std::size_t i = 0; i < helpers; ++i) futures.push_back(submit(drain));
+  std::exception_ptr error;
+  try {
+    drain();
+  } catch (...) {
+    error = std::current_exception();
+    next.store(n);  // stop helpers from claiming further chunks
+  }
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {

@@ -35,6 +35,17 @@ class ThreadPool {
   /// complete. Exceptions from tasks are rethrown (the first one).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Grained variant for microtasks: fn(begin, end) is invoked over
+  /// contiguous chunks of at most `grain` indices covering [0, n). Chunks
+  /// are claimed from a shared atomic counter by the workers and the
+  /// calling thread, so per-index dispatch overhead vanishes; with n <=
+  /// grain the call degenerates to fn(0, n) inline (serial fast path, no
+  /// queue traffic). Chunk boundaries are fixed by `grain` alone, so any
+  /// computation whose writes stay inside its own indices produces
+  /// results independent of the worker count.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
  private:
   void worker_loop();
 

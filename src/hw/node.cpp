@@ -9,7 +9,8 @@ Node::Node(NodeId id, NodeSpecPtr spec, common::Rng* variation_rng)
       spec_(std::move(spec)),
       level_(spec_->ladder.highest()),
       thermal_(spec_->thermal),
-      temperature_(spec_->thermal.ambient) {
+      temperature_(spec_->thermal.ambient),
+      relative_speed_(spec_->ladder.relative_speed(level_)) {
   op_.mem_total = spec_->mem_total;
   op_.nic_bandwidth = spec_->nic_bandwidth;
   if (variation_rng != nullptr) {
@@ -18,11 +19,17 @@ Node::Node(NodeId id, NodeSpecPtr spec, common::Rng* variation_rng)
 }
 
 Level Node::set_level(Level l) {
+  const Level before = level_;
   if (!spec_->controllable) {
     level_ = spec_->ladder.highest();
-    return level_;
+  } else {
+    level_ = std::clamp(l, spec_->ladder.lowest(), spec_->ladder.highest());
   }
-  level_ = std::clamp(l, spec_->ladder.lowest(), spec_->ladder.highest());
+  if (level_ != before) {
+    relative_speed_ = spec_->ladder.relative_speed(level_);
+    static_power_valid_ = false;
+    invalidate_power_cache();
+  }
   return level_;
 }
 
@@ -31,25 +38,40 @@ Level Node::degrade_one() { return set_level(level_ - 1); }
 Level Node::restore_one() { return set_level(level_ + 1); }
 
 Watts Node::true_power() const {
-  const Watts estimated = spec_->power_model.power(level_, op_);
-  const Watts idle = spec_->power_model.idle_power(level_);
+  if (true_power_valid_) return true_power_cache_;
+  const Watts estimated = estimated_power();  // fills the static caches
+  const Watts idle = idle_leak_cache_;
   const double leak = thermal_.leakage_factor(temperature_);
   const Watts with_leakage = (estimated - idle) + idle * leak;
-  return with_leakage * variation_;
+  true_power_cache_ = with_leakage * variation_;
+  true_power_valid_ = true;
+  return true_power_cache_;
 }
 
 Watts Node::estimated_power() const {
-  return spec_->power_model.power(level_, op_);
+  if (estimated_power_valid_) return estimated_power_cache_;
+  if (!static_power_valid_) {
+    static_power_cache_ = spec_->power_model.static_power(level_, op_);
+    cpu_dyn_cache_ = spec_->power_model.cpu_dyn(level_);
+    idle_leak_cache_ = spec_->power_model.idle_power(level_);
+    static_power_valid_ = true;
+  }
+  const double uti = std::clamp(op_.cpu_utilization, 0.0, 1.0);
+  estimated_power_cache_ = static_power_cache_ + cpu_dyn_cache_ * uti;
+  estimated_power_valid_ = true;
+  return estimated_power_cache_;
 }
 
 Watts Node::estimated_power_at(Level l) const {
   const Level clamped =
       std::clamp(l, spec_->ladder.lowest(), spec_->ladder.highest());
+  if (clamped == level_) return estimated_power();
   return spec_->power_model.power(clamped, op_);
 }
 
 void Node::advance_thermal(Seconds dt) {
   temperature_ = thermal_.step(temperature_, true_power(), dt);
+  true_power_valid_ = false;  // leakage now sees the new temperature
 }
 
 }  // namespace pcap::hw

@@ -36,14 +36,26 @@ class Node {
   Level degrade_one();
   Level restore_one();
 
-  /// Clock-speed ratio at the current level (1.0 at the top).
-  [[nodiscard]] double relative_speed() const {
-    return spec_->ladder.relative_speed(level_);
-  }
+  /// Clock-speed ratio at the current level (1.0 at the top). Cached on
+  /// level changes: the workload engine reads this per job-node per tick.
+  [[nodiscard]] double relative_speed() const { return relative_speed_; }
 
   // -- operating point ------------------------------------------------------
-  /// The cluster's workload engine refreshes this every tick.
-  void set_operating_point(const OperatingPoint& op) { op_ = op; }
+  /// The cluster's workload engine refreshes this every tick. On a steady
+  /// phase only the CPU utilisation moves (OU noise on the target), so the
+  /// static share of formula (1) — idle + memory + NIC terms — survives
+  /// the refresh and the next power evaluation is a multiply-add.
+  void set_operating_point(const OperatingPoint& op) {
+    if (static_power_valid_ && op.mem_used == op_.mem_used &&
+        op.mem_total == op_.mem_total && op.nic_bytes == op_.nic_bytes &&
+        op.tau == op_.tau && op.nic_bandwidth == op_.nic_bandwidth) {
+      op_.cpu_utilization = op.cpu_utilization;
+    } else {
+      op_ = op;
+      static_power_valid_ = false;
+    }
+    invalidate_power_cache();
+  }
   [[nodiscard]] const OperatingPoint& operating_point() const { return op_; }
   [[nodiscard]] bool busy() const { return busy_; }
   void set_busy(bool busy) { busy_ = busy; }
@@ -51,12 +63,15 @@ class Node {
   // -- power ----------------------------------------------------------------
   /// Physical power draw: formula (1) plus process variation plus
   /// temperature-driven leakage on the static share. This is what the
-  /// facility power meter integrates over.
+  /// facility power meter integrates over. Memoised: the model is only
+  /// re-evaluated when the level, operating point or temperature changed
+  /// since the last call, so quiescent nodes cost a load, not a formula.
   [[nodiscard]] Watts true_power() const;
 
   /// What a profiling agent can compute from /proc-style counters — plain
   /// formula (1), without variation or leakage. The gap between this and
   /// true_power() is the estimation error the architecture must tolerate.
+  /// Memoised like true_power() (temperature does not enter formula (1)).
   [[nodiscard]] Watts estimated_power() const;
 
   /// Formula-(1) estimate at an arbitrary level (the P'(x) of Algorithm 2).
@@ -68,6 +83,11 @@ class Node {
   void advance_thermal(Seconds dt);
 
  private:
+  void invalidate_power_cache() {
+    true_power_valid_ = false;
+    estimated_power_valid_ = false;
+  }
+
   NodeId id_;
   NodeSpecPtr spec_;
   Level level_;
@@ -76,6 +96,21 @@ class Node {
   double variation_ = 1.0;
   ThermalModel thermal_;
   Celsius temperature_;
+  double relative_speed_ = 1.0;  ///< ladder ratio at level_, kept in sync
+
+  // Power memoisation (per node, so parallel sweeps over disjoint nodes
+  // never share these). Temperature invalidates only the true power:
+  // formula (1) does not see leakage. The static share (idle + memory +
+  // NIC terms and the utilisation coefficient) outlives utilisation-only
+  // operating-point refreshes and is invalidated by level changes.
+  mutable Watts true_power_cache_{0.0};
+  mutable Watts estimated_power_cache_{0.0};
+  mutable Watts static_power_cache_{0.0};
+  mutable Watts cpu_dyn_cache_{0.0};
+  mutable Watts idle_leak_cache_{0.0};  ///< idle[l], for the leakage share
+  mutable bool true_power_valid_ = false;
+  mutable bool estimated_power_valid_ = false;
+  mutable bool static_power_valid_ = false;
 };
 
 }  // namespace pcap::hw

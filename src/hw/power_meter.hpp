@@ -27,6 +27,13 @@ class SystemPowerMeter {
   /// measurement noise. This is P in Algorithm 1.
   Watts measure(const std::vector<Node>& nodes);
 
+  /// Same conversion and noise applied to an externally accumulated
+  /// IT-side power sum — the incremental tick path, where the cluster
+  /// already holds every node's true power and only the aggregation is
+  /// left. One meter-noise draw either way, so both entry points advance
+  /// the meter's RNG stream identically.
+  Watts measure_sum(Watts it_power);
+
   /// Noise-free reading, for metrics that want ground truth.
   [[nodiscard]] static Watts exact(const std::vector<Node>& nodes,
                                    double psu_efficiency);

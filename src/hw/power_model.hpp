@@ -59,6 +59,14 @@ class PowerModel {
   /// P(l) for the given operating point. `level` must be valid.
   [[nodiscard]] Watts power(Level level, const OperatingPoint& op) const;
 
+  /// The share of formula (1) that does not depend on CPU utilisation:
+  /// idle + memory + NIC terms. power(l, op) == static_power(l, op) +
+  /// clamp(op.cpu_utilization) * cpu_dyn(l) up to rounding; callers whose
+  /// utilisation moves every tick cache this and pay a multiply-add.
+  [[nodiscard]] Watts static_power(Level level, const OperatingPoint& op) const;
+  /// The utilisation coefficient of formula (1) at `level`.
+  [[nodiscard]] Watts cpu_dyn(Level level) const;
+
   /// Estimated power if the node were moved to `level` while keeping the
   /// same resource usage — the paper's P'(x) when level = current-1
   /// (Algorithm 2). Clamps usage fractions exactly like power().

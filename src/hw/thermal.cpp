@@ -13,25 +13,4 @@ ThermalModel::ThermalModel(ThermalParams params) : params_(params) {
   }
 }
 
-Celsius ThermalModel::equilibrium(Watts power) const {
-  return params_.ambient +
-         Celsius{power.value() * params_.thermal_resistance};
-}
-
-Celsius ThermalModel::step(Celsius current, Watts power, Seconds dt) const {
-  const Celsius target = equilibrium(power);
-  const double a = std::exp(-dt / params_.time_constant);
-  return target + (current - target) * a;
-}
-
-double ThermalModel::leakage_factor(Celsius temperature) const {
-  if (params_.leakage_coefficient == 0.0 ||
-      temperature <= params_.leakage_reference) {
-    return 1.0;
-  }
-  const double excess =
-      (temperature - params_.leakage_reference).value();
-  return 1.0 + params_.leakage_coefficient * excess;
-}
-
 }  // namespace pcap::hw

@@ -12,6 +12,8 @@
 // temperature excess above a reference point.
 #pragma once
 
+#include <cmath>
+
 #include "common/units.hpp"
 
 namespace pcap::hw {
@@ -44,6 +46,37 @@ class ThermalModel {
 
  private:
   ThermalParams params_;
+  // step() runs every simulation tick with a constant dt; the decay
+  // factor exp(-dt/tau) is re-derived only when dt changes. Each node
+  // owns its ThermalModel copy, so the cache is never shared.
+  mutable double cached_dt_ = -1.0;
+  mutable double cached_decay_ = 1.0;
 };
+
+// step() and leakage_factor() run once per node per tick; inline so the
+// thermal advance folds into its caller.
+
+inline Celsius ThermalModel::equilibrium(Watts power) const {
+  return params_.ambient + Celsius{power.value() * params_.thermal_resistance};
+}
+
+inline Celsius ThermalModel::step(Celsius current, Watts power,
+                                  Seconds dt) const {
+  const Celsius target = equilibrium(power);
+  if (dt.value() != cached_dt_) {
+    cached_dt_ = dt.value();
+    cached_decay_ = std::exp(-dt / params_.time_constant);
+  }
+  return target + (current - target) * cached_decay_;
+}
+
+inline double ThermalModel::leakage_factor(Celsius temperature) const {
+  if (params_.leakage_coefficient == 0.0 ||
+      temperature <= params_.leakage_reference) {
+    return 1.0;
+  }
+  const double excess = (temperature - params_.leakage_reference).value();
+  return 1.0 + params_.leakage_coefficient * excess;
+}
 
 }  // namespace pcap::hw

@@ -43,6 +43,13 @@ class Interconnect {
   [[nodiscard]] std::vector<double> delivered_fractions(
       const std::vector<double>& offered_bytes, Seconds dt) const;
 
+  /// Allocation-free variant for the per-tick hot path: writes the
+  /// fractions into `out` (resized to num_nodes) and reuses an internal
+  /// per-switch scratch buffer, so steady-state ticks never touch the
+  /// heap.
+  void delivered_fractions_into(const std::vector<double>& offered_bytes,
+                                Seconds dt, std::vector<double>& out);
+
   /// Per-switch uplink utilisation (offered remote bytes / capacity) for
   /// the same inputs — can exceed 1 when oversubscribed.
   [[nodiscard]] std::vector<double> uplink_utilization(
@@ -52,6 +59,7 @@ class Interconnect {
   InterconnectParams params_;
   std::size_t num_nodes_;
   std::size_t num_switches_;
+  std::vector<double> switch_offered_;  ///< delivered_fractions_into scratch
 };
 
 }  // namespace pcap::interconnect

@@ -31,36 +31,53 @@ PolicyContext CappingManager::build_context(
     Watts measured, const std::vector<hw::Node>& nodes,
     const sched::Scheduler& scheduler) const {
   PolicyContext ctx;
+  build_context_into(ctx, measured, nodes, scheduler);
+  return ctx;
+}
+
+void CappingManager::build_context_into(
+    PolicyContext& ctx, Watts measured, const std::vector<hw::Node>& nodes,
+    const sched::Scheduler& scheduler) const {
   ctx.system_power = measured;
   ctx.p_low = learner_.p_low();
 
-  // Node views from the latest telemetry.
+  // Node views from the latest telemetry. clear() keeps the capacity, so
+  // after the first cycle this fills existing storage.
+  ctx.nodes.clear();
   for (const hw::NodeId id : collector_.candidate_set()) {
-    const auto latest = collector_.latest(id);
-    if (!latest) continue;  // not yet sampled this run
+    const auto* hist = collector_.history(id);
+    if (hist == nullptr || hist->empty()) continue;  // not yet sampled
+    const telemetry::NodeSample& latest = hist->back();
     const hw::Node& node = nodes.at(id);
     NodeView nv;
     nv.id = id;
-    nv.level = latest->level;
+    nv.level = latest.level;
     nv.highest_level = node.spec().ladder.highest();
-    nv.at_lowest = latest->level == node.spec().ladder.lowest();
-    nv.busy = latest->busy;
-    nv.power = latest->estimated_power;
-    nv.temperature = latest->temperature;
-    if (const auto prev = collector_.previous(id)) {
-      nv.power_prev = prev->estimated_power;
+    nv.at_lowest = latest.level == node.spec().ladder.lowest();
+    nv.busy = latest.busy;
+    nv.power = latest.estimated_power;
+    nv.temperature = latest.temperature;
+    if (hist->size() >= 2) {
+      nv.power_prev = (*hist)[hist->size() - 2].estimated_power;
     }
-    nv.power_one_level_down = node.estimated_power_at(latest->level - 1);
+    nv.power_one_level_down = node.estimated_power_at(latest.level - 1);
     ctx.nodes.push_back(nv);
   }
   ctx.index_nodes();
 
-  // Job views restricted to candidate nodes.
+  // Job views restricted to candidate nodes. JobView slots — including
+  // their per-job node-id vectors — are recycled in place.
+  std::size_t used = 0;
   for (const workload::JobId jid : scheduler.running_jobs()) {
     const workload::Job* job = scheduler.find(jid);
     if (job == nullptr) continue;
-    JobView jv;
+    if (used == ctx.jobs.size()) ctx.jobs.emplace_back();
+    JobView& jv = ctx.jobs[used];
     jv.id = jid;
+    jv.nodes.clear();
+    jv.power = Watts{0.0};
+    jv.power_prev = Watts{0.0};
+    jv.saving_one_level = Watts{0.0};
     bool have_all_prev = true;
     for (const hw::NodeId nid : job->nodes()) {
       const NodeView* nv = ctx.node(nid);
@@ -76,11 +93,12 @@ PolicyContext CappingManager::build_context(
         jv.saving_one_level += nv->power - nv->power_one_level_down;
       }
     }
-    if (jv.nodes.empty()) continue;
+    if (jv.nodes.empty()) continue;  // slot stays free for the next job
     if (!have_all_prev) jv.power_prev = Watts{0.0};  // no rate this cycle
-    ctx.jobs.push_back(std::move(jv));
+    ++used;
   }
-  return ctx;
+  ctx.jobs.erase(ctx.jobs.begin() + static_cast<std::ptrdiff_t>(used),
+                 ctx.jobs.end());
 }
 
 ManagerReport CappingManager::cycle(Watts measured,
@@ -109,8 +127,15 @@ ManagerReport CappingManager::cycle(Watts measured,
   // 3. During training the system runs unmanaged (§V.C).
   if (report.training) return report;
 
-  // 4. Algorithm 1 + actuation.
-  const PolicyContext ctx = build_context(measured, nodes, scheduler);
+  // 4. Algorithm 1 + actuation. A green cycle with nothing degraded never
+  // consults the context (the pruning loop and the restore walk both
+  // iterate A_degraded), so the dominant assembly cost is skipped on the
+  // steady-state path; when it does run, the persistent buffers make it
+  // allocation-free.
+  if (report.state != PowerState::kGreen || !engine_.degraded().empty()) {
+    build_context_into(scratch_ctx_, measured, nodes, scheduler);
+  }
+  const PolicyContext& ctx = scratch_ctx_;
   const CycleDecision decision =
       engine_.cycle(measured, report.p_low, report.p_high, *policy_, ctx);
   report.state = decision.state;

@@ -17,6 +17,7 @@
 
 #include <optional>
 
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "power/candidate_selector.hpp"
 #include "power/capping.hpp"
@@ -52,6 +53,12 @@ class PowerManagerBase {
   virtual ManagerReport cycle(Watts measured, std::vector<hw::Node>& nodes,
                               const sched::Scheduler& scheduler,
                               Seconds now) = 0;
+
+  /// Offers a worker pool for intra-cycle sweeps (telemetry collection on
+  /// large candidate sets). Managers that cannot use one ignore it; the
+  /// pool is owned by the caller (the cluster) and outlives the manager's
+  /// use of it. nullptr detaches.
+  virtual void set_thread_pool(common::ThreadPool* /*pool*/) {}
 };
 
 struct CappingManagerParams {
@@ -85,6 +92,10 @@ class CappingManager final : public PowerManagerBase {
                       const sched::Scheduler& scheduler,
                       Seconds now) override;
 
+  void set_thread_pool(common::ThreadPool* pool) override {
+    collector_.set_thread_pool(pool);
+  }
+
   [[nodiscard]] const ThresholdLearner& thresholds() const {
     return learner_;
   }
@@ -106,6 +117,13 @@ class CappingManager final : public PowerManagerBase {
                               const std::vector<hw::Node>& nodes,
                               const sched::Scheduler& scheduler) const;
 
+  /// In-place variant: refills `ctx` reusing its existing node/job buffer
+  /// capacity, so a steady-state control cycle performs no allocation for
+  /// context assembly. cycle() feeds its persistent context through here.
+  void build_context_into(PolicyContext& ctx, Watts measured,
+                          const std::vector<hw::Node>& nodes,
+                          const sched::Scheduler& scheduler) const;
+
  private:
   CappingManagerParams params_;
   PolicyPtr policy_;
@@ -114,6 +132,8 @@ class CappingManager final : public PowerManagerBase {
   CappingEngine engine_;
   NodeController controller_;
   std::optional<CandidateSelector> selector_;
+  /// Reused across cycles by cycle(); holds its capacity.
+  PolicyContext scratch_ctx_;
 };
 
 /// A null manager: monitors nothing, throttles nothing. The |A_candidate|=0

@@ -10,16 +10,18 @@ Watts PolicyContext::required_saving() const {
 }
 
 const NodeView* PolicyContext::node(hw::NodeId id) const {
-  const auto it = node_index_.find(id);
-  if (it == node_index_.end()) return nullptr;
-  return &nodes[it->second];
+  if (static_cast<std::size_t>(id) >= node_index_.size()) return nullptr;
+  const std::uint32_t idx = node_index_[id];
+  return idx == kNoIndex ? nullptr : &nodes[idx];
 }
 
 void PolicyContext::index_nodes() {
-  node_index_.clear();
-  node_index_.reserve(nodes.size());
+  hw::NodeId max_id = 0;
+  for (const NodeView& nv : nodes) max_id = std::max(max_id, nv.id);
+  node_index_.assign(nodes.empty() ? 0 : static_cast<std::size_t>(max_id) + 1,
+                     kNoIndex);
   for (std::size_t i = 0; i < nodes.size(); ++i) {
-    node_index_.emplace(nodes[i].id, i);
+    node_index_[nodes[i].id] = static_cast<std::uint32_t>(i);
   }
 }
 

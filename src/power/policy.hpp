@@ -6,9 +6,9 @@
 // never the hardware directly.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/units.hpp"
@@ -60,7 +60,11 @@ struct PolicyContext {
   void index_nodes();  ///< must be called after filling `nodes`
 
  private:
-  std::unordered_map<hw::NodeId, std::size_t> node_index_;
+  /// Flat id -> index table (node ids are dense small integers). Sized to
+  /// the largest candidate id; rebuilt each cycle without allocating once
+  /// it has grown to the working-set size.
+  static constexpr std::uint32_t kNoIndex = 0xffffffffu;
+  std::vector<std::uint32_t> node_index_;
 };
 
 class TargetSelectionPolicy {

@@ -68,6 +68,9 @@ void Simulation::run_until(Seconds end) {
 bool Simulation::step() {
   if (queue_.empty()) return false;
   Event ev = queue_.pop();
+  if (ev.time < now_) {
+    throw std::logic_error("Simulation::step: event time before now");
+  }
   now_ = ev.time;
   ev.fn();
   ++processed_;

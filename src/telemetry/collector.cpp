@@ -21,65 +21,96 @@ Collector::Collector(CollectorParams params, common::Rng rng)
 }
 
 void Collector::set_candidate_set(const std::vector<hw::NodeId>& nodes) {
-  candidates_ = nodes;
-  std::sort(candidates_.begin(), candidates_.end());
-  candidates_.erase(std::unique(candidates_.begin(), candidates_.end()),
-                    candidates_.end());
+  std::vector<hw::NodeId> next = nodes;
+  std::sort(next.begin(), next.end());
+  next.erase(std::unique(next.begin(), next.end()), next.end());
 
-  // Drop agents for nodes no longer monitored.
-  for (auto it = agents_.begin(); it != agents_.end();) {
-    if (!std::binary_search(candidates_.begin(), candidates_.end(),
-                            it->first)) {
-      histories_.erase(it->first);
-      in_flight_.erase(it->first);
-      it = agents_.erase(it);
+  // Build the new slot array up front, so the sweep itself never mutates
+  // any shared structure (a parallel sweep only touches distinct
+  // pre-existing slots). Retained nodes carry their state (agent RNG,
+  // history, in-flight reports) over; dropped nodes lose theirs.
+  std::vector<Monitored> next_slots;
+  next_slots.reserve(next.size());
+  for (const hw::NodeId id : next) {
+    const std::uint32_t old_slot = slot_of(id);
+    if (old_slot != kNoSlot) {
+      next_slots.push_back(std::move(slots_[old_slot]));
     } else {
-      ++it;
+      next_slots.push_back(
+          Monitored{ProfilingAgent(id, params_.agent, rng_.fork(id)),
+                    rng_.fork(common::hash_tag("transport") ^ id),
+                    common::RingBuffer<NodeSample>(params_.history_depth),
+                    {}});
     }
   }
-  // Create agents for newly monitored nodes.
-  for (const hw::NodeId id : candidates_) {
-    if (agents_.count(id) == 0) {
-      agents_.emplace(id, ProfilingAgent(id, params_.agent, rng_.fork(id)));
-      histories_.emplace(id,
-                         common::RingBuffer<NodeSample>(params_.history_depth));
-    }
+  candidates_ = std::move(next);
+  slots_ = std::move(next_slots);
+
+  slot_of_.assign(
+      candidates_.empty()
+          ? 0
+          : static_cast<std::size_t>(candidates_.back()) + 1,
+      kNoSlot);
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    slot_of_[candidates_[i]] = static_cast<std::uint32_t>(i);
+  }
+}
+
+void Collector::collect_one(Monitored& m, const hw::Node& node, Seconds now,
+                            std::uint64_t& delivered, std::uint64_t& lost) {
+  const TransportParams& tp = params_.transport;
+  NodeSample sample = m.agent.sample(node, now);
+
+  if (tp.loss_rate > 0.0 && m.transport_rng.bernoulli(tp.loss_rate)) {
+    ++lost;
+  } else if (tp.delay_cycles == 0) {
+    m.history.push(sample);
+    ++delivered;
+  } else {
+    m.in_flight.push_back(
+        InFlight{cycle_counter_ + static_cast<std::uint64_t>(tp.delay_cycles),
+                 sample});
+  }
+
+  // Deliver whatever has arrived by now (in order).
+  while (!m.in_flight.empty() &&
+         m.in_flight.front().deliver_at_cycle <= cycle_counter_) {
+    m.history.push(m.in_flight.front().sample);
+    m.in_flight.pop_front();
+    ++delivered;
   }
 }
 
 void Collector::collect(const std::vector<hw::Node>& nodes, Seconds now,
                         std::size_t monitored_jobs) {
   ++cycle_counter_;
-  const TransportParams& tp = params_.transport;
   for (const hw::NodeId id : candidates_) {
     if (id >= nodes.size()) {
       throw std::out_of_range("Collector::collect: candidate id out of range");
     }
-    auto& agent = agents_.at(id);
-    NodeSample sample = agent.sample(nodes[id], now);
-
-    if (tp.loss_rate > 0.0 && rng_.bernoulli(tp.loss_rate)) {
-      ++samples_lost_;  // report dropped on the management fabric
-    } else if (tp.delay_cycles == 0) {
-      histories_.at(id).push(sample);
-      ++samples_delivered_;
-    } else {
-      in_flight_[id].push_back(
-          InFlight{cycle_counter_ + static_cast<std::uint64_t>(tp.delay_cycles),
-                   sample});
+  }
+  if (pool_ != nullptr && candidates_.size() >= params_.parallel_threshold) {
+    pool_->parallel_for(candidates_.size(), params_.parallel_grain,
+                        [&](std::size_t begin, std::size_t end) {
+                          std::uint64_t delivered = 0;
+                          std::uint64_t lost = 0;
+                          for (std::size_t i = begin; i < end; ++i) {
+                            collect_one(slots_[i], nodes[candidates_[i]], now,
+                                        delivered, lost);
+                          }
+                          samples_delivered_.fetch_add(
+                              delivered, std::memory_order_relaxed);
+                          samples_lost_.fetch_add(lost,
+                                                  std::memory_order_relaxed);
+                        });
+  } else {
+    std::uint64_t delivered = 0;
+    std::uint64_t lost = 0;
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      collect_one(slots_[i], nodes[candidates_[i]], now, delivered, lost);
     }
-
-    // Deliver whatever has arrived by now (in order).
-    const auto it = in_flight_.find(id);
-    if (it != in_flight_.end()) {
-      auto& queue = it->second;
-      while (!queue.empty() &&
-             queue.front().deliver_at_cycle <= cycle_counter_) {
-        histories_.at(id).push(queue.front().sample);
-        queue.pop_front();
-        ++samples_delivered_;
-      }
-    }
+    samples_delivered_.fetch_add(delivered, std::memory_order_relaxed);
+    samples_lost_.fetch_add(lost, std::memory_order_relaxed);
   }
   last_manager_utilization_ =
       cost_model_.cpu_utilization(candidates_.size(), monitored_jobs,
@@ -87,15 +118,21 @@ void Collector::collect(const std::vector<hw::Node>& nodes, Seconds now,
 }
 
 std::optional<NodeSample> Collector::latest(hw::NodeId id) const {
-  const auto it = histories_.find(id);
-  if (it == histories_.end() || it->second.empty()) return std::nullopt;
-  return it->second.back();
+  const auto* h = history(id);
+  if (h == nullptr || h->empty()) return std::nullopt;
+  return h->back();
 }
 
 std::optional<NodeSample> Collector::previous(hw::NodeId id) const {
-  const auto it = histories_.find(id);
-  if (it == histories_.end() || it->second.size() < 2) return std::nullopt;
-  return it->second[it->second.size() - 2];
+  const auto* h = history(id);
+  if (h == nullptr || h->size() < 2) return std::nullopt;
+  return (*h)[h->size() - 2];
+}
+
+const common::RingBuffer<NodeSample>* Collector::history(hw::NodeId id) const {
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNoSlot) return nullptr;
+  return &slots_[slot].history;
 }
 
 Watts Collector::estimated_candidate_power() const {

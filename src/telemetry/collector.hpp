@@ -7,13 +7,15 @@
 // "may vary during the execution of the system").
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <deque>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/ring_buffer.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "telemetry/agent.hpp"
 #include "telemetry/management_cost.hpp"
 #include "telemetry/sample.hpp"
@@ -33,6 +35,14 @@ struct CollectorParams {
   std::size_t history_depth = 8;
   ManagementCostParams cost;
   TransportParams transport;
+  /// Candidate-set size at which collect() fans the sweep out over the
+  /// attached thread pool (no pool, or fewer candidates: serial). Every
+  /// per-candidate draw comes from that candidate's own RNG stream, so
+  /// the sweep order — and therefore the worker count — cannot change
+  /// the result.
+  std::size_t parallel_threshold = 2048;
+  /// Candidates per pool chunk in a parallel sweep.
+  std::size_t parallel_grain = 256;
 };
 
 class Collector {
@@ -46,7 +56,7 @@ class Collector {
     return candidates_;
   }
   [[nodiscard]] bool is_candidate(hw::NodeId id) const {
-    return agents_.count(id) != 0;
+    return slot_of(id) != kNoSlot;
   }
 
   /// Samples every candidate node present in `nodes` (indexed by id) and
@@ -59,6 +69,15 @@ class Collector {
   [[nodiscard]] std::optional<NodeSample> latest(hw::NodeId id) const;
   /// Sample before the latest one (for rate-of-change policies).
   [[nodiscard]] std::optional<NodeSample> previous(hw::NodeId id) const;
+  /// A node's whole sample history in one lookup (nullptr if not a
+  /// candidate) — the manager's context builder reads latest and previous
+  /// together, and one hash probe beats two.
+  [[nodiscard]] const common::RingBuffer<NodeSample>* history(
+      hw::NodeId id) const;
+
+  /// Attaches (or detaches, with nullptr) the pool used to parallelise
+  /// collect(). The collector does not own the pool.
+  void set_thread_pool(common::ThreadPool* pool) { pool_ = pool; }
 
   /// Sum of the latest estimated powers over the candidate set.
   [[nodiscard]] Watts estimated_candidate_power() const;
@@ -79,21 +98,50 @@ class Collector {
   void set_cycle_period(Seconds period) { cycle_period_ = period; }
 
  private:
-  CollectorParams params_;
-  common::Rng rng_;
-  ManagementCostModel cost_model_;
-  Seconds cycle_period_{1.0};
-  std::vector<hw::NodeId> candidates_;
-  std::unordered_map<hw::NodeId, ProfilingAgent> agents_;
-  std::unordered_map<hw::NodeId, common::RingBuffer<NodeSample>> histories_;
   struct InFlight {
     std::uint64_t deliver_at_cycle;
     NodeSample sample;
   };
-  std::unordered_map<hw::NodeId, std::deque<InFlight>> in_flight_;
+  /// Everything the sweep touches for one candidate, together so one hash
+  /// probe finds it all — and so two workers sampling different
+  /// candidates share no state. The transport RNG is per node: report
+  /// loss is drawn per candidate, not from one shared sequence, which is
+  /// what makes the sweep order-independent.
+  struct Monitored {
+    ProfilingAgent agent;
+    common::Rng transport_rng;
+    common::RingBuffer<NodeSample> history;
+    std::deque<InFlight> in_flight;
+  };
+
+  /// One candidate's sweep step: sample, transport (loss/delay), deliver.
+  /// Samples one node and routes the report through the transport model.
+  /// Delivered/lost counts accumulate into the caller's locals so a sweep
+  /// pays one atomic update per chunk instead of one per sample.
+  void collect_one(Monitored& m, const hw::Node& node, Seconds now,
+                   std::uint64_t& delivered, std::uint64_t& lost);
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  /// Slot index of a node in slots_/candidates_, or kNoSlot.
+  [[nodiscard]] std::uint32_t slot_of(hw::NodeId id) const {
+    return static_cast<std::size_t>(id) < slot_of_.size() ? slot_of_[id]
+                                                          : kNoSlot;
+  }
+
+  CollectorParams params_;
+  common::Rng rng_;
+  ManagementCostModel cost_model_;
+  Seconds cycle_period_{1.0};
+  common::ThreadPool* pool_ = nullptr;
+  std::vector<hw::NodeId> candidates_;
+  /// Per-candidate state, aligned with candidates_: the sweep indexes
+  /// straight into this array — no hash probe per sample. slot_of_ maps a
+  /// node id to its slot for the point lookups (history/latest/previous).
+  std::vector<Monitored> slots_;
+  std::vector<std::uint32_t> slot_of_;
   std::uint64_t cycle_counter_ = 0;
-  std::uint64_t samples_lost_ = 0;
-  std::uint64_t samples_delivered_ = 0;
+  std::atomic<std::uint64_t> samples_lost_{0};
+  std::atomic<std::uint64_t> samples_delivered_{0};
   double last_manager_utilization_ = 0.0;
 };
 

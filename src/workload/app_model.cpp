@@ -37,7 +37,9 @@ const Phase& AppModel::phase_at(double progress_seconds) const {
     progress_seconds -= p.seconds_per_iteration;
   }
   const double iter = iteration_seconds();
-  double within = std::fmod(progress_seconds, iter);
+  // progress - iter * floor(progress / iter): cheaper than fmod, and this
+  // runs once per running job per tick.
+  double within = progress_seconds - iter * std::floor(progress_seconds / iter);
   if (within < 0.0) within = 0.0;
   for (const Phase& p : iteration) {
     if (within < p.seconds_per_iteration) return p;

@@ -4,23 +4,6 @@
 
 namespace pcap::workload {
 
-double frequency_progress_rate(double frequency_sensitivity,
-                               double relative_speed) {
-  if (relative_speed <= 0.0) {
-    throw std::invalid_argument("frequency_progress_rate: non-positive speed");
-  }
-  const double s = frequency_sensitivity;
-  return 1.0 / (s / relative_speed + (1.0 - s));
-}
-
-double network_progress_rate(double network_sensitivity,
-                             double delivered_fraction) {
-  if (delivered_fraction <= 0.0 || delivered_fraction > 1.0) {
-    throw std::invalid_argument("network_progress_rate: bad fraction");
-  }
-  return 1.0 - network_sensitivity + network_sensitivity * delivered_fraction;
-}
-
 void validate_phase(const Phase& p) {
   const auto in01 = [](double v) { return v >= 0.0 && v <= 1.0; };
   if (!in01(p.cpu_utilization)) {

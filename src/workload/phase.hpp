@@ -7,6 +7,7 @@
 // the profiling agents observe realistic signals.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 
 namespace pcap::workload {
@@ -45,13 +46,28 @@ struct Phase {
 ///
 /// A fully compute-bound phase (s=1) degrades proportionally to the clock;
 /// a fully memory-bound one (s=0) does not degrade at all.
-double frequency_progress_rate(double frequency_sensitivity,
-                               double relative_speed);
+///
+/// Inline: the workload engine evaluates this per job-node per tick.
+inline double frequency_progress_rate(double frequency_sensitivity,
+                                      double relative_speed) {
+  if (relative_speed <= 0.0) {
+    throw std::invalid_argument("frequency_progress_rate: non-positive speed");
+  }
+  const double s = frequency_sensitivity;
+  // 1 / (s/v + (1-s)) rearranged to a single division.
+  return relative_speed / (s + (1.0 - s) * relative_speed);
+}
 
 /// Progress multiplier (<= 1) when the interconnect delivers
-/// `delivered_fraction` of the phase's offered traffic.
-double network_progress_rate(double network_sensitivity,
-                             double delivered_fraction);
+/// `delivered_fraction` of the phase's offered traffic. Inline for the
+/// same reason as frequency_progress_rate.
+inline double network_progress_rate(double network_sensitivity,
+                                    double delivered_fraction) {
+  if (delivered_fraction <= 0.0 || delivered_fraction > 1.0) {
+    throw std::invalid_argument("network_progress_rate: bad fraction");
+  }
+  return 1.0 - network_sensitivity + network_sensitivity * delivered_fraction;
+}
 
 /// Validates a phase's ranges; throws std::invalid_argument.
 void validate_phase(const Phase& p);

@@ -1,0 +1,116 @@
+// Tier-1 determinism: a cluster run must be bit-identical for every
+// worker-thread count. The per-tick sweeps draw all randomness from
+// per-node streams and perform every reduction serially in index order,
+// so the pool is an implementation detail the results cannot see.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "hw/node_spec.hpp"
+#include "metrics/trace_recorder.hpp"
+#include "power/manager.hpp"
+#include "power/policy_registry.hpp"
+
+namespace pcap {
+namespace {
+
+struct RunResult {
+  std::vector<metrics::CyclePoint> points;
+  std::vector<metrics::JobRecord> finished;
+  double total_energy_j = 0.0;
+};
+
+RunResult run_cluster(std::size_t worker_threads) {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.spec = hw::tianhe1a_node_spec();
+  cfg.tick = Seconds{1.0};
+  cfg.control_period = Seconds{4.0};
+  cfg.seed = 20260806;
+  cfg.scheduler.max_procs_per_node = 3;
+  cfg.worker_threads = worker_threads;
+  // Force the parallel machinery on even for this small population and
+  // make chunks small, so many workers genuinely interleave.
+  cfg.parallel_node_threshold = 1;
+  cfg.parallel_grain = 16;
+  cluster::Cluster cl(cfg);
+
+  power::CappingManagerParams p;
+  p.thresholds.provision = cl.theoretical_peak() * 0.9;
+  p.thresholds.training_cycles = 0;
+  p.thresholds.freeze_at_provision = true;
+  p.cycle_period = cfg.control_period;
+  p.collector.parallel_threshold = 16;
+  p.collector.parallel_grain = 16;
+  p.collector.transport.loss_rate = 0.05;  // exercises per-node loss draws
+  auto mgr = std::make_unique<power::CappingManager>(
+      p, power::make_policy("mpc"), common::Rng(cfg.seed ^ 0x9d2c5680u));
+  mgr->set_candidate_set(cl.controllable_nodes());
+  cl.set_manager(std::move(mgr));
+
+  cl.start_recording();
+  cl.run(Seconds{500.0});
+
+  RunResult out;
+  out.points = cl.recorder().points();
+  out.finished = cl.finished_records();
+  for (const metrics::JobRecord& r : out.finished) {
+    out.total_energy_j += r.energy_j;
+  }
+  return out;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const metrics::CyclePoint& pa = a.points[i];
+    const metrics::CyclePoint& pb = b.points[i];
+    EXPECT_EQ(pa.time_s, pb.time_s) << "tick " << i;
+    EXPECT_EQ(pa.power_w, pb.power_w) << "tick " << i;
+    EXPECT_EQ(pa.p_low_w, pb.p_low_w) << "tick " << i;
+    EXPECT_EQ(pa.p_high_w, pb.p_high_w) << "tick " << i;
+    EXPECT_EQ(pa.state, pb.state) << "tick " << i;
+    EXPECT_EQ(pa.running_jobs, pb.running_jobs) << "tick " << i;
+    EXPECT_EQ(pa.targets, pb.targets) << "tick " << i;
+    EXPECT_EQ(pa.transitions, pb.transitions) << "tick " << i;
+  }
+  ASSERT_EQ(a.finished.size(), b.finished.size());
+  for (std::size_t i = 0; i < a.finished.size(); ++i) {
+    const metrics::JobRecord& ra = a.finished[i];
+    const metrics::JobRecord& rb = b.finished[i];
+    EXPECT_EQ(ra.id, rb.id) << "job " << i;
+    EXPECT_EQ(ra.app, rb.app) << "job " << i;
+    EXPECT_EQ(ra.nprocs, rb.nprocs) << "job " << i;
+    EXPECT_EQ(ra.actual_s, rb.actual_s) << "job " << i;
+    EXPECT_EQ(ra.energy_j, rb.energy_j) << "job " << i;
+  }
+  EXPECT_EQ(a.total_energy_j, b.total_energy_j);
+}
+
+TEST(Determinism, ParallelRunBitIdenticalToSerial) {
+  const RunResult serial = run_cluster(1);
+  ASSERT_GT(serial.points.size(), 400u);
+  ASSERT_GT(serial.finished.size(), 0u) << "run too short to finish a job";
+
+  const RunResult four = run_cluster(4);
+  expect_identical(serial, four);
+
+  // Hardware concurrency too, in case it differs from both.
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  if (hw != 1 && hw != 4) {
+    const RunResult native = run_cluster(hw);
+    expect_identical(serial, native);
+  }
+}
+
+TEST(Determinism, RepeatedParallelRunsAgree) {
+  const RunResult a = run_cluster(4);
+  const RunResult b = run_cluster(4);
+  expect_identical(a, b);
+}
+
+}  // namespace
+}  // namespace pcap

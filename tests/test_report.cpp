@@ -75,7 +75,10 @@ TEST(Table, NoTrailingSpaces) {
   Table t({"a", "b"});
   t.cell("x").cell("y");
   t.end_row();
-  for (const char* line = t.to_string().c_str(); *line != '\0';) {
+  // Keep the rendered string alive for the whole scan: iterating over the
+  // c_str() of a temporary reads freed memory.
+  const std::string rendered = t.to_string();
+  for (const char* line = rendered.c_str(); *line != '\0';) {
     const char* nl = line;
     while (*nl != '\0' && *nl != '\n') ++nl;
     if (nl > line) EXPECT_NE(*(nl - 1), ' ');

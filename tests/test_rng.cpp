@@ -208,6 +208,67 @@ TEST(OrnsteinUhlenbeck, StationaryVariance) {
   EXPECT_NEAR(std::sqrt(sq / n), 2.0, 0.2);
 }
 
+TEST(RngStream, DoesNotAdvanceParent) {
+  Rng parent(123);
+  Rng untouched(123);
+  (void)parent.stream(0);
+  (void)parent.stream(7);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(parent.next_u64(), untouched.next_u64());
+  }
+}
+
+TEST(RngStream, PureFunctionOfParentStateAndIndex) {
+  // stream(i) must depend only on (parent state, i) — never on which
+  // other streams were derived first. This is what makes per-node draws
+  // order-independent under a parallel sweep.
+  Rng a(42);
+  Rng b(42);
+  Rng ordered = a.stream(5);
+  (void)b.stream(3);
+  (void)b.stream(9);
+  Rng interleaved = b.stream(5);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(ordered.next_u64(), interleaved.next_u64());
+  }
+}
+
+TEST(RngStream, DistinctIndicesDecorrelate) {
+  Rng parent(7);
+  Rng s0 = parent.stream(0);
+  Rng s1 = parent.stream(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (s0.next_u64() == s1.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngStream, AdjacentIndicesHaveUnbiasedOutput) {
+  // SplitMix64 finalization should leave no visible correlation between
+  // neighbouring stream indices: averaged uniforms stay near 1/2.
+  Rng parent(2026);
+  double sum = 0.0;
+  const int streams = 2000;
+  for (int i = 0; i < streams; ++i) {
+    Rng s = parent.stream(static_cast<std::uint64_t>(i));
+    sum += s.uniform();
+  }
+  EXPECT_NEAR(sum / streams, 0.5, 0.02);
+}
+
+TEST(RngStream, ForkTagIndexMatchesForkThenStream) {
+  Rng a(99);
+  Rng b(99);
+  Rng direct = a.fork("noise", 11);
+  Rng composed = b.fork("noise").stream(11);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(direct.next_u64(), composed.next_u64());
+  }
+  // And the two parents advanced identically (one fork each).
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
 TEST(OrnsteinUhlenbeck, ResetOverridesValue) {
   Rng rng(83);
   OrnsteinUhlenbeck ou(0.0, 1.0, 5.0, 3.0);

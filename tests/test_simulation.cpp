@@ -135,6 +135,22 @@ TEST(Simulation, StepExecutesOneEvent) {
   EXPECT_FALSE(sim.step());
 }
 
+TEST(Simulation, StepAfterRunUntilKeepsTimeMonotonic) {
+  // run_until(5) advances the clock past the first event and leaves the
+  // second queued; step() must accept it (time moves forward) and never
+  // rewind now(). The converse — a stale event — makes step() throw, but
+  // the scheduling API already refuses to create one.
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(Seconds{1.0}, [&] { ++count; });
+  sim.schedule_at(Seconds{6.0}, [&] { ++count; });
+  sim.run_until(Seconds{5.0});
+  EXPECT_EQ(count, 1);
+  EXPECT_NO_THROW(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), Seconds{6.0});
+}
+
 TEST(Simulation, EventsProcessedCounter) {
   Simulation sim;
   sim.every(Seconds{1.0}, Seconds{1.0}, [](Seconds) {});

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 #include <vector>
 
 namespace pcap::common {
@@ -56,6 +59,73 @@ TEST(ThreadPool, ExceptionPropagates) {
                           if (i == 2) throw std::runtime_error("boom");
                         }),
       std::runtime_error);
+}
+
+TEST(ThreadPool, GrainedParallelForCoversAllIndicesOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, 64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, GrainedParallelForRangesRespectGrain) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  pool.parallel_for(230, 50, [&](std::size_t begin, std::size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    ranges.emplace_back(begin, end);
+  });
+  std::size_t covered = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_LT(begin, end);
+    EXPECT_LE(end - begin, 50u);
+    EXPECT_EQ(begin % 50, 0u);  // chunk boundaries fixed by grain alone
+    covered += end - begin;
+  }
+  EXPECT_EQ(covered, 230u);
+}
+
+TEST(ThreadPool, GrainedParallelForSmallNRunsInline) {
+  ThreadPool pool(4);
+  int calls = 0;  // no atomics needed: must run on the calling thread
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(16, 64, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 16u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, GrainedParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, 8, [](std::size_t, std::size_t) {
+    FAIL() << "should not run";
+  });
+}
+
+TEST(ThreadPool, GrainedParallelForZeroGrainIsSafe) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(10, 0, [&](std::size_t begin, std::size_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, GrainedParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(1000, 10,
+                                 [](std::size_t begin, std::size_t) {
+                                   if (begin == 500) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
 }
 
 TEST(ThreadPool, ManyTasksDrain) {
