@@ -217,6 +217,9 @@ void Cluster::tick() {
     p.targets = control_tick ? last_report_.targets : 0;
     p.transitions = control_tick ? last_report_.transitions : 0;
     p.manager_utilization = last_report_.manager_utilization;
+    p.stale_nodes = control_tick ? last_report_.stale_nodes : 0;
+    p.fallback_nodes = control_tick ? last_report_.fallback_nodes : 0;
+    p.skipped_targets = control_tick ? last_report_.skipped_targets : 0;
     recorder_->record(p);
   }
 }

@@ -37,6 +37,13 @@ const std::set<std::string>& known_keys() {
       "experiment.provision_fraction",
       "telemetry.loss_rate",
       "telemetry.delay_cycles",
+      "telemetry.agent_dropout_rate",
+      "telemetry.agent_recovery_rate",
+      "telemetry.crash_rate",
+      "telemetry.crash_duration_cycles",
+      "telemetry.corruption_rate",
+      "telemetry.max_sample_age_cycles",
+      "telemetry.stale_margin",
   };
   return keys;
 }
@@ -122,6 +129,21 @@ ExperimentConfig apply_config(ExperimentConfig base,
       cfg.get_double("telemetry.loss_rate", out.transport.loss_rate);
   out.transport.delay_cycles = static_cast<int>(
       cfg.get_int("telemetry.delay_cycles", out.transport.delay_cycles));
+  out.faults.agent_dropout_rate = cfg.get_double(
+      "telemetry.agent_dropout_rate", out.faults.agent_dropout_rate);
+  out.faults.agent_recovery_rate = cfg.get_double(
+      "telemetry.agent_recovery_rate", out.faults.agent_recovery_rate);
+  out.faults.crash_rate =
+      cfg.get_double("telemetry.crash_rate", out.faults.crash_rate);
+  out.faults.crash_duration_cycles = static_cast<int>(cfg.get_int(
+      "telemetry.crash_duration_cycles", out.faults.crash_duration_cycles));
+  out.faults.corruption_rate =
+      cfg.get_double("telemetry.corruption_rate", out.faults.corruption_rate);
+  out.faults.validate();
+  out.max_sample_age_cycles = cfg.get_int("telemetry.max_sample_age_cycles",
+                                          out.max_sample_age_cycles);
+  out.stale_power_margin =
+      cfg.get_double("telemetry.stale_margin", out.stale_power_margin);
 
   return out;
 }

@@ -37,6 +37,13 @@
 //   [telemetry]
 //   loss_rate = 0.0             agent-report loss probability
 //   delay_cycles = 0            agent-report delivery delay
+//   agent_dropout_rate = 0.0    per-cycle P(healthy agent stops reporting)
+//   agent_recovery_rate = 0.25  per-cycle P(down agent restarts)
+//   crash_rate = 0.0            per-cycle P(node crashes)
+//   crash_duration_cycles = 60  length of a crash window
+//   corruption_rate = 0.0       P(delivered report has a garbage power)
+//   max_sample_age_cycles = 5   older views are stale (fallback estimate)
+//   stale_margin = 0.10         stale power = last known × (1 + margin)
 #pragma once
 
 #include <string>

@@ -52,6 +52,7 @@ std::unique_ptr<power::PowerManagerBase> make_manager(
     p.global_budget = provision * cluster.meter.psu_efficiency;
     p.cycle_period = cluster.control_period;
     p.collector.transport = config.transport;
+    p.collector.faults = config.faults;
     auto mgr = std::make_unique<baselines::BudgetManager>(p, rng);
     mgr->set_candidate_set(candidates);
     return mgr;
@@ -65,6 +66,7 @@ std::unique_ptr<power::PowerManagerBase> make_manager(
     p.gain = config.feedback_gain;
     p.cycle_period = cluster.control_period;
     p.collector.transport = config.transport;
+    p.collector.faults = config.faults;
     auto mgr = std::make_unique<baselines::FeedbackManager>(p, rng);
     mgr->set_candidate_set(candidates);
     return mgr;
@@ -92,6 +94,9 @@ std::unique_ptr<power::PowerManagerBase> make_manager(
   p.capping = config.capping;
   p.cycle_period = cluster.control_period;
   p.collector.transport = config.transport;
+  p.collector.faults = config.faults;
+  p.max_sample_age_cycles = config.max_sample_age_cycles;
+  p.stale_power_margin = config.stale_power_margin;
   auto mgr = std::make_unique<power::CappingManager>(
       p, make_policy_any(config.manager), rng);
   mgr->set_candidate_set(candidates);
@@ -148,7 +153,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   for (const auto& p : cl.recorder().points()) {
     util_sum += p.manager_utilization;
     transitions += p.transitions;
+    r.stale_node_cycles += p.stale_nodes;
+    r.fallback_node_cycles += p.fallback_nodes;
+    r.skipped_targets += p.skipped_targets;
   }
+  r.samples_lost = cl.last_report().samples_lost;
+  r.samples_suppressed = cl.last_report().samples_suppressed;
+  r.samples_corrupted = cl.last_report().samples_corrupted;
+  r.crash_events = cl.last_report().crash_events;
+  r.recovery_events = cl.last_report().recovery_events;
   const std::size_t cycles = cl.recorder().size();
   r.mean_manager_utilization =
       cycles > 0 ? util_sum / static_cast<double>(cycles) : 0.0;

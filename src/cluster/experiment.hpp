@@ -55,6 +55,12 @@ struct ExperimentConfig {
 
   /// Management-plane fault model: agent reports may be lost or delayed.
   telemetry::TransportParams transport;
+  /// Telemetry-plane fault injection: agent dropout, node crash windows,
+  /// corrupted power estimates. All-zero (off) by default.
+  telemetry::FaultParams faults;
+  /// Manager-side staleness policy (see CappingManagerParams).
+  std::int64_t max_sample_age_cycles = 5;
+  double stale_power_margin = 0.10;
 };
 
 struct ExperimentResult {
@@ -76,6 +82,17 @@ struct ExperimentResult {
   bool never_red = true;     ///< §V.D: power never entered the red state
   double mean_manager_utilization = 0.0;
   std::size_t transitions = 0;  ///< DVFS actuations during measurement
+
+  // Telemetry-health accounting over the measured window.
+  std::size_t stale_node_cycles = 0;     ///< Σ per-cycle stale views
+  std::size_t fallback_node_cycles = 0;  ///< Σ per-cycle substituted views
+  std::size_t skipped_targets = 0;       ///< Σ targets the engine refused
+  // Fault/transport ground truth (lifetime totals at the end of the run).
+  std::uint64_t samples_lost = 0;
+  std::uint64_t samples_suppressed = 0;
+  std::uint64_t samples_corrupted = 0;
+  std::uint64_t crash_events = 0;
+  std::uint64_t recovery_events = 0;
 };
 
 /// Runs calibration (if needed), training and measurement; returns the

@@ -39,6 +39,21 @@ ExperimentConfig small_scenario(std::uint64_t seed) {
   return cfg;
 }
 
+ExperimentConfig faulty_telemetry_scenario(std::uint64_t seed) {
+  ExperimentConfig cfg = small_scenario(seed);
+  cfg.provision_fraction = 0.95;  // capped peak must stay under provision
+  cfg.transport.loss_rate = 0.02;
+  cfg.transport.delay_cycles = 1;
+  cfg.faults.agent_dropout_rate = 0.01;
+  cfg.faults.agent_recovery_rate = 0.2;
+  cfg.faults.crash_rate = 1e-4;
+  cfg.faults.crash_duration_cycles = 60;
+  cfg.faults.corruption_rate = 0.005;
+  cfg.max_sample_age_cycles = 5;
+  cfg.stale_power_margin = 0.10;
+  return cfg;
+}
+
 ExperimentConfig heterogeneous_scenario(std::uint64_t seed) {
   ExperimentConfig cfg = small_scenario(seed);
   cfg.cluster.num_nodes = 0;

@@ -20,4 +20,11 @@ ExperimentConfig small_scenario(std::uint64_t seed = 7);
 /// §III.B property 1.
 ExperimentConfig heterogeneous_scenario(std::uint64_t seed = 11);
 
+/// small_scenario under a degraded management plane: lossy and delayed
+/// transport, agents dropping out and recovering, occasional node crash
+/// windows, and a sprinkle of corrupted power estimates. The provision is
+/// calibrated tighter than usual so capping decisions keep mattering while
+/// the controller is partially blind.
+ExperimentConfig faulty_telemetry_scenario(std::uint64_t seed = 23);
+
 }  // namespace pcap::cluster

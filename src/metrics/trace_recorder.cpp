@@ -37,7 +37,7 @@ std::size_t TraceRecorder::state_count(int state) const {
 std::string TraceRecorder::to_csv() const {
   std::ostringstream out;
   common::CsvWriter w(out, {"time_s", "power_w", "p_low_w", "p_high_w",
-                            "state", "jobs", "targets"});
+                            "state", "jobs", "targets", "stale", "skipped"});
   for (const auto& p : points_) {
     w.cell(p.time_s)
         .cell(p.power_w)
@@ -45,7 +45,9 @@ std::string TraceRecorder::to_csv() const {
         .cell(p.p_high_w)
         .cell(static_cast<std::int64_t>(p.state))
         .cell(p.running_jobs)
-        .cell(p.targets);
+        .cell(p.targets)
+        .cell(p.stale_nodes)
+        .cell(p.skipped_targets);
     w.end_row();
   }
   return out.str();

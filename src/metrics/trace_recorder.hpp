@@ -20,6 +20,10 @@ struct CyclePoint {
   std::size_t targets = 0;
   std::size_t transitions = 0;        ///< DVFS changes actually applied
   double manager_utilization = 0.0;   ///< Fig.5 cost model, this cycle
+  // Telemetry health for this cycle (zero when healthy / steady green).
+  std::size_t stale_nodes = 0;     ///< views past the sample-age bound
+  std::size_t fallback_nodes = 0;  ///< views on a substituted estimate
+  std::size_t skipped_targets = 0; ///< policy targets the engine refused
 };
 
 class TraceRecorder {
@@ -39,7 +43,8 @@ class TraceRecorder {
   /// Counts of cycles per state {green, yellow, red}.
   [[nodiscard]] std::size_t state_count(int state) const;
 
-  /// CSV export ("time_s,power_w,p_low_w,p_high_w,state,jobs,targets").
+  /// CSV export ("time_s,power_w,p_low_w,p_high_w,state,jobs,targets,
+  /// stale,skipped").
   [[nodiscard]] std::string to_csv() const;
   void save(const std::string& path) const;
 

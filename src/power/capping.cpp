@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/logging.hpp"
+
 namespace pcap::power {
 
 CappingEngine::CappingEngine(CappingParams params) : params_(params) {
@@ -43,9 +45,16 @@ CycleDecision CappingEngine::green_cycle(const PolicyContext& ctx) {
 
   // Steady green: raise every degraded node by one level; nodes reaching
   // their spec's top level leave A_degraded ("if l_i + 1 is the highest
-  // level for node i then remove node i from A_degraded").
+  // level for node i then remove node i from A_degraded"). A node whose
+  // telemetry has gone stale stays degraded but is not raised this cycle:
+  // its reported level may be cycles old, and restoring against a guessed
+  // level risks overshooting the cap we just recovered from.
   for (auto it = degraded_.begin(); it != degraded_.end();) {
     const NodeView* nv = ctx.node(*it);
+    if (nv->stale) {
+      ++it;
+      continue;
+    }
     const hw::Level restored = std::min(nv->level + 1, nv->highest_level);
     d.commands.push_back(LevelCommand{*it, restored});
     if (restored >= nv->highest_level) {
@@ -63,14 +72,25 @@ CycleDecision CappingEngine::yellow_cycle(TargetSelectionPolicy& policy,
   d.state = PowerState::kYellow;
   time_g_ = 0;
 
+  // A policy target can be invalid for two reasons: the policy is buggy
+  // (duplicate/idle/floored picks), or — far more often at scale — the
+  // telemetry it acted on was stale or missing. Either way, aborting the
+  // whole control cycle over one bad target means NO node gets throttled
+  // while power sits above P_L, which is strictly worse than acting on
+  // the valid remainder. Skip, count, warn.
   for (const hw::NodeId id : policy.select(ctx)) {
     const NodeView* nv = ctx.node(id);
-    if (nv == nullptr || nv->at_lowest || !nv->busy) {
-      throw std::logic_error(
-          "CappingEngine: policy returned an invalid target");
+    if (nv == nullptr || nv->at_lowest || !nv->busy || nv->stale) {
+      ++d.skipped;
+      continue;
     }
     d.commands.push_back(LevelCommand{id, nv->level - 1});
     degraded_.insert(id);
+  }
+  if (d.skipped > 0) {
+    skipped_targets_ += d.skipped;
+    PCAP_WARN("capping: skipped %zu invalid/stale targets this cycle",
+              d.skipped);
   }
   return d;
 }
@@ -79,7 +99,14 @@ CycleDecision CappingEngine::red_cycle(const PolicyContext& ctx) {
   CycleDecision d;
   d.state = PowerState::kRed;
   time_g_ = 0;
+  // Idempotent flooring: a node already at its lowest level gets no
+  // command and does not (re-)enter A_degraded — repeating the red cycle
+  // must not inflate target/actuation counts, and a node this engine
+  // never lowered must not be "restored" above where it started. Stale
+  // nodes ARE floored: red is the safety state and flooring is the one
+  // command that is safe whatever the node's true level is.
   for (const NodeView& nv : ctx.nodes) {
+    if (nv.at_lowest) continue;
     d.commands.push_back(LevelCommand{nv.id, 0});  // lowest power state
     degraded_.insert(nv.id);
   }

@@ -40,6 +40,11 @@ struct LevelCommand {
 struct CycleDecision {
   PowerState state = PowerState::kGreen;
   std::vector<LevelCommand> commands;  ///< the A_target with target levels
+  /// Policy-selected targets the engine refused this cycle (unknown node,
+  /// idle, already floored, or acting on stale telemetry). A healthy
+  /// policy keeps this at 0; under telemetry faults it quantifies how
+  /// often selection ran ahead of the data.
+  std::size_t skipped = 0;
 };
 
 class CappingEngine {
@@ -59,6 +64,12 @@ class CappingEngine {
   }
   /// Time_g: consecutive green cycles so far.
   [[nodiscard]] std::int64_t green_timer() const { return time_g_; }
+  /// Invalid/stale policy targets skipped over the engine's lifetime. One
+  /// bad target used to abort the whole manager cycle; now it costs one
+  /// counted warning and the rest of the decision still lands.
+  [[nodiscard]] std::uint64_t skipped_targets() const {
+    return skipped_targets_;
+  }
   [[nodiscard]] const CappingParams& params() const { return params_; }
 
   /// Forgets all throttling history (e.g. when capping is switched off).
@@ -72,6 +83,7 @@ class CappingEngine {
 
   CappingParams params_;
   std::int64_t time_g_ = 0;
+  std::uint64_t skipped_targets_ = 0;
   std::set<hw::NodeId> degraded_;  ///< A_degraded
 };
 

@@ -1,8 +1,24 @@
 #include "power/manager.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace pcap::power {
+
+namespace {
+
+/// Sanity bound for a reported power estimate. Formula-(1) estimates can
+/// legitimately sit a little above the table entries (interpolation,
+/// utilisation overshoot), so allow headroom over the board's theoretical
+/// ceiling; anything negative, non-finite, or far beyond it is a torn or
+/// byte-swapped counter, not a measurement.
+bool plausible_sample(const telemetry::NodeSample& s, const hw::Node& node) {
+  const double w = s.estimated_power.value();
+  return std::isfinite(w) && w >= 0.0 &&
+         s.estimated_power <= node.spec().power_model.theoretical_max() * 1.5;
+}
+
+}  // namespace
 
 CappingManager::CappingManager(CappingManagerParams params, PolicyPtr policy,
                                common::Rng rng)
@@ -14,6 +30,12 @@ CappingManager::CappingManager(CappingManagerParams params, PolicyPtr policy,
   if (!policy_) throw std::invalid_argument("CappingManager: null policy");
   if (params_.cycle_period <= Seconds{0.0}) {
     throw std::invalid_argument("CappingManager: bad cycle period");
+  }
+  if (params_.max_sample_age_cycles < 0) {
+    throw std::invalid_argument("CappingManager: bad max sample age");
+  }
+  if (params_.stale_power_margin < 0.0) {
+    throw std::invalid_argument("CappingManager: bad stale power margin");
   }
   collector_.set_cycle_period(params_.cycle_period);
   if (params_.selector) selector_.emplace(*params_.selector);
@@ -40,15 +62,43 @@ void CappingManager::build_context_into(
     const sched::Scheduler& scheduler) const {
   ctx.system_power = measured;
   ctx.p_low = learner_.p_low();
+  ctx.stale_nodes = 0;
+  ctx.missing_nodes = 0;
+  ctx.fallback_nodes = 0;
+  ctx.rejected_samples = 0;
 
-  // Node views from the latest telemetry. clear() keeps the capacity, so
-  // after the first cycle this fills existing storage.
+  const std::uint64_t now_cycle = collector_.cycle_count();
+  const auto max_age = static_cast<std::uint64_t>(params_.max_sample_age_cycles);
+
+  // Node views from the freshest *plausible* telemetry. clear() keeps the
+  // capacity, so after the first cycle this fills existing storage.
   ctx.nodes.clear();
   for (const hw::NodeId id : collector_.candidate_set()) {
     const auto* hist = collector_.history(id);
-    if (hist == nullptr || hist->empty()) continue;  // not yet sampled
-    const telemetry::NodeSample& latest = hist->back();
     const hw::Node& node = nodes.at(id);
+
+    // Walk the history newest-to-oldest for a sample that passes the
+    // sanity check; corrupted deliveries are skipped, not trusted.
+    std::size_t chosen = 0;
+    bool found = false;
+    for (std::size_t i = hist == nullptr ? 0 : hist->size(); i-- > 0;) {
+      if (plausible_sample((*hist)[i], node)) {
+        chosen = i;
+        found = true;
+        break;
+      }
+      ++ctx.rejected_samples;
+    }
+    if (!found) {
+      // Never sampled, or nothing in the window survived the sanity
+      // check. With no level/busy state to act on, the node cannot be a
+      // target; the facility meter still sees its real draw, so the
+      // thresholds remain grounded even while we are blind here.
+      ++ctx.missing_nodes;
+      continue;
+    }
+
+    const telemetry::NodeSample& latest = (*hist)[chosen];
     NodeView nv;
     nv.id = id;
     nv.level = latest.level;
@@ -57,8 +107,25 @@ void CappingManager::build_context_into(
     nv.busy = latest.busy;
     nv.power = latest.estimated_power;
     nv.temperature = latest.temperature;
-    if (hist->size() >= 2) {
-      nv.power_prev = (*hist)[hist->size() - 2].estimated_power;
+    nv.stale = now_cycle - latest.cycle > max_age;
+    if (nv.stale) {
+      // Conservative fallback: assume the unseen node has drifted UP from
+      // its last known draw. Overstating keeps the job totals — and thus
+      // how aggressively Algorithm 1 sheds — on the safe side.
+      nv.power *= 1.0 + params_.stale_power_margin;
+      ++ctx.stale_nodes;
+      ++ctx.fallback_nodes;
+    } else if (chosen + 1 != hist->size()) {
+      // Fresh enough, but only after discarding newer corrupt deliveries:
+      // still a substituted estimate, count it as such.
+      ++ctx.fallback_nodes;
+    }
+    for (std::size_t i = chosen; i-- > 0;) {
+      if (plausible_sample((*hist)[i], node)) {
+        nv.power_prev = (*hist)[i].estimated_power;
+        nv.has_prev = true;
+        break;
+      }
     }
     nv.power_one_level_down = node.estimated_power_at(latest.level - 1);
     ctx.nodes.push_back(nv);
@@ -84,12 +151,18 @@ void CappingManager::build_context_into(
       if (nv == nullptr) continue;  // node outside A_candidate
       jv.nodes.push_back(nid);
       jv.power += nv->power;
-      if (nv->power_prev > Watts{0.0}) {
+      // has_prev, not power_prev > 0: an idle or gated node legitimately
+      // reports 0.0 W, and treating that as "no history" zeroed the whole
+      // job's rate-of-increase signal.
+      if (nv->has_prev) {
         jv.power_prev += nv->power_prev;
       } else {
         have_all_prev = false;
       }
-      if (nv->busy && !nv->at_lowest) {
+      // Stale nodes contribute (inflated) power but no claimed saving:
+      // a throttle command they will not be selected for cannot be
+      // counted as shed watts.
+      if (nv->busy && !nv->at_lowest && !nv->stale) {
         jv.saving_one_level += nv->power - nv->power_one_level_down;
       }
     }
@@ -124,6 +197,17 @@ ManagerReport CappingManager::cycle(Watts measured,
   report.manager_utilization = collector_.last_cycle_manager_utilization();
   report.state = classify_power(measured, report.p_low, report.p_high);
 
+  // Fault/transport ground truth is cumulative collector state — cheap to
+  // read and meaningful on every path, including training and steady
+  // green where no context is assembled.
+  report.samples_lost = collector_.samples_lost();
+  report.samples_suppressed = collector_.samples_suppressed();
+  const telemetry::FaultInjector& faults = collector_.fault_injector();
+  report.samples_corrupted = faults.samples_corrupted();
+  report.crash_events = faults.crash_events();
+  report.recovery_events = faults.recovery_events();
+  report.agents_down = faults.silent_count();
+
   // 3. During training the system runs unmanaged (§V.C).
   if (report.training) return report;
 
@@ -134,12 +218,17 @@ ManagerReport CappingManager::cycle(Watts measured,
   // allocation-free.
   if (report.state != PowerState::kGreen || !engine_.degraded().empty()) {
     build_context_into(scratch_ctx_, measured, nodes, scheduler);
+    report.stale_nodes = scratch_ctx_.stale_nodes;
+    report.missing_nodes = scratch_ctx_.missing_nodes;
+    report.fallback_nodes = scratch_ctx_.fallback_nodes;
+    report.rejected_samples = scratch_ctx_.rejected_samples;
   }
   const PolicyContext& ctx = scratch_ctx_;
   const CycleDecision decision =
       engine_.cycle(measured, report.p_low, report.p_high, *policy_, ctx);
   report.state = decision.state;
   report.targets = decision.commands.size();
+  report.skipped_targets = decision.skipped;
   report.transitions = controller_.apply(decision.commands, nodes);
   return report;
 }

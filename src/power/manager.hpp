@@ -11,6 +11,7 @@
 // library provides alternative implementations behind the same interface.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,6 +41,23 @@ struct ManagerReport {
   std::size_t targets = 0;      ///< |A_target| this cycle
   std::size_t transitions = 0;  ///< level changes actually applied
   double manager_utilization = 0.0;  ///< Fig.5 cost model, this cycle
+
+  // Telemetry health, this cycle. Zero on the steady-green fast path
+  // (no context is built there — nothing was selected against).
+  std::size_t stale_nodes = 0;       ///< views past the sample-age bound
+  std::size_t missing_nodes = 0;     ///< candidates with no usable sample
+  std::size_t fallback_nodes = 0;    ///< views on a substituted estimate
+  std::size_t rejected_samples = 0;  ///< implausible samples skipped
+  std::size_t skipped_targets = 0;   ///< policy targets the engine refused
+
+  // Cumulative fault/transport ground truth (collector + injector
+  // lifetime totals; filled every cycle, including steady green).
+  std::uint64_t samples_lost = 0;        ///< dropped by the transport
+  std::uint64_t samples_suppressed = 0;  ///< never left the node
+  std::uint64_t samples_corrupted = 0;   ///< delivered with garbage power
+  std::uint64_t crash_events = 0;
+  std::uint64_t recovery_events = 0;
+  std::size_t agents_down = 0;  ///< nodes currently silent
 };
 
 class PowerManagerBase {
@@ -66,6 +84,15 @@ struct CappingManagerParams {
   CappingParams capping;
   telemetry::CollectorParams collector;
   Seconds cycle_period{1.0};
+  /// A node view older than this many collection cycles is stale: it gets
+  /// a conservative fallback power estimate and is excluded from target
+  /// selection. Delayed transport alone ages samples by delay_cycles, so
+  /// keep this above the configured delay.
+  std::int64_t max_sample_age_cycles = 5;
+  /// Fallback inflation for stale views: last-known power × (1 + margin).
+  /// Overstating a blind node's draw keeps the aggregate estimate — and
+  /// therefore capping — on the safe side of the provision.
+  double stale_power_margin = 0.10;
   /// When set, A_candidate is recomputed dynamically (§III.A algorithm
   /// (c)) instead of being fixed by set_candidate_set().
   std::optional<CandidateSelectorParams> selector;

@@ -31,7 +31,9 @@ std::vector<hw::NodeId> throttleable_nodes(const PolicyContext& ctx,
   out.reserve(job.nodes.size());
   for (const hw::NodeId id : job.nodes) {
     const NodeView* nv = ctx.node(id);
-    if (nv != nullptr && nv->busy && !nv->at_lowest) out.push_back(id);
+    if (nv != nullptr && nv->busy && !nv->at_lowest && !nv->stale) {
+      out.push_back(id);
+    }
   }
   return out;
 }

@@ -25,6 +25,15 @@ struct NodeView {
   hw::Level highest_level = 0;  ///< top of this node's ladder
   bool at_lowest = false;  ///< cannot be degraded further
   bool busy = false;       ///< idle nodes must not be targeted (§III.B-4)
+  /// The freshest usable sample exceeded the manager's age bound: `power`
+  /// is a conservative fallback estimate, not a live reading. Stale nodes
+  /// still count towards job power (inflated, so thresholds stay safe)
+  /// but must not be selected as throttle targets — the command would act
+  /// on a state the manager cannot see.
+  bool stale = false;
+  /// power_prev holds a real previous-cycle sample (a node can
+  /// legitimately read 0.0 W, so the value alone cannot signal absence).
+  bool has_prev = false;
   Watts power{0.0};        ///< P(x): formula-(1) estimate, current cycle
   Watts power_prev{0.0};   ///< P^{t-1}(x): previous cycle (0 if unknown)
   Watts power_one_level_down{0.0};  ///< P'(x): estimate at level-1
@@ -51,6 +60,14 @@ struct PolicyContext {
   Watts p_low{0.0};         ///< P_L (MPC-C/LPC-C/BFP need P - P_L)
   std::vector<NodeView> nodes;
   std::vector<JobView> jobs;
+
+  // Telemetry-health tallies for the cycle this context was built from —
+  // the manager copies them into its report so experiments can quantify
+  // how much of the candidate set the controller was actually seeing.
+  std::size_t stale_nodes = 0;      ///< views older than the age bound
+  std::size_t missing_nodes = 0;    ///< candidates with no usable sample
+  std::size_t fallback_nodes = 0;   ///< views on a substituted estimate
+  std::size_t rejected_samples = 0; ///< implausible samples discarded
 
   /// Power the system must shed to re-enter green: max(0, P - P_L).
   [[nodiscard]] Watts required_saving() const;
@@ -83,7 +100,10 @@ class TargetSelectionPolicy {
 using PolicyPtr = std::unique_ptr<TargetSelectionPolicy>;
 
 /// Filters a job's node list down to throttleable ones (busy, not at the
-/// lowest level). Shared by every policy implementation.
+/// lowest level, acting on fresh telemetry). Shared by every policy
+/// implementation; the capping engine additionally re-checks whatever a
+/// policy returns, so a policy that bypasses this filter degrades to
+/// skipped targets rather than wrong actuation.
 std::vector<hw::NodeId> throttleable_nodes(const PolicyContext& ctx,
                                            const JobView& job);
 

@@ -26,6 +26,7 @@ ThresholdLearner::ThresholdLearner(ThresholdParams params)
 
 void ThresholdLearner::observe(Watts system_power) {
   running_peak_ = std::max(running_peak_, system_power);
+  window_peak_ = std::max(window_peak_, system_power);
   const bool was_training = training();
   ++cycles_;
   if (frozen_) return;
@@ -45,10 +46,16 @@ void ThresholdLearner::observe(Watts system_power) {
 }
 
 void ThresholdLearner::adjust() {
-  if (running_peak_ > Watts{0.0}) {
-    p_peak_ = running_peak_;
+  // Adopt the peak observed since the previous adoption, then start a new
+  // observation window. Adopting the all-time peak instead would let
+  // P_peak only ever ratchet upward: one noisy spike during training and
+  // the thresholds stay inflated for the rest of the run, capping too
+  // late forever after.
+  if (window_peak_ > Watts{0.0}) {
+    p_peak_ = window_peak_;
     ++adjustments_;
   }
+  window_peak_ = Watts{0.0};
 }
 
 Watts ThresholdLearner::p_low() const {

@@ -49,6 +49,11 @@ class ThresholdLearner {
 
   /// Highest power seen so far (training + execution).
   [[nodiscard]] Watts running_peak() const { return running_peak_; }
+  /// Highest power seen since the last threshold adoption. This is what
+  /// the next adjustment will adopt as P_peak; unlike running_peak(), it
+  /// can fall between adjustments, so thresholds track workload phases
+  /// down as well as up.
+  [[nodiscard]] Watts window_peak() const { return window_peak_; }
   [[nodiscard]] std::int64_t cycles_observed() const { return cycles_; }
   [[nodiscard]] std::int64_t adjustments() const { return adjustments_; }
   [[nodiscard]] const ThresholdParams& params() const { return params_; }
@@ -62,7 +67,8 @@ class ThresholdLearner {
 
   ThresholdParams params_;
   Watts p_peak_;
-  Watts running_peak_{0.0};
+  Watts running_peak_{0.0};  ///< all-time peak, reporting only
+  Watts window_peak_{0.0};   ///< peak since last adoption, drives adjust()
   std::int64_t cycles_ = 0;
   std::int64_t cycles_since_adjust_ = 0;
   std::int64_t adjustments_ = 0;

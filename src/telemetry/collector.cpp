@@ -6,7 +6,10 @@
 namespace pcap::telemetry {
 
 Collector::Collector(CollectorParams params, common::Rng rng)
-    : params_(params), rng_(rng), cost_model_(params.cost) {
+    : params_(params),
+      rng_(rng),
+      cost_model_(params.cost),
+      fault_injector_(params.faults, rng.fork("faults")) {
   if (params_.history_depth < 2) {
     throw std::invalid_argument(
         "Collector: history must hold at least two samples");
@@ -45,6 +48,7 @@ void Collector::set_candidate_set(const std::vector<hw::NodeId>& nodes) {
   }
   candidates_ = std::move(next);
   slots_ = std::move(next_slots);
+  if (params_.faults.enabled()) fault_injector_.ensure_nodes(candidates_);
 
   slot_of_.assign(
       candidates_.empty()
@@ -60,8 +64,16 @@ void Collector::collect_one(Monitored& m, const hw::Node& node, Seconds now,
                             std::uint64_t& delivered, std::uint64_t& lost) {
   const TransportParams& tp = params_.transport;
   NodeSample sample = m.agent.sample(node, now);
+  sample.cycle = cycle_counter_;
 
-  if (tp.loss_rate > 0.0 && m.transport_rng.bernoulli(tp.loss_rate)) {
+  // Fault disposition first: a report that never leaves the node sees no
+  // transport at all. Corruption mangles the sample in place and lets it
+  // travel — the consumer, not the transport, has to notice.
+  if (params_.faults.enabled() &&
+      fault_injector_.apply(sample).suppressed) {
+    // Anything already in flight still arrives (it was sent before the
+    // fault), so fall through to the delivery loop below.
+  } else if (tp.loss_rate > 0.0 && m.transport_rng.bernoulli(tp.loss_rate)) {
     ++lost;
   } else if (tp.delay_cycles == 0) {
     m.history.push(sample);

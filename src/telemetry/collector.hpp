@@ -17,6 +17,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "telemetry/agent.hpp"
+#include "telemetry/fault_injector.hpp"
 #include "telemetry/management_cost.hpp"
 #include "telemetry/sample.hpp"
 
@@ -35,6 +36,9 @@ struct CollectorParams {
   std::size_t history_depth = 8;
   ManagementCostParams cost;
   TransportParams transport;
+  /// Agent dropout / node crash / sample corruption injection. All off by
+  /// default; the healthy path pays nothing.
+  FaultParams faults;
   /// Candidate-set size at which collect() fans the sweep out over the
   /// attached thread pool (no pool, or fewer candidates: serial). Every
   /// per-candidate draw comes from that candidate's own RNG stream, so
@@ -92,6 +96,19 @@ class Collector {
   [[nodiscard]] std::uint64_t samples_delivered() const {
     return samples_delivered_;
   }
+  /// Reports that never left their node (down agent / crashed node).
+  [[nodiscard]] std::uint64_t samples_suppressed() const {
+    return fault_injector_.samples_suppressed();
+  }
+  /// The fault process driving dropout/crash/corruption (counters live
+  /// there; inert when params.faults is all-zero).
+  [[nodiscard]] const FaultInjector& fault_injector() const {
+    return fault_injector_;
+  }
+  /// Collection cycles run so far. Samples are stamped with the cycle at
+  /// which they were taken, so `cycle_count() - sample.cycle` is a
+  /// sample's age in cycles.
+  [[nodiscard]] std::uint64_t cycle_count() const { return cycle_counter_; }
   [[nodiscard]] const ManagementCostModel& cost_model() const {
     return cost_model_;
   }
@@ -131,6 +148,7 @@ class Collector {
   CollectorParams params_;
   common::Rng rng_;
   ManagementCostModel cost_model_;
+  FaultInjector fault_injector_;
   Seconds cycle_period_{1.0};
   common::ThreadPool* pool_ = nullptr;
   std::vector<hw::NodeId> candidates_;

@@ -1,6 +1,8 @@
 // Telemetry sample types.
 #pragma once
 
+#include <cstdint>
+
 #include "common/units.hpp"
 #include "hw/dvfs.hpp"
 #include "hw/node.hpp"
@@ -13,6 +15,11 @@ namespace pcap::telemetry {
 struct NodeSample {
   hw::NodeId node = 0;
   Seconds time{0.0};
+  /// Collection cycle at which the agent took this sample (stamped by the
+  /// collector). Consumers subtract it from the current cycle to know how
+  /// old the data they are acting on really is — under a lossy or delayed
+  /// management plane "latest" can be many cycles stale.
+  std::uint64_t cycle = 0;
   double cpu_utilization = 0.0;
   Bytes mem_used{0.0};
   Bytes nic_bytes{0.0};

@@ -174,35 +174,117 @@ TEST(Capping, DepartedCandidateLeavesDegradedSet) {
   for (const hw::NodeId id : e.degraded()) EXPECT_NE(id, 1u);
 }
 
-TEST(Capping, PolicyReturningIdleNodeIsRejected) {
-  class BadPolicy final : public TargetSelectionPolicy {
-   public:
-    [[nodiscard]] std::string name() const override { return "bad"; }
-    std::vector<hw::NodeId> select(const PolicyContext&) override {
-      return {0};
-    }
-  };
+// A policy that returns whatever ids it was built with, valid or not —
+// standing in for selection that ran ahead of (or against) the telemetry.
+class BlindPolicy final : public TargetSelectionPolicy {
+ public:
+  explicit BlindPolicy(std::vector<hw::NodeId> targets)
+      : targets_(std::move(targets)) {}
+  [[nodiscard]] std::string name() const override { return "blind"; }
+  std::vector<hw::NodeId> select(const PolicyContext&) override {
+    return targets_;
+  }
+
+ private:
+  std::vector<hw::NodeId> targets_;
+};
+
+TEST(Capping, PolicyReturningIdleNodeIsSkippedNotFatal) {
   CappingEngine e(tg(3));
-  BadPolicy policy;
-  auto ctx = make_ctx(1, 9);
+  BlindPolicy policy({0, 1});
+  auto ctx = make_ctx(2, 9);
   ctx.nodes[0].busy = false;  // idle node must not be targeted (§III.B-4)
-  EXPECT_THROW(e.cycle(Watts{920.0}, Watts{900.0}, Watts{950.0}, policy, ctx),
-               std::logic_error);
+  const CycleDecision d =
+      e.cycle(Watts{920.0}, Watts{900.0}, Watts{950.0}, policy, ctx);
+  // The invalid target is dropped; the valid one still lands.
+  EXPECT_EQ(d.skipped, 1u);
+  ASSERT_EQ(d.commands.size(), 1u);
+  EXPECT_EQ(d.commands[0], (LevelCommand{1, 8}));
+  EXPECT_EQ(e.skipped_targets(), 1u);
 }
 
-TEST(Capping, PolicyReturningFlooredNodeIsRejected) {
-  class BadPolicy final : public TargetSelectionPolicy {
-   public:
-    [[nodiscard]] std::string name() const override { return "bad"; }
-    std::vector<hw::NodeId> select(const PolicyContext&) override {
-      return {0};
-    }
-  };
+TEST(Capping, PolicyReturningFlooredNodeIsSkippedNotFatal) {
   CappingEngine e(tg(3));
-  BadPolicy policy;
+  BlindPolicy policy({0});
   const auto ctx = make_ctx(1, 0);  // already at the lowest level
-  EXPECT_THROW(e.cycle(Watts{920.0}, Watts{900.0}, Watts{950.0}, policy, ctx),
-               std::logic_error);
+  const CycleDecision d =
+      e.cycle(Watts{920.0}, Watts{900.0}, Watts{950.0}, policy, ctx);
+  EXPECT_EQ(d.skipped, 1u);
+  EXPECT_TRUE(d.commands.empty());
+  EXPECT_TRUE(e.degraded().empty());
+}
+
+TEST(Capping, PolicyReturningUnknownNodeIsSkippedNotFatal) {
+  CappingEngine e(tg(3));
+  BlindPolicy policy({7});  // not in the candidate set
+  const auto ctx = make_ctx(2, 9);
+  const CycleDecision d =
+      e.cycle(Watts{920.0}, Watts{900.0}, Watts{950.0}, policy, ctx);
+  EXPECT_EQ(d.skipped, 1u);
+  EXPECT_TRUE(d.commands.empty());
+}
+
+TEST(Capping, StaleTargetIsSkippedAndCounted) {
+  CappingEngine e(tg(3));
+  BlindPolicy policy({0, 1});
+  auto ctx = make_ctx(2, 9);
+  ctx.nodes[0].stale = true;  // the manager flagged node 0's view as stale
+  const CycleDecision d =
+      e.cycle(Watts{920.0}, Watts{900.0}, Watts{950.0}, policy, ctx);
+  EXPECT_EQ(d.skipped, 1u);
+  ASSERT_EQ(d.commands.size(), 1u);
+  EXPECT_EQ(d.commands[0].node, 1u);
+  EXPECT_EQ(e.degraded(), (std::set<hw::NodeId>{1}));
+}
+
+// Regression: red_cycle used to emit LevelCommand{id, 0} for *every*
+// candidate — including nodes already at the floor — and marked them all
+// degraded, so a repeated red state inflated target counts and "restored"
+// nodes the engine had never lowered.
+TEST(Capping, RedIsIdempotentAtTheFloor) {
+  CappingEngine e(tg(3));
+  FixedPolicy policy({});
+  auto ctx = make_ctx(3, 6);
+  auto d = e.cycle(Watts{999.0}, Watts{900.0}, Watts{950.0}, policy, ctx);
+  EXPECT_EQ(d.commands.size(), 3u);
+
+  // Actuated: everyone is at the floor now. A second red cycle must not
+  // re-command anyone.
+  ctx = make_ctx(3, 0);
+  d = e.cycle(Watts{999.0}, Watts{900.0}, Watts{950.0}, policy, ctx);
+  EXPECT_TRUE(d.commands.empty());
+  EXPECT_EQ(e.degraded().size(), 3u);  // still tracked for restore
+}
+
+TEST(Capping, RedDoesNotAdoptNodesAlreadyAtTheFloor) {
+  CappingEngine e(tg(3));
+  FixedPolicy policy({});
+  auto ctx = make_ctx(2, 6);
+  ctx.nodes[1].level = 0;  // floored by someone else, not this engine
+  ctx.nodes[1].at_lowest = true;
+  const auto d = e.cycle(Watts{999.0}, Watts{900.0}, Watts{950.0}, policy, ctx);
+  ASSERT_EQ(d.commands.size(), 1u);
+  EXPECT_EQ(d.commands[0].node, 0u);
+  // Node 1 never entered A_degraded: the engine will not later "restore"
+  // it above a state it never set.
+  EXPECT_EQ(e.degraded(), (std::set<hw::NodeId>{0}));
+}
+
+TEST(Capping, SteadyGreenSkipsStaleNodesButKeepsThemDegraded) {
+  CappingEngine e(tg(1));
+  FixedPolicy policy({0, 1});
+  auto ctx = make_ctx(2, 9);
+  e.cycle(Watts{920.0}, Watts{900.0}, Watts{950.0}, policy, ctx);
+  EXPECT_EQ(e.degraded().size(), 2u);
+
+  ctx = make_ctx(2, 8);
+  ctx.nodes[0].stale = true;
+  const auto d = e.cycle(Watts{0.0}, Watts{900.0}, Watts{950.0}, policy, ctx);
+  // Only the fresh node is restored; the stale one stays in A_degraded
+  // until its telemetry comes back.
+  ASSERT_EQ(d.commands.size(), 1u);
+  EXPECT_EQ(d.commands[0], (LevelCommand{1, 9}));
+  EXPECT_EQ(e.degraded(), (std::set<hw::NodeId>{0}));
 }
 
 TEST(Capping, ResetForgetsHistory) {

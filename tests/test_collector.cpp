@@ -208,6 +208,35 @@ TEST(CollectorTransport, DelayedSamplesArriveInOrder) {
   EXPECT_DOUBLE_EQ(prev->time.value(), 6.0);
 }
 
+TEST(Collector, SamplesAreStampedWithTheCollectionCycle) {
+  Collector c(quiet_params(), common::Rng(31));
+  c.set_candidate_set({0});
+  auto nodes = make_nodes(1);
+  EXPECT_EQ(c.cycle_count(), 0u);
+  c.collect(nodes, Seconds{1.0}, 1);
+  c.collect(nodes, Seconds{2.0}, 1);
+  EXPECT_EQ(c.cycle_count(), 2u);
+  EXPECT_EQ(c.latest(0)->cycle, 2u);
+  EXPECT_EQ(c.previous(0)->cycle, 1u);
+}
+
+TEST(CollectorTransport, DelayedSampleKeepsItsSamplingCycleStamp) {
+  // The stamp records when the sample was *taken*, not when it arrived —
+  // that difference is exactly the staleness the manager must see.
+  CollectorParams p = quiet_params();
+  p.transport.delay_cycles = 3;
+  Collector c(p, common::Rng(32));
+  c.set_candidate_set({0});
+  auto nodes = make_nodes(1);
+  for (int t = 1; t <= 5; ++t) {
+    c.collect(nodes, Seconds{static_cast<double>(t)}, 1);
+  }
+  const auto s = c.latest(0);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->cycle, 2u);  // taken at cycle 2, delivered at cycle 5
+  EXPECT_EQ(c.cycle_count() - s->cycle, 3u);
+}
+
 TEST(CollectorTransport, BadParamsThrow) {
   CollectorParams p = quiet_params();
   p.transport.loss_rate = 1.0;

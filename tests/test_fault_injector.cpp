@@ -1,0 +1,259 @@
+#include "telemetry/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/node_spec.hpp"
+#include "telemetry/collector.hpp"
+
+namespace pcap::telemetry {
+namespace {
+
+NodeSample make_sample(hw::NodeId id, double watts = 300.0) {
+  NodeSample s;
+  s.node = id;
+  s.estimated_power = Watts{watts};
+  s.busy = true;
+  return s;
+}
+
+TEST(FaultParams, DisabledByDefault) {
+  const FaultParams p;
+  EXPECT_FALSE(p.enabled());
+  p.validate();  // defaults are valid
+}
+
+TEST(FaultParams, AnyActiveChannelEnables) {
+  FaultParams p;
+  p.agent_dropout_rate = 0.1;
+  EXPECT_TRUE(p.enabled());
+  p = FaultParams{};
+  p.crash_rate = 0.1;
+  EXPECT_TRUE(p.enabled());
+  p = FaultParams{};
+  p.corruption_rate = 0.1;
+  EXPECT_TRUE(p.enabled());
+}
+
+TEST(FaultParams, BadRatesThrow) {
+  FaultParams p;
+  p.agent_dropout_rate = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = FaultParams{};
+  p.corruption_rate = -0.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = FaultParams{};
+  p.crash_rate = 0.1;
+  p.crash_duration_cycles = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(FaultInjector, UnregisteredNodePassesThrough) {
+  FaultInjector inj(FaultParams{}, common::Rng(1));
+  NodeSample s = make_sample(5);
+  const auto out = inj.apply(s);
+  EXPECT_FALSE(out.suppressed);
+  EXPECT_FALSE(out.corrupted);
+  EXPECT_EQ(s.estimated_power, Watts{300.0});
+}
+
+TEST(FaultInjector, PermanentDropoutSilencesAgent) {
+  FaultParams p;
+  p.agent_dropout_rate = 1.0;
+  p.agent_recovery_rate = 0.0;
+  FaultInjector inj(p, common::Rng(2));
+  inj.ensure_nodes({0});
+  for (int c = 0; c < 5; ++c) {
+    NodeSample s = make_sample(0);
+    EXPECT_TRUE(inj.apply(s).suppressed);
+  }
+  EXPECT_EQ(inj.agent_dropouts(), 1u);  // one dropout event, many lost samples
+  EXPECT_EQ(inj.samples_suppressed(), 5u);
+  EXPECT_TRUE(inj.is_silent(0));
+  EXPECT_EQ(inj.silent_count(), 1u);
+}
+
+TEST(FaultInjector, CrashWindowRunsItsCourseThenRecovers) {
+  FaultParams p;
+  p.crash_rate = 1.0;
+  p.crash_duration_cycles = 3;
+  FaultInjector inj(p, common::Rng(3));
+  inj.ensure_nodes({0});
+
+  NodeSample s = make_sample(0);
+  auto out = inj.apply(s);  // cycle 1: crash starts
+  EXPECT_TRUE(out.crash_started);
+  EXPECT_TRUE(out.suppressed);
+  EXPECT_TRUE(inj.is_silent(0));
+
+  out = inj.apply(s);  // cycle 2: window counts down
+  EXPECT_TRUE(out.suppressed);
+  EXPECT_FALSE(out.crash_started);
+  out = inj.apply(s);  // cycle 3
+  EXPECT_TRUE(out.suppressed);
+
+  out = inj.apply(s);  // cycle 4: window expires, node rejoins
+  EXPECT_TRUE(out.recovered);
+  EXPECT_FALSE(out.suppressed);
+  EXPECT_EQ(inj.crash_events(), 1u);
+  EXPECT_EQ(inj.recovery_events(), 1u);
+}
+
+TEST(FaultInjector, CorruptionIsAlwaysImplausible) {
+  FaultParams p;
+  p.corruption_rate = 1.0;
+  FaultInjector inj(p, common::Rng(4));
+  inj.ensure_nodes({0});
+  for (int c = 0; c < 50; ++c) {
+    NodeSample s = make_sample(0, 300.0);
+    const auto out = inj.apply(s);
+    EXPECT_TRUE(out.corrupted);
+    EXPECT_FALSE(out.suppressed);
+    const double w = s.estimated_power.value();
+    // Negative or wildly above any plausible board draw — never a value a
+    // sanity check could mistake for a measurement, and never NaN (sums
+    // over the candidate set must stay finite).
+    EXPECT_TRUE(std::isfinite(w));
+    EXPECT_TRUE(w < 0.0 || w > 10'000.0) << w;
+  }
+  EXPECT_EQ(inj.samples_corrupted(), 50u);
+}
+
+TEST(FaultInjector, PerNodeStreamsAreRegistrationOrderIndependent) {
+  FaultParams p;
+  p.agent_dropout_rate = 0.3;
+  p.agent_recovery_rate = 0.3;
+  p.corruption_rate = 0.2;
+  FaultInjector a(p, common::Rng(7));
+  FaultInjector b(p, common::Rng(7));
+  a.ensure_nodes({0, 1, 2, 3});
+  b.ensure_nodes({3, 2});
+  b.ensure_nodes({1, 0});
+
+  for (int c = 0; c < 200; ++c) {
+    // Apply in different node orders too: outcomes depend only on
+    // (seed, node id, per-node cycle index).
+    for (const hw::NodeId id : {0u, 1u, 2u, 3u}) {
+      NodeSample s = make_sample(id);
+      a.apply(s);
+    }
+    for (const hw::NodeId id : {3u, 1u, 0u, 2u}) {
+      NodeSample s = make_sample(id);
+      b.apply(s);
+    }
+  }
+  EXPECT_EQ(a.samples_suppressed(), b.samples_suppressed());
+  EXPECT_EQ(a.samples_corrupted(), b.samples_corrupted());
+  EXPECT_EQ(a.agent_dropouts(), b.agent_dropouts());
+  for (const hw::NodeId id : {0u, 1u, 2u, 3u}) {
+    EXPECT_EQ(a.is_silent(id), b.is_silent(id)) << "node " << id;
+  }
+}
+
+TEST(FaultInjector, StatePersistsAcrossCandidateChurn) {
+  FaultParams p;
+  p.crash_rate = 1.0;
+  p.crash_duration_cycles = 10;
+  FaultInjector inj(p, common::Rng(8));
+  inj.ensure_nodes({0});
+  NodeSample s = make_sample(0);
+  inj.apply(s);  // crash starts
+  EXPECT_TRUE(inj.is_silent(0));
+  // The node leaves and re-enters the candidate set mid-window: it is
+  // still the same crashed machine.
+  inj.ensure_nodes({0, 1});
+  EXPECT_TRUE(inj.is_silent(0));
+  EXPECT_FALSE(inj.is_silent(1));
+}
+
+// -- collector integration ----------------------------------------------
+
+std::vector<hw::Node> make_nodes(std::size_t n) {
+  std::vector<hw::Node> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    hw::Node node(static_cast<hw::NodeId>(i), hw::tianhe1a_node_spec());
+    hw::OperatingPoint op;
+    op.cpu_utilization = 0.5;
+    op.mem_used = node.spec().mem_total * 0.3;
+    op.mem_total = node.spec().mem_total;
+    op.tau = Seconds{1.0};
+    op.nic_bandwidth = node.spec().nic_bandwidth;
+    node.set_operating_point(op);
+    node.set_busy(true);
+    nodes.push_back(std::move(node));
+  }
+  return nodes;
+}
+
+TEST(CollectorFaults, SuppressedReportsNeverReachHistories) {
+  CollectorParams p;
+  p.agent.utilization_noise = 0.0;
+  p.agent.nic_noise = 0.0;
+  p.faults.agent_dropout_rate = 1.0;
+  p.faults.agent_recovery_rate = 0.0;
+  Collector c(p, common::Rng(11));
+  c.set_candidate_set({0, 1});
+  auto nodes = make_nodes(2);
+  for (int t = 1; t <= 10; ++t) {
+    c.collect(nodes, Seconds{static_cast<double>(t)}, 1);
+  }
+  EXPECT_FALSE(c.latest(0).has_value());
+  EXPECT_FALSE(c.latest(1).has_value());
+  EXPECT_EQ(c.samples_suppressed(), 20u);
+  EXPECT_EQ(c.samples_delivered(), 0u);
+  EXPECT_EQ(c.fault_injector().silent_count(), 2u);
+}
+
+TEST(CollectorFaults, InFlightReportsStillArriveDuringAnOutage) {
+  // dropout=1.0 with recovery=1.0 alternates: suppressed on odd cycles,
+  // reporting on even ones. With a one-cycle delay, the cycle-2 report
+  // arrives at cycle 3 — while the agent is down again. A report already
+  // on the wire was sent before the fault; the outage must not
+  // retroactively eat it.
+  CollectorParams p;
+  p.agent.utilization_noise = 0.0;
+  p.agent.nic_noise = 0.0;
+  p.transport.delay_cycles = 1;
+  p.faults.agent_dropout_rate = 1.0;
+  p.faults.agent_recovery_rate = 1.0;
+  Collector c(p, common::Rng(12));
+  c.set_candidate_set({0});
+  auto nodes = make_nodes(1);
+  c.collect(nodes, Seconds{1.0}, 1);  // suppressed (dropout)
+  c.collect(nodes, Seconds{2.0}, 1);  // recovered, report goes on the wire
+  c.collect(nodes, Seconds{3.0}, 1);  // suppressed again; wire delivers
+  EXPECT_TRUE(c.fault_injector().is_silent(0));
+  const auto s = c.latest(0);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_DOUBLE_EQ(s->time.value(), 2.0);
+  EXPECT_EQ(s->cycle, 2u);
+  EXPECT_EQ(c.samples_delivered(), 1u);
+}
+
+TEST(CollectorFaults, FaultStreamsDoNotPerturbTransportDraws) {
+  // Per-node fault processes draw from their own streams: enabling
+  // corruption must not change which reports the transport drops.
+  CollectorParams clean;
+  clean.agent.utilization_noise = 0.0;
+  clean.agent.nic_noise = 0.0;
+  clean.transport.loss_rate = 0.3;
+  CollectorParams noisy = clean;
+  noisy.faults.corruption_rate = 1.0;  // corrupts, never suppresses
+  Collector reference(clean, common::Rng(13));
+  Collector corrupted(noisy, common::Rng(13));
+  reference.set_candidate_set({0, 1, 2});
+  corrupted.set_candidate_set({0, 1, 2});
+  auto nodes = make_nodes(3);
+  for (int t = 1; t <= 50; ++t) {
+    reference.collect(nodes, Seconds{static_cast<double>(t)}, 1);
+    corrupted.collect(nodes, Seconds{static_cast<double>(t)}, 1);
+  }
+  EXPECT_EQ(corrupted.samples_lost(), reference.samples_lost());
+  EXPECT_EQ(corrupted.samples_delivered(), reference.samples_delivered());
+  EXPECT_GT(corrupted.fault_injector().samples_corrupted(), 0u);
+  EXPECT_EQ(corrupted.samples_suppressed(), 0u);
+}
+
+}  // namespace
+}  // namespace pcap::telemetry

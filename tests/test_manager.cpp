@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "hw/node_spec.hpp"
 #include "power/policy_registry.hpp"
 #include "workload/npb.hpp"
@@ -289,6 +291,124 @@ TEST(CappingManager, DynamicSelectorRespectsMaxCandidates) {
   CappingManager m(p, make_policy("mpc"), common::Rng(1));
   m.cycle(Watts{500.0}, rig.nodes, rig.scheduler, Seconds{1.0});
   EXPECT_EQ(m.candidate_set().size(), 3u);
+}
+
+/// A spec whose power table is all-zero: every sample legitimately reads
+/// 0.0 W. Used to pin down sentinel-vs-flag bugs around "no previous
+/// sample".
+hw::NodeSpecPtr zero_power_spec() {
+  hw::DvfsLadder ladder = hw::DvfsLadder::xeon_x5670();
+  hw::DevicePowerTable table;
+  const auto n = static_cast<std::size_t>(ladder.num_levels());
+  table.idle.assign(n, Watts{0.0});
+  table.cpu_dyn.assign(n, Watts{0.0});
+  table.mem_dyn.assign(n, Watts{0.0});
+  table.nic_dyn.assign(n, Watts{0.0});
+  auto s = std::make_shared<hw::NodeSpec>(hw::NodeSpec{
+      .name = "zero_power",
+      .sockets = 2,
+      .cores_per_socket = 6,
+      .mem_total = Bytes{48.0 * 1024 * 1024 * 1024},
+      .nic_bandwidth = 5e9,
+      .ladder = std::move(ladder),
+      .power_model = hw::PowerModel{std::move(table)},
+      .thermal = hw::ThermalParams{},
+      .controllable = true,
+  });
+  s->validate();
+  return s;
+}
+
+// Regression: build_context_into used `power_prev > 0` as its "have a
+// previous sample" test, so a node legitimately reporting 0.0 W zeroed
+// the whole job's power_prev — and with it the rate-of-increase signal
+// the change-based policies run on.
+TEST(CappingManager, ZeroWattPreviousSampleStillCountsAsHistory) {
+  Rig rig(2);
+  rig.nodes[0] = hw::Node(0, zero_power_spec());
+  rig.load(0.9);
+  rig.run_job(1, 24);  // spans nodes 0 (0 W) and 1 (real watts)
+  CappingManagerParams p = fast_params();
+  p.thresholds.training_cycles = 0;
+  CappingManager m(p, make_policy("hri"), common::Rng(1));
+  m.set_candidate_set({0, 1});
+
+  m.cycle(Watts{100.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  m.cycle(Watts{100.0}, rig.nodes, rig.scheduler, Seconds{2.0});
+  const PolicyContext ctx =
+      m.build_context(Watts{100.0}, rig.nodes, rig.scheduler);
+  ASSERT_EQ(ctx.jobs.size(), 1u);
+  const NodeView* zero = ctx.node(0);
+  ASSERT_NE(zero, nullptr);
+  EXPECT_TRUE(zero->has_prev);
+  EXPECT_EQ(zero->power_prev, Watts{0.0});
+  // Node 1's real previous-cycle watts survive into the job aggregate.
+  EXPECT_GT(ctx.jobs[0].power_prev, Watts{0.0});
+}
+
+TEST(CappingManager, DelayedTelemetryGoesStaleAndGetsFallback) {
+  Rig rig(2);
+  rig.load(0.9);
+  rig.run_job(1, 24);
+  CappingManagerParams p = fast_params();
+  p.thresholds.training_cycles = 0;
+  // Every report arrives 3 cycles late but the manager only trusts views
+  // up to 2 cycles old: every view it ever sees is stale.
+  p.collector.transport.delay_cycles = 3;
+  p.max_sample_age_cycles = 2;
+  p.stale_power_margin = 0.25;
+  CappingManager m(p, make_policy("mpc"), common::Rng(1));
+  m.set_candidate_set({0, 1});
+
+  ManagerReport r;
+  for (int c = 1; c <= 6; ++c) {
+    r = m.cycle(Watts{1700.0}, rig.nodes, rig.scheduler,
+                Seconds{static_cast<double>(c)});
+  }
+  // Yellow pressure, but both views are stale: counted, substituted, and
+  // excluded from selection — no node was throttled blind.
+  EXPECT_EQ(r.state, PowerState::kYellow);
+  EXPECT_EQ(r.stale_nodes, 2u);
+  EXPECT_EQ(r.fallback_nodes, 2u);
+  EXPECT_EQ(r.targets, 0u);
+  for (const auto& n : rig.nodes) EXPECT_TRUE(n.at_highest());
+
+  const PolicyContext ctx =
+      m.build_context(Watts{1700.0}, rig.nodes, rig.scheduler);
+  ASSERT_EQ(ctx.nodes.size(), 2u);
+  for (const NodeView& nv : ctx.nodes) {
+    EXPECT_TRUE(nv.stale);
+    // The fallback is the delivered estimate inflated by the margin.
+    const auto* hist = m.collector().history(nv.id);
+    ASSERT_NE(hist, nullptr);
+    EXPECT_NEAR(nv.power.value(), hist->back().estimated_power.value() * 1.25,
+                1e-9);
+  }
+}
+
+TEST(CappingManager, CorruptSamplesAreRejectedNotActedOn) {
+  Rig rig(2);
+  rig.load(0.9);
+  rig.run_job(1, 24);
+  CappingManagerParams p = fast_params();
+  p.thresholds.training_cycles = 0;
+  p.collector.faults.corruption_rate = 1.0;  // every delivery is garbage
+  CappingManager m(p, make_policy("mpc"), common::Rng(1));
+  m.set_candidate_set({0, 1});
+
+  ManagerReport r;
+  for (int c = 1; c <= 3; ++c) {
+    r = m.cycle(Watts{1700.0}, rig.nodes, rig.scheduler,
+                Seconds{static_cast<double>(c)});
+  }
+  // Nothing plausible ever arrived: both candidates are missing, the
+  // implausible samples were counted, and no command was issued off a
+  // garbage estimate.
+  EXPECT_EQ(r.missing_nodes, 2u);
+  EXPECT_GT(r.rejected_samples, 0u);
+  EXPECT_GT(r.samples_corrupted, 0u);
+  EXPECT_EQ(r.targets, 0u);
+  for (const auto& n : rig.nodes) EXPECT_TRUE(n.at_highest());
 }
 
 TEST(CappingManager, ManagerUtilizationReported) {

@@ -72,6 +72,34 @@ TEST(Thresholds, PeriodicAdjustmentAfterTraining) {
   EXPECT_EQ(l.p_peak(), Watts{650.0});  // running max adopted
 }
 
+// Regression: the observation window was never reset after an adoption,
+// so adjust() kept re-adopting the all-time maximum and thresholds could
+// only ever ratchet upward — one spike during training inflated P_peak
+// for the rest of the run.
+TEST(Thresholds, AdjustmentTracksFallingPeaks) {
+  ThresholdLearner l(params(1, 2));
+  l.observe(Watts{1000.0});  // training ends: P_peak = 1000
+  EXPECT_EQ(l.p_peak(), Watts{1000.0});
+  l.observe(Watts{500.0});
+  l.observe(Watts{400.0});  // t_p reached: adopt the window peak
+  EXPECT_EQ(l.p_peak(), Watts{500.0});
+  l.observe(Watts{300.0});
+  l.observe(Watts{250.0});
+  EXPECT_EQ(l.p_peak(), Watts{300.0});
+  // The all-time peak is still reported for observability.
+  EXPECT_EQ(l.running_peak(), Watts{1000.0});
+}
+
+TEST(Thresholds, QuietWindowKeepsPreviousPeak) {
+  // A window in which nothing was observed above zero must not wipe the
+  // learned P_peak.
+  ThresholdLearner l(params(1, 1));
+  l.observe(Watts{800.0});
+  EXPECT_EQ(l.p_peak(), Watts{800.0});
+  l.observe(Watts{0.0});  // adjustment with an empty window
+  EXPECT_EQ(l.p_peak(), Watts{800.0});
+}
+
 TEST(Thresholds, RunningPeakTracksGlobalMax) {
   ThresholdLearner l(params(2));
   l.observe(Watts{300.0});
