@@ -220,6 +220,9 @@ void Cluster::tick() {
     p.stale_nodes = control_tick ? last_report_.stale_nodes : 0;
     p.fallback_nodes = control_tick ? last_report_.fallback_nodes : 0;
     p.skipped_targets = control_tick ? last_report_.skipped_targets : 0;
+    p.retries = control_tick ? last_report_.retries : 0;
+    p.divergences = control_tick ? last_report_.divergences : 0;
+    p.heals = control_tick ? last_report_.heals : 0;
     recorder_->record(p);
   }
 }

@@ -1,5 +1,6 @@
 #include "cluster/config_loader.hpp"
 
+#include <cmath>
 #include <set>
 #include <stdexcept>
 
@@ -44,8 +45,41 @@ const std::set<std::string>& known_keys() {
       "telemetry.corruption_rate",
       "telemetry.max_sample_age_cycles",
       "telemetry.stale_margin",
+      "actuation.loss_rate",
+      "actuation.delay_cycles",
+      "actuation.failure_rate",
+      "actuation.partial_rate",
+      "actuation.reboot_rate",
+      "actuation.reboot_duration_cycles",
+      "actuation.max_retries",
+      "actuation.retry_backoff_cycles",
+      "actuation.retry_backoff_cap_cycles",
   };
   return keys;
+}
+
+/// Fault-model knobs must be real, non-negative numbers: a stray "nan",
+/// "-0.1" or "1e999" in an ini would otherwise sail through into the
+/// params structs (whose own validation cannot name the offending key —
+/// and [0,1]-range checks pass NaN through every comparison).
+double checked_double(const common::Config& cfg, const std::string& key,
+                      double fallback) {
+  const double v = cfg.get_double(key, fallback);
+  if (!std::isfinite(v) || v < 0.0) {
+    throw std::runtime_error("experiment config: '" + key +
+                             "' must be a finite non-negative number");
+  }
+  return v;
+}
+
+std::int64_t checked_int(const common::Config& cfg, const std::string& key,
+                         std::int64_t fallback) {
+  const std::int64_t v = cfg.get_int(key, fallback);
+  if (v < 0) {
+    throw std::runtime_error("experiment config: '" + key +
+                             "' must be >= 0");
+  }
+  return v;
 }
 
 }  // namespace
@@ -126,24 +160,50 @@ ExperimentConfig apply_config(ExperimentConfig base,
 
   // [telemetry]
   out.transport.loss_rate =
-      cfg.get_double("telemetry.loss_rate", out.transport.loss_rate);
+      checked_double(cfg, "telemetry.loss_rate", out.transport.loss_rate);
   out.transport.delay_cycles = static_cast<int>(
-      cfg.get_int("telemetry.delay_cycles", out.transport.delay_cycles));
-  out.faults.agent_dropout_rate = cfg.get_double(
-      "telemetry.agent_dropout_rate", out.faults.agent_dropout_rate);
-  out.faults.agent_recovery_rate = cfg.get_double(
-      "telemetry.agent_recovery_rate", out.faults.agent_recovery_rate);
+      checked_int(cfg, "telemetry.delay_cycles", out.transport.delay_cycles));
+  out.faults.agent_dropout_rate = checked_double(
+      cfg, "telemetry.agent_dropout_rate", out.faults.agent_dropout_rate);
+  out.faults.agent_recovery_rate = checked_double(
+      cfg, "telemetry.agent_recovery_rate", out.faults.agent_recovery_rate);
   out.faults.crash_rate =
-      cfg.get_double("telemetry.crash_rate", out.faults.crash_rate);
-  out.faults.crash_duration_cycles = static_cast<int>(cfg.get_int(
-      "telemetry.crash_duration_cycles", out.faults.crash_duration_cycles));
-  out.faults.corruption_rate =
-      cfg.get_double("telemetry.corruption_rate", out.faults.corruption_rate);
+      checked_double(cfg, "telemetry.crash_rate", out.faults.crash_rate);
+  out.faults.crash_duration_cycles = static_cast<int>(
+      checked_int(cfg, "telemetry.crash_duration_cycles",
+                  out.faults.crash_duration_cycles));
+  out.faults.corruption_rate = checked_double(cfg, "telemetry.corruption_rate",
+                                              out.faults.corruption_rate);
   out.faults.validate();
-  out.max_sample_age_cycles = cfg.get_int("telemetry.max_sample_age_cycles",
-                                          out.max_sample_age_cycles);
+  out.max_sample_age_cycles = checked_int(
+      cfg, "telemetry.max_sample_age_cycles", out.max_sample_age_cycles);
   out.stale_power_margin =
-      cfg.get_double("telemetry.stale_margin", out.stale_power_margin);
+      checked_double(cfg, "telemetry.stale_margin", out.stale_power_margin);
+
+  // [actuation]
+  out.actuation.command_loss_rate = checked_double(
+      cfg, "actuation.loss_rate", out.actuation.command_loss_rate);
+  out.actuation.delivery_delay_cycles = static_cast<int>(checked_int(
+      cfg, "actuation.delay_cycles", out.actuation.delivery_delay_cycles));
+  out.actuation.transition_failure_rate = checked_double(
+      cfg, "actuation.failure_rate", out.actuation.transition_failure_rate);
+  out.actuation.partial_transition_rate = checked_double(
+      cfg, "actuation.partial_rate", out.actuation.partial_transition_rate);
+  out.actuation.reboot_rate =
+      checked_double(cfg, "actuation.reboot_rate", out.actuation.reboot_rate);
+  out.actuation.reboot_duration_cycles = static_cast<int>(
+      checked_int(cfg, "actuation.reboot_duration_cycles",
+                  out.actuation.reboot_duration_cycles));
+  out.actuation.validate();
+  out.reconciliation.max_retries = static_cast<int>(
+      checked_int(cfg, "actuation.max_retries", out.reconciliation.max_retries));
+  out.reconciliation.retry_backoff_base_cycles = static_cast<int>(
+      checked_int(cfg, "actuation.retry_backoff_cycles",
+                  out.reconciliation.retry_backoff_base_cycles));
+  out.reconciliation.retry_backoff_cap_cycles = static_cast<int>(
+      checked_int(cfg, "actuation.retry_backoff_cap_cycles",
+                  out.reconciliation.retry_backoff_cap_cycles));
+  out.reconciliation.validate();
 
   return out;
 }

@@ -97,6 +97,8 @@ std::unique_ptr<power::PowerManagerBase> make_manager(
   p.collector.faults = config.faults;
   p.max_sample_age_cycles = config.max_sample_age_cycles;
   p.stale_power_margin = config.stale_power_margin;
+  p.actuation = config.actuation;
+  p.reconciliation = config.reconciliation;
   auto mgr = std::make_unique<power::CappingManager>(
       p, make_policy_any(config.manager), rng);
   mgr->set_candidate_set(candidates);
@@ -156,12 +158,22 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     r.stale_node_cycles += p.stale_nodes;
     r.fallback_node_cycles += p.fallback_nodes;
     r.skipped_targets += p.skipped_targets;
+    r.command_retries += p.retries;
+    r.divergences += p.divergences;
+    r.heals += p.heals;
   }
   r.samples_lost = cl.last_report().samples_lost;
   r.samples_suppressed = cl.last_report().samples_suppressed;
   r.samples_corrupted = cl.last_report().samples_corrupted;
   r.crash_events = cl.last_report().crash_events;
   r.recovery_events = cl.last_report().recovery_events;
+  r.commands_lost = cl.last_report().commands_lost;
+  r.commands_rebooting = cl.last_report().commands_rebooting;
+  r.transitions_failed = cl.last_report().transitions_failed;
+  r.transitions_partial = cl.last_report().transitions_partial;
+  r.reboot_events = cl.last_report().reboot_events;
+  r.commands_abandoned = cl.last_report().commands_abandoned;
+  r.commands_clamped = cl.last_report().commands_clamped;
   const std::size_t cycles = cl.recorder().size();
   r.mean_manager_utilization =
       cycles > 0 ? util_sum / static_cast<double>(cycles) : 0.0;

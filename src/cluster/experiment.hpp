@@ -15,7 +15,9 @@
 
 #include "cluster/cluster.hpp"
 #include "metrics/performance.hpp"
+#include "power/actuation_channel.hpp"
 #include "power/capping.hpp"
+#include "power/reconciler.hpp"
 #include "power/thresholds.hpp"
 
 namespace pcap::cluster {
@@ -61,6 +63,13 @@ struct ExperimentConfig {
   /// Manager-side staleness policy (see CappingManagerParams).
   std::int64_t max_sample_age_cycles = 5;
   double stale_power_margin = 0.10;
+  /// Actuation-plane fault model: command loss/delay, failed or partial
+  /// DVFS transitions, node reboots. All-zero (off) by default. Only the
+  /// capping managers route commands through the channel; the baselines
+  /// keep their perfect actuators.
+  power::ActuationFaultParams actuation;
+  /// Manager-side ack/retry/divergence policy for the lossy channel.
+  power::ReconcilerParams reconciliation;
 };
 
 struct ExperimentResult {
@@ -87,12 +96,24 @@ struct ExperimentResult {
   std::size_t stale_node_cycles = 0;     ///< Σ per-cycle stale views
   std::size_t fallback_node_cycles = 0;  ///< Σ per-cycle substituted views
   std::size_t skipped_targets = 0;       ///< Σ targets the engine refused
+  // Actuation reconciliation over the measured window.
+  std::size_t command_retries = 0;       ///< Σ per-cycle re-sent commands
+  std::size_t divergences = 0;           ///< Σ per-cycle believed≠observed
+  std::size_t heals = 0;                 ///< Σ per-cycle healing commands
   // Fault/transport ground truth (lifetime totals at the end of the run).
   std::uint64_t samples_lost = 0;
   std::uint64_t samples_suppressed = 0;
   std::uint64_t samples_corrupted = 0;
   std::uint64_t crash_events = 0;
   std::uint64_t recovery_events = 0;
+  // Actuation-plane ground truth (lifetime totals at the end of the run).
+  std::uint64_t commands_lost = 0;
+  std::uint64_t commands_rebooting = 0;
+  std::uint64_t transitions_failed = 0;
+  std::uint64_t transitions_partial = 0;
+  std::uint64_t reboot_events = 0;
+  std::uint64_t commands_abandoned = 0;
+  std::uint64_t commands_clamped = 0;
 };
 
 /// Runs calibration (if needed), training and measurement; returns the

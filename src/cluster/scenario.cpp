@@ -54,6 +54,24 @@ ExperimentConfig faulty_telemetry_scenario(std::uint64_t seed) {
   return cfg;
 }
 
+ExperimentConfig lossy_actuation_scenario(std::uint64_t seed) {
+  ExperimentConfig cfg = small_scenario(seed);
+  cfg.provision_fraction = 0.95;  // capped peak must stay under provision
+  cfg.actuation.command_loss_rate = 0.10;
+  cfg.actuation.delivery_delay_cycles = 2;
+  cfg.actuation.transition_failure_rate = 0.02;
+  cfg.actuation.partial_transition_rate = 0.05;
+  cfg.actuation.reboot_rate = 2e-4;
+  cfg.actuation.reboot_duration_cycles = 30;
+  // First retry two cycles after issue: above the ack latency (2-cycle
+  // delivery delay + 1 collection cycle) doubled backoff reaches quickly,
+  // and the 5-retry budget spans a full reboot window before abandoning.
+  cfg.reconciliation.max_retries = 5;
+  cfg.reconciliation.retry_backoff_base_cycles = 2;
+  cfg.reconciliation.retry_backoff_cap_cycles = 16;
+  return cfg;
+}
+
 ExperimentConfig heterogeneous_scenario(std::uint64_t seed) {
   ExperimentConfig cfg = small_scenario(seed);
   cfg.cluster.num_nodes = 0;

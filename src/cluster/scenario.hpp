@@ -27,4 +27,12 @@ ExperimentConfig heterogeneous_scenario(std::uint64_t seed = 11);
 /// the controller is partially blind.
 ExperimentConfig faulty_telemetry_scenario(std::uint64_t seed = 23);
 
+/// small_scenario under a degraded *actuation* plane: 10% of level
+/// commands vanish in transit, survivors land two control cycles late,
+/// transitions occasionally fail or stall part-way, and nodes reboot —
+/// resetting to their highest level mid-degradation. Telemetry stays
+/// healthy: the point is isolating the command path, which the manager
+/// must close the loop around with acks, retries and healing commands.
+ExperimentConfig lossy_actuation_scenario(std::uint64_t seed = 31);
+
 }  // namespace pcap::cluster

@@ -37,7 +37,8 @@ std::size_t TraceRecorder::state_count(int state) const {
 std::string TraceRecorder::to_csv() const {
   std::ostringstream out;
   common::CsvWriter w(out, {"time_s", "power_w", "p_low_w", "p_high_w",
-                            "state", "jobs", "targets", "stale", "skipped"});
+                            "state", "jobs", "targets", "stale", "skipped",
+                            "retries", "divergences", "heals"});
   for (const auto& p : points_) {
     w.cell(p.time_s)
         .cell(p.power_w)
@@ -47,7 +48,10 @@ std::string TraceRecorder::to_csv() const {
         .cell(p.running_jobs)
         .cell(p.targets)
         .cell(p.stale_nodes)
-        .cell(p.skipped_targets);
+        .cell(p.skipped_targets)
+        .cell(p.retries)
+        .cell(p.divergences)
+        .cell(p.heals);
     w.end_row();
   }
   return out.str();

@@ -24,6 +24,10 @@ struct CyclePoint {
   std::size_t stale_nodes = 0;     ///< views past the sample-age bound
   std::size_t fallback_nodes = 0;  ///< views on a substituted estimate
   std::size_t skipped_targets = 0; ///< policy targets the engine refused
+  // Actuation reconciliation for this cycle (zero with a perfect channel).
+  std::size_t retries = 0;      ///< unacked commands re-sent
+  std::size_t divergences = 0;  ///< observed level != believed level
+  std::size_t heals = 0;        ///< healing commands emitted
 };
 
 class TraceRecorder {
@@ -44,7 +48,7 @@ class TraceRecorder {
   [[nodiscard]] std::size_t state_count(int state) const;
 
   /// CSV export ("time_s,power_w,p_low_w,p_high_w,state,jobs,targets,
-  /// stale,skipped").
+  /// stale,skipped,retries,divergences,heals").
   [[nodiscard]] std::string to_csv() const;
   void save(const std::string& path) const;
 

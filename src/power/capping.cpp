@@ -46,12 +46,13 @@ CycleDecision CappingEngine::green_cycle(const PolicyContext& ctx) {
   // Steady green: raise every degraded node by one level; nodes reaching
   // their spec's top level leave A_degraded ("if l_i + 1 is the highest
   // level for node i then remove node i from A_degraded"). A node whose
-  // telemetry has gone stale stays degraded but is not raised this cycle:
-  // its reported level may be cycles old, and restoring against a guessed
-  // level risks overshooting the cap we just recovered from.
+  // telemetry has gone stale — or whose previous command is still
+  // unacknowledged — stays degraded but is not raised this cycle: its
+  // true level is a guess, and restoring against a guess risks
+  // overshooting the cap we just recovered from.
   for (auto it = degraded_.begin(); it != degraded_.end();) {
     const NodeView* nv = ctx.node(*it);
-    if (nv->stale) {
+    if (nv->stale || nv->command_in_flight) {
       ++it;
       continue;
     }
@@ -80,6 +81,13 @@ CycleDecision CappingEngine::yellow_cycle(TargetSelectionPolicy& policy,
   // the valid remainder. Skip, count, warn.
   for (const hw::NodeId id : policy.select(ctx)) {
     const NodeView* nv = ctx.node(id);
+    if (nv != nullptr && nv->command_in_flight) {
+      // Not a bad target — the reconciler owns this node until its last
+      // command acks, retries out, or is abandoned. Deferring is the
+      // safe-side choice, not an anomaly, so it never warns.
+      ++d.deferred_in_flight;
+      continue;
+    }
     if (nv == nullptr || nv->at_lowest || !nv->busy || nv->stale) {
       ++d.skipped;
       continue;

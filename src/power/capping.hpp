@@ -41,10 +41,15 @@ struct CycleDecision {
   PowerState state = PowerState::kGreen;
   std::vector<LevelCommand> commands;  ///< the A_target with target levels
   /// Policy-selected targets the engine refused this cycle (unknown node,
-  /// idle, already floored, or acting on stale telemetry). A healthy
+  /// idle, already floored, or stale telemetry). A healthy
   /// policy keeps this at 0; under telemetry faults it quantifies how
   /// often selection ran ahead of the data.
   std::size_t skipped = 0;
+  /// Targets passed over because a prior command is still unacked. Unlike
+  /// `skipped` this is routine under a lossy actuation plane — the
+  /// reconciler's retry clock owns those nodes — so it is counted
+  /// separately and never warned about.
+  std::size_t deferred_in_flight = 0;
 };
 
 class CappingEngine {

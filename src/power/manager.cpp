@@ -24,9 +24,14 @@ CappingManager::CappingManager(CappingManagerParams params, PolicyPtr policy,
                                common::Rng rng)
     : params_(params),
       policy_(std::move(policy)),
+      // Fork order ("collector" first, then "actuation") is part of the
+      // seed-compatibility contract: swapping it would reshuffle every
+      // telemetry fault stream from earlier experiments.
       collector_(params.collector, rng.fork("collector")),
       learner_(params.thresholds),
-      engine_(params.capping) {
+      engine_(params.capping),
+      channel_(params.actuation, rng.fork("actuation")),
+      reconciler_(params.reconciliation) {
   if (!policy_) throw std::invalid_argument("CappingManager: null policy");
   if (params_.cycle_period <= Seconds{0.0}) {
     throw std::invalid_argument("CappingManager: bad cycle period");
@@ -47,6 +52,7 @@ std::string CappingManager::name() const {
 
 void CappingManager::set_candidate_set(const std::vector<hw::NodeId>& ids) {
   collector_.set_candidate_set(ids);
+  channel_.ensure_nodes(ids);
 }
 
 PolicyContext CappingManager::build_context(
@@ -60,12 +66,20 @@ PolicyContext CappingManager::build_context(
 void CappingManager::build_context_into(
     PolicyContext& ctx, Watts measured, const std::vector<hw::Node>& nodes,
     const sched::Scheduler& scheduler) const {
+  build_context_with(ctx, measured, nodes, scheduler, nullptr, nullptr);
+}
+
+void CappingManager::build_context_with(
+    PolicyContext& ctx, Watts measured, const std::vector<hw::Node>& nodes,
+    const sched::Scheduler& scheduler, ActuationReconciler* rec,
+    ActuationReconciler::CycleWork* work) const {
   ctx.system_power = measured;
   ctx.p_low = learner_.p_low();
   ctx.stale_nodes = 0;
   ctx.missing_nodes = 0;
   ctx.fallback_nodes = 0;
   ctx.rejected_samples = 0;
+  ctx.unresponsive_nodes = 0;
 
   const std::uint64_t now_cycle = collector_.cycle_count();
   const auto max_age = static_cast<std::uint64_t>(params_.max_sample_age_cycles);
@@ -76,6 +90,7 @@ void CappingManager::build_context_into(
   for (const hw::NodeId id : collector_.candidate_set()) {
     const auto* hist = collector_.history(id);
     const hw::Node& node = nodes.at(id);
+    const bool unresponsive = rec != nullptr && rec->unresponsive(id);
 
     // Walk the history newest-to-oldest for a sample that passes the
     // sanity check; corrupted deliveries are skipped, not trusted.
@@ -94,7 +109,11 @@ void CappingManager::build_context_into(
       // check. With no level/busy state to act on, the node cannot be a
       // target; the facility meter still sees its real draw, so the
       // thresholds remain grounded even while we are blind here.
-      ++ctx.missing_nodes;
+      if (unresponsive) {
+        ++ctx.unresponsive_nodes;
+      } else {
+        ++ctx.missing_nodes;
+      }
       continue;
     }
 
@@ -108,6 +127,19 @@ void CappingManager::build_context_into(
     nv.power = latest.estimated_power;
     nv.temperature = latest.temperature;
     nv.stale = now_cycle - latest.cycle > max_age;
+    if (unresponsive && nv.stale) {
+      // Abandoned AND blind: the node stays out of the context entirely —
+      // not selectable, not in A_degraded, not worth a command — until a
+      // fresh sample earns it a readmission below.
+      ++ctx.unresponsive_nodes;
+      continue;
+    }
+    if (rec != nullptr && !nv.stale) {
+      // Ack/divergence/readmission processing runs on fresh views only:
+      // a stale sample predates whatever is in flight and can neither
+      // confirm nor contradict it.
+      rec->observe_node(id, latest.level, latest.cycle, now_cycle, *work);
+    }
     if (nv.stale) {
       // Conservative fallback: assume the unseen node has drifted UP from
       // its last known draw. Overstating keeps the job totals — and thus
@@ -119,6 +151,21 @@ void CappingManager::build_context_into(
       // Fresh enough, but only after discarding newer corrupt deliveries:
       // still a substituted estimate, count it as such.
       ++ctx.fallback_nodes;
+    }
+    if (rec != nullptr) {
+      // Safe-side accounting for whatever is (still) unacked after the
+      // observation above. An unacked restore is assumed already applied
+      // when computing headroom (the node may be drawing the higher power
+      // right now); an unacked throttle claims nothing — the telemetry
+      // power stands and the job-level saving below excludes the node.
+      // Both errors overestimate draw, never savings.
+      if (const std::optional<hw::Level> target = rec->pending_target(id)) {
+        nv.command_in_flight = true;
+        if (*target > nv.level) {
+          const Watts assumed = node.estimated_power_at(*target);
+          if (assumed > nv.power) nv.power = assumed;
+        }
+      }
     }
     for (std::size_t i = chosen; i-- > 0;) {
       if (plausible_sample((*hist)[i], node)) {
@@ -159,10 +206,11 @@ void CappingManager::build_context_into(
       } else {
         have_all_prev = false;
       }
-      // Stale nodes contribute (inflated) power but no claimed saving:
-      // a throttle command they will not be selected for cannot be
-      // counted as shed watts.
-      if (nv->busy && !nv->at_lowest && !nv->stale) {
+      // Stale or in-flight nodes contribute (inflated) power but no
+      // claimed saving: a throttle command they will not be selected for
+      // cannot be counted as shed watts.
+      if (nv->busy && !nv->at_lowest && !nv->stale &&
+          !nv->command_in_flight) {
         jv.saving_one_level += nv->power - nv->power_one_level_down;
       }
     }
@@ -178,9 +226,10 @@ ManagerReport CappingManager::cycle(Watts measured,
                                     std::vector<hw::Node>& nodes,
                                     const sched::Scheduler& scheduler,
                                     Seconds now) {
-  // 0. Candidate set re-selection (§III.A algorithm (c)).
+  // 0. Candidate set re-selection (§III.A algorithm (c)). Routed through
+  // set_candidate_set so the actuation channel learns new nodes too.
   if (selector_ && selector_->due()) {
-    collector_.set_candidate_set(selector_->select(nodes, scheduler));
+    set_candidate_set(selector_->select(nodes, scheduler));
   }
 
   // 1. Telemetry sweep over A_candidate.
@@ -208,20 +257,52 @@ ManagerReport CappingManager::cycle(Watts measured,
   report.recovery_events = faults.recovery_events();
   report.agents_down = faults.silent_count();
 
-  // 3. During training the system runs unmanaged (§V.C).
-  if (report.training) return report;
+  // 2b. Actuation-plane hardware events happen whether or not the manager
+  // is ready to react: nodes reboot (resetting to their highest level)
+  // and commands whose delivery delay expired land now — even during
+  // training, when the arrivals are leftovers from before a reset.
+  delivered_scratch_.clear();
+  channel_.begin_cycle(nodes, delivered_scratch_);
 
-  // 4. Algorithm 1 + actuation. A green cycle with nothing degraded never
-  // consults the context (the pruning loop and the restore walk both
-  // iterate A_degraded), so the dominant assembly cost is skipped on the
-  // steady-state path; when it does run, the persistent buffers make it
-  // allocation-free.
-  if (report.state != PowerState::kGreen || !engine_.degraded().empty()) {
-    build_context_into(scratch_ctx_, measured, nodes, scheduler);
+  const auto fill_actuation_totals = [&] {
+    report.commands_lost = channel_.commands_lost();
+    report.commands_rebooting = channel_.commands_dropped_rebooting();
+    report.transitions_failed = channel_.transitions_failed();
+    report.transitions_partial = channel_.transitions_partial();
+    report.reboot_events = channel_.reboot_events();
+    report.commands_abandoned = reconciler_.total_abandoned();
+    report.commands_clamped = controller_.commands_clamped();
+    report.commands_in_flight = reconciler_.pending_count();
+  };
+
+  // 3. During training the system runs unmanaged (§V.C).
+  if (report.training) {
+    if (!delivered_scratch_.empty()) controller_.apply(delivered_scratch_, nodes);
+    fill_actuation_totals();
+    return report;
+  }
+
+  // 4. Algorithm 1 + reconciliation + actuation. A green cycle with
+  // nothing degraded and nothing in flight never consults the context
+  // (the pruning loop and the restore walk both iterate A_degraded), so
+  // the dominant assembly cost is skipped on the steady-state path; when
+  // it does run, the persistent buffers make it allocation-free. Unacked
+  // or abandoned commands force the build: acks arrive through it, and
+  // unresponsive nodes can only be readmitted by looking at telemetry.
+  recon_work_.clear();
+  const std::uint64_t now_cycle = collector_.cycle_count();
+  if (report.state != PowerState::kGreen || !engine_.degraded().empty() ||
+      reconciler_.pending_count() > 0 ||
+      reconciler_.unresponsive_count() > 0 ||
+      channel_.in_flight_count() > 0) {
+    build_context_with(scratch_ctx_, measured, nodes, scheduler,
+                       &reconciler_, &recon_work_);
+    reconciler_.finish_observation(now_cycle, recon_work_);
     report.stale_nodes = scratch_ctx_.stale_nodes;
     report.missing_nodes = scratch_ctx_.missing_nodes;
     report.fallback_nodes = scratch_ctx_.fallback_nodes;
     report.rejected_samples = scratch_ctx_.rejected_samples;
+    report.unresponsive_nodes = scratch_ctx_.unresponsive_nodes;
   }
   const PolicyContext& ctx = scratch_ctx_;
   const CycleDecision decision =
@@ -229,7 +310,20 @@ ManagerReport CappingManager::cycle(Watts measured,
   report.state = decision.state;
   report.targets = decision.commands.size();
   report.skipped_targets = decision.skipped;
-  report.transitions = controller_.apply(decision.commands, nodes);
+
+  // Heals and due retries are already in recon_work_.commands; the
+  // engine's fresh decisions join them after the unresponsive filter and
+  // pending dedup. Everything then goes through the (possibly lossy)
+  // channel, and only what the channel delivered reaches hardware.
+  reconciler_.admit(decision.commands, now_cycle, recon_work_);
+  channel_.send(recon_work_.commands, nodes, delivered_scratch_);
+  report.transitions = controller_.apply(delivered_scratch_, nodes);
+
+  report.acks = recon_work_.acks;
+  report.retries = recon_work_.retries;
+  report.divergences = recon_work_.divergences;
+  report.heals = recon_work_.heals;
+  fill_actuation_totals();
   return report;
 }
 

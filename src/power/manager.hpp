@@ -20,10 +20,12 @@
 
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
+#include "power/actuation_channel.hpp"
 #include "power/candidate_selector.hpp"
 #include "power/capping.hpp"
 #include "power/node_controller.hpp"
 #include "power/policy.hpp"
+#include "power/reconciler.hpp"
 #include "power/state.hpp"
 #include "power/thresholds.hpp"
 #include "sched/scheduler.hpp"
@@ -50,6 +52,15 @@ struct ManagerReport {
   std::size_t rejected_samples = 0;  ///< implausible samples skipped
   std::size_t skipped_targets = 0;   ///< policy targets the engine refused
 
+  // Actuation reconciliation, this cycle. Zero whenever no context was
+  // built (steady green with nothing pending).
+  std::size_t acks = 0;         ///< commands confirmed by telemetry
+  std::size_t retries = 0;      ///< unacked commands re-sent
+  std::size_t divergences = 0;  ///< observed level != believed level
+  std::size_t heals = 0;        ///< healing commands emitted
+  std::size_t commands_in_flight = 0;  ///< unacked commands after actuation
+  std::size_t unresponsive_nodes = 0;  ///< candidates dropped: no acks left
+
   // Cumulative fault/transport ground truth (collector + injector
   // lifetime totals; filled every cycle, including steady green).
   std::uint64_t samples_lost = 0;        ///< dropped by the transport
@@ -58,6 +69,16 @@ struct ManagerReport {
   std::uint64_t crash_events = 0;
   std::uint64_t recovery_events = 0;
   std::size_t agents_down = 0;  ///< nodes currently silent
+
+  // Cumulative actuation-plane ground truth (channel + reconciler +
+  // controller lifetime totals; filled every cycle).
+  std::uint64_t commands_lost = 0;       ///< dropped in transit
+  std::uint64_t commands_rebooting = 0;  ///< dropped at a rebooting node
+  std::uint64_t transitions_failed = 0;  ///< delivered, DVFS switch failed
+  std::uint64_t transitions_partial = 0; ///< delivered, landed part-way
+  std::uint64_t reboot_events = 0;
+  std::uint64_t commands_abandoned = 0;  ///< retry budget exhausted
+  std::uint64_t commands_clamped = 0;    ///< request clamped by the node
 };
 
 class PowerManagerBase {
@@ -96,6 +117,14 @@ struct CappingManagerParams {
   /// When set, A_candidate is recomputed dynamically (§III.A algorithm
   /// (c)) instead of being fixed by set_candidate_set().
   std::optional<CandidateSelectorParams> selector;
+  /// Command-side fault model. Default-constructed = perfect actuation;
+  /// the manager then bypasses the channel and the healthy path is
+  /// byte-for-byte what it was without one.
+  ActuationFaultParams actuation;
+  /// Ack/retry/divergence bookkeeping for the lossy channel. Always on:
+  /// with perfect actuation every command acks on the next cycle's
+  /// telemetry, so the reconciler never emits anything.
+  ReconcilerParams reconciliation;
 };
 
 /// The paper's architecture: candidate-set telemetry + threshold learning
@@ -134,6 +163,12 @@ class CappingManager final : public PowerManagerBase {
   [[nodiscard]] const NodeController& controller() const {
     return controller_;
   }
+  [[nodiscard]] const ActuationChannel& actuation_channel() const {
+    return channel_;
+  }
+  [[nodiscard]] const ActuationReconciler& reconciler() const {
+    return reconciler_;
+  }
   [[nodiscard]] const TargetSelectionPolicy& policy() const {
     return *policy_;
   }
@@ -152,15 +187,35 @@ class CappingManager final : public PowerManagerBase {
                           const sched::Scheduler& scheduler) const;
 
  private:
+  /// The real context assembly. When `rec` is non-null, each fresh node
+  /// view is fed through the reconciler (acks/divergences/heals into
+  /// `work`), in-flight commands mark their views, and the safe-side
+  /// power accounting is applied. The public const overloads pass
+  /// nullptr: pure read-only assembly for benchmarks.
+  void build_context_with(PolicyContext& ctx, Watts measured,
+                          const std::vector<hw::Node>& nodes,
+                          const sched::Scheduler& scheduler,
+                          ActuationReconciler* rec,
+                          ActuationReconciler::CycleWork* work) const;
+
   CappingManagerParams params_;
   PolicyPtr policy_;
+  // collector_ is declared (and therefore initialised) before channel_:
+  // the rng fork order "collector" then "actuation" is part of the seed
+  // compatibility contract — reordering would reshuffle every stream.
   telemetry::Collector collector_;
   ThresholdLearner learner_;
   CappingEngine engine_;
   NodeController controller_;
+  ActuationChannel channel_;
+  ActuationReconciler reconciler_;
   std::optional<CandidateSelector> selector_;
   /// Reused across cycles by cycle(); holds its capacity.
   PolicyContext scratch_ctx_;
+  /// Per-cycle scratch, reused: commands that reached hardware this cycle
+  /// and the reconciler's outgoing work.
+  std::vector<LevelCommand> delivered_scratch_;
+  ActuationReconciler::CycleWork recon_work_;
 };
 
 /// A null manager: monitors nothing, throttles nothing. The |A_candidate|=0

@@ -15,6 +15,7 @@ std::size_t NodeController::apply(const std::vector<LevelCommand>& commands,
     hw::Node& node = nodes[cmd.node];
     const hw::Level before = node.level();
     const hw::Level after = node.set_level(cmd.level);
+    if (after != cmd.level) ++clamped_;
     if (after != before) {
       ++applied_;
       ++changed;
@@ -26,6 +27,7 @@ std::size_t NodeController::apply(const std::vector<LevelCommand>& commands,
 void NodeController::reset_counters() {
   received_ = 0;
   applied_ = 0;
+  clamped_ = 0;
 }
 
 }  // namespace pcap::power

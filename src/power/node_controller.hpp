@@ -28,12 +28,18 @@ class NodeController {
   [[nodiscard]] std::uint64_t commands_ignored() const {
     return received_ - applied_;
   }
+  /// Commands whose requested level the node clamped (off-ladder request,
+  /// or an uncontrollable node pinning itself to the top). Disjoint
+  /// bookkeeping from commands_ignored(): a clamped command may still
+  /// change the level, and an ignored one may simply have been a no-op.
+  [[nodiscard]] std::uint64_t commands_clamped() const { return clamped_; }
 
   void reset_counters();
 
  private:
   std::uint64_t received_ = 0;
   std::uint64_t applied_ = 0;
+  std::uint64_t clamped_ = 0;
 };
 
 }  // namespace pcap::power

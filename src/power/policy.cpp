@@ -31,7 +31,8 @@ std::vector<hw::NodeId> throttleable_nodes(const PolicyContext& ctx,
   out.reserve(job.nodes.size());
   for (const hw::NodeId id : job.nodes) {
     const NodeView* nv = ctx.node(id);
-    if (nv != nullptr && nv->busy && !nv->at_lowest && !nv->stale) {
+    if (nv != nullptr && nv->busy && !nv->at_lowest && !nv->stale &&
+        !nv->command_in_flight) {
       out.push_back(id);
     }
   }

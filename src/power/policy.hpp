@@ -31,6 +31,12 @@ struct NodeView {
   /// but must not be selected as throttle targets — the command would act
   /// on a state the manager cannot see.
   bool stale = false;
+  /// An actuation command for this node is still unacknowledged: its true
+  /// level is in limbo between the telemetry reading and the commanded
+  /// target. In-flight nodes keep contributing power (accounted on the
+  /// safe side by the manager) but must not be selected again — stacking
+  /// a second command on an unconfirmed first acts on a guessed state.
+  bool command_in_flight = false;
   /// power_prev holds a real previous-cycle sample (a node can
   /// legitimately read 0.0 W, so the value alone cannot signal absence).
   bool has_prev = false;
@@ -68,6 +74,9 @@ struct PolicyContext {
   std::size_t missing_nodes = 0;    ///< candidates with no usable sample
   std::size_t fallback_nodes = 0;   ///< views on a substituted estimate
   std::size_t rejected_samples = 0; ///< implausible samples discarded
+  /// Candidates excluded because their actuation retry budget ran out and
+  /// no fresh telemetry has readmitted them yet.
+  std::size_t unresponsive_nodes = 0;
 
   /// Power the system must shed to re-enter green: max(0, P - P_L).
   [[nodiscard]] Watts required_saving() const;

@@ -1,0 +1,179 @@
+#include "power/reconciler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace pcap::power {
+
+void ReconcilerParams::validate() const {
+  if (max_retries < 0) {
+    throw std::invalid_argument("ReconcilerParams: max_retries must be >= 0");
+  }
+  if (retry_backoff_base_cycles < 1) {
+    throw std::invalid_argument(
+        "ReconcilerParams: retry backoff base must be >= 1 cycle");
+  }
+  if (retry_backoff_cap_cycles < retry_backoff_base_cycles) {
+    throw std::invalid_argument(
+        "ReconcilerParams: retry backoff cap must be >= the base");
+  }
+}
+
+void ActuationReconciler::CycleWork::clear() {
+  commands.clear();
+  acks = 0;
+  retries = 0;
+  divergences = 0;
+  heals = 0;
+  abandoned = 0;
+  suppressed = 0;
+  readmitted = 0;
+}
+
+ActuationReconciler::ActuationReconciler(ReconcilerParams params)
+    : params_(params) {
+  params_.validate();
+}
+
+std::uint64_t ActuationReconciler::backoff(int retries) const {
+  const auto base =
+      static_cast<std::uint64_t>(params_.retry_backoff_base_cycles);
+  const auto cap =
+      static_cast<std::uint64_t>(params_.retry_backoff_cap_cycles);
+  if (retries >= 30) return cap;
+  return std::min(base << retries, cap);
+}
+
+void ActuationReconciler::register_pending(hw::NodeId id, hw::Level target,
+                                           std::uint64_t cycle) {
+  pending_[id] = Pending{target, cycle, cycle + backoff(0), 0};
+}
+
+void ActuationReconciler::observe_node(hw::NodeId id, hw::Level observed,
+                                       std::uint64_t sample_cycle,
+                                       std::uint64_t now_cycle,
+                                       CycleWork& work) {
+  if (unresponsive_.count(id) != 0) {
+    // A fresh report from a node we gave up on: readmit it, adopting its
+    // actual state as the new truth — our old intent was abandoned with
+    // the retry budget.
+    unresponsive_.erase(id);
+    believed_[id] = Believed{observed, sample_cycle};
+    ++work.readmitted;
+    ++readmitted_;
+    return;
+  }
+
+  auto bit = believed_.find(id);
+  if (bit != believed_.end() && sample_cycle <= bit->second.observed_cycle) {
+    // Not newer than what already drove this table (the freshest sample
+    // can move backwards when newer deliveries are corrupt): ignore.
+    return;
+  }
+
+  auto pit = pending_.find(id);
+  if (pit != pending_.end()) {
+    const Pending& p = pit->second;
+    if (observed == p.target && sample_cycle > p.issued_cycle) {
+      // Ack: the node demonstrably reached the commanded level after the
+      // command was issued.
+      believed_[id] = Believed{observed, sample_cycle};
+      pending_.erase(pit);
+      ++work.acks;
+      ++acks_;
+    }
+    // Anything else — old level still showing, or a partial transition's
+    // intermediate stop — means keep waiting; the retry clock decides.
+    return;
+  }
+
+  if (bit == believed_.end()) {
+    // First sight of this node: adopt what it reports.
+    believed_[id] = Believed{observed, sample_cycle};
+    return;
+  }
+
+  if (observed != bit->second.level) {
+    // Divergence with nothing in flight: the node changed level under us
+    // (reboot reset, partial transition acked long ago, operator). Heal
+    // it back to the believed level and track the heal like any command.
+    ++work.divergences;
+    ++divergences_;
+    ++work.heals;
+    ++heals_;
+    work.commands.push_back(LevelCommand{id, bit->second.level});
+    register_pending(id, bit->second.level, now_cycle);
+  }
+  bit->second.observed_cycle = sample_cycle;
+}
+
+void ActuationReconciler::finish_observation(std::uint64_t cycle,
+                                             CycleWork& work) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    Pending& p = it->second;
+    if (p.next_retry_cycle > cycle) {
+      ++it;
+      continue;
+    }
+    if (p.retries >= params_.max_retries) {
+      // Budget exhausted: stop shouting at a node that never answers.
+      // Marking it unresponsive drops it from the candidate context, so
+      // selection and A_degraded forget it until fresh telemetry earns
+      // it a readmission.
+      PCAP_WARN(
+          "reconciler: node %llu unresponsive after %d retries "
+          "(target level %d abandoned)",
+          static_cast<unsigned long long>(it->first), p.retries, p.target);
+      unresponsive_.insert(it->first);
+      ++work.abandoned;
+      ++abandoned_;
+      it = pending_.erase(it);
+      continue;
+    }
+    ++p.retries;
+    p.next_retry_cycle = cycle + backoff(p.retries);
+    work.commands.push_back(LevelCommand{it->first, p.target});
+    ++work.retries;
+    ++retries_;
+    ++it;
+  }
+}
+
+void ActuationReconciler::admit(const std::vector<LevelCommand>& decided,
+                                std::uint64_t cycle, CycleWork& work) {
+  for (const LevelCommand& cmd : decided) {
+    if (unresponsive_.count(cmd.node) != 0) {
+      ++work.suppressed;
+      ++suppressed_;
+      continue;
+    }
+    auto it = pending_.find(cmd.node);
+    if (it != pending_.end()) {
+      if (it->second.target == cmd.level) continue;  // retries own it
+      // A different target supersedes the pending command outright — the
+      // newest intent wins and gets a fresh retry budget.
+      it->second = Pending{cmd.level, cycle, cycle + backoff(0), 0};
+      work.commands.push_back(cmd);
+      continue;
+    }
+    register_pending(cmd.node, cmd.level, cycle);
+    work.commands.push_back(cmd);
+  }
+}
+
+std::optional<hw::Level> ActuationReconciler::pending_target(
+    hw::NodeId id) const {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return std::nullopt;
+  return it->second.target;
+}
+
+hw::Level ActuationReconciler::believed(hw::NodeId id,
+                                        hw::Level fallback) const {
+  const auto it = believed_.find(id);
+  return it == believed_.end() ? fallback : it->second.level;
+}
+
+}  // namespace pcap::power

@@ -287,6 +287,76 @@ TEST(Capping, SteadyGreenSkipsStaleNodesButKeepsThemDegraded) {
   EXPECT_EQ(e.degraded(), (std::set<hw::NodeId>{0}));
 }
 
+TEST(Capping, YellowSkipsNodeWithCommandInFlight) {
+  CappingEngine e(tg(3));
+  BlindPolicy policy({0, 1});
+  auto ctx = make_ctx(2, 9);
+  // Node 0 has an unacked command outstanding: throttling it again would
+  // act on a level the manager only believes, not knows.
+  ctx.nodes[0].command_in_flight = true;
+  const CycleDecision d =
+      e.cycle(Watts{920.0}, Watts{900.0}, Watts{950.0}, policy, ctx);
+  EXPECT_EQ(d.deferred_in_flight, 1u);
+  EXPECT_EQ(d.skipped, 0u);  // a deferral is routine, not a bad target
+  ASSERT_EQ(d.commands.size(), 1u);
+  EXPECT_EQ(d.commands[0], (LevelCommand{1, 8}));
+  EXPECT_EQ(e.degraded(), (std::set<hw::NodeId>{1}));
+}
+
+TEST(Capping, SteadyGreenSkipsInFlightNodesButKeepsThemDegraded) {
+  CappingEngine e(tg(1));
+  FixedPolicy policy({0, 1});
+  auto ctx = make_ctx(2, 9);
+  e.cycle(Watts{920.0}, Watts{900.0}, Watts{950.0}, policy, ctx);
+  EXPECT_EQ(e.degraded().size(), 2u);
+
+  ctx = make_ctx(2, 8);
+  ctx.nodes[0].command_in_flight = true;
+  const auto d = e.cycle(Watts{0.0}, Watts{900.0}, Watts{950.0}, policy, ctx);
+  // Only the settled node is restored; the one with a command in flight
+  // stays in A_degraded until its actuation state is known again.
+  ASSERT_EQ(d.commands.size(), 1u);
+  EXPECT_EQ(d.commands[0], (LevelCommand{1, 9}));
+  EXPECT_EQ(e.degraded(), (std::set<hw::NodeId>{0}));
+}
+
+// Candidate churn mid-degradation: a throttled node that leaves the
+// candidate set (privileged job, reselection) is pruned from A_degraded —
+// and when it rejoins, still at its throttled level, steady green must
+// NOT restore it: the engine only restores levels it remembers lowering,
+// and the pruning deliberately forgot this one ("no longer ours").
+TEST(Capping, RejoiningNodeIsNotRestoredAbovePreThrottleLevel) {
+  CappingEngine e(tg(1));
+  FixedPolicy policy({0, 1});
+  auto ctx = make_ctx(2, 9);
+  e.cycle(Watts{920.0}, Watts{900.0}, Watts{950.0}, policy, ctx);
+  EXPECT_EQ(e.degraded(), (std::set<hw::NodeId>{0, 1}));
+
+  // Node 1 leaves A_candidate while degraded (level 8); the yellow
+  // pressure keeps node 0 degraded (8 -> 7) through the churn.
+  auto ctx_one = make_ctx(1, 8);
+  e.cycle(Watts{920.0}, Watts{900.0}, Watts{950.0}, policy, ctx_one);
+  EXPECT_EQ(e.degraded(), (std::set<hw::NodeId>{0}));
+
+  // Node 1 rejoins, still at its throttled level 8, and the system goes
+  // green. Every restore pass may lift node 0 (which the engine still
+  // owns) but must never command node 1 above the level it rejoined with.
+  ctx = make_ctx(2, 9);
+  ctx.nodes[0].level = 7;
+  ctx.nodes[1].level = 8;
+  for (int i = 0; i < 5; ++i) {
+    const auto d =
+        e.cycle(Watts{0.0}, Watts{900.0}, Watts{950.0}, policy, ctx);
+    for (const LevelCommand& c : d.commands) {
+      EXPECT_NE(c.node, 1u);
+      ctx.nodes[c.node].level = c.level;  // actuate
+    }
+  }
+  EXPECT_EQ(ctx.nodes[0].level, 9);  // node 0 fully restored...
+  EXPECT_EQ(ctx.nodes[1].level, 8);  // ...node 1 left where it rejoined
+  EXPECT_TRUE(e.degraded().empty());
+}
+
 TEST(Capping, ResetForgetsHistory) {
   CappingEngine e(tg(3));
   FixedPolicy policy({0});

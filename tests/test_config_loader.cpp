@@ -77,6 +77,58 @@ TEST(ConfigLoader, TelemetrySection) {
   EXPECT_EQ(cfg.transport.delay_cycles, 3);
 }
 
+TEST(ConfigLoader, ActuationSection) {
+  const ExperimentConfig cfg = load(
+      "[actuation]\n"
+      "loss_rate = 0.1\n"
+      "delay_cycles = 2\n"
+      "failure_rate = 0.02\n"
+      "partial_rate = 0.05\n"
+      "reboot_rate = 0.001\n"
+      "reboot_duration_cycles = 25\n"
+      "max_retries = 4\n"
+      "retry_backoff_cycles = 3\n"
+      "retry_backoff_cap_cycles = 12\n");
+  EXPECT_DOUBLE_EQ(cfg.actuation.command_loss_rate, 0.1);
+  EXPECT_EQ(cfg.actuation.delivery_delay_cycles, 2);
+  EXPECT_DOUBLE_EQ(cfg.actuation.transition_failure_rate, 0.02);
+  EXPECT_DOUBLE_EQ(cfg.actuation.partial_transition_rate, 0.05);
+  EXPECT_DOUBLE_EQ(cfg.actuation.reboot_rate, 0.001);
+  EXPECT_EQ(cfg.actuation.reboot_duration_cycles, 25);
+  EXPECT_EQ(cfg.reconciliation.max_retries, 4);
+  EXPECT_EQ(cfg.reconciliation.retry_backoff_base_cycles, 3);
+  EXPECT_EQ(cfg.reconciliation.retry_backoff_cap_cycles, 12);
+}
+
+// Fault-model knobs are validated at the key level: a stray NaN or
+// negative would otherwise sail through into the params structs ([0,1]
+// range checks pass NaN through every comparison).
+TEST(ConfigLoader, NonFiniteFaultRateThrows) {
+  EXPECT_THROW(load("[telemetry]\nloss_rate = nan\n"), std::runtime_error);
+  EXPECT_THROW(load("[telemetry]\ncorruption_rate = inf\n"),
+               std::runtime_error);
+  EXPECT_THROW(load("[actuation]\nloss_rate = nan\n"), std::runtime_error);
+  EXPECT_THROW(load("[actuation]\nreboot_rate = 1e999\n"),
+               std::runtime_error);
+}
+
+TEST(ConfigLoader, NegativeFaultKnobThrows) {
+  EXPECT_THROW(load("[telemetry]\nloss_rate = -0.1\n"), std::runtime_error);
+  EXPECT_THROW(load("[telemetry]\ndelay_cycles = -1\n"), std::runtime_error);
+  EXPECT_THROW(load("[telemetry]\nstale_margin = -0.5\n"),
+               std::runtime_error);
+  EXPECT_THROW(load("[actuation]\nfailure_rate = -0.1\n"),
+               std::runtime_error);
+  EXPECT_THROW(load("[actuation]\ndelay_cycles = -2\n"), std::runtime_error);
+  EXPECT_THROW(load("[actuation]\nmax_retries = -1\n"), std::runtime_error);
+}
+
+TEST(ConfigLoader, OutOfRangeRateStillCaughtByParamsValidate) {
+  // checked_double only guards finiteness/sign; the params' own validate()
+  // must still reject rates above 1.
+  EXPECT_THROW(load("[actuation]\nloss_rate = 1.5\n"), std::invalid_argument);
+}
+
 TEST(ConfigLoader, UnknownKeyThrows) {
   EXPECT_THROW(load("[cluster]\nnoodles = 128\n"), std::runtime_error);
   EXPECT_THROW(load("typo = 1\n"), std::runtime_error);

@@ -3,12 +3,21 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
 #include "hw/node_spec.hpp"
 #include "telemetry/collector.hpp"
 
 namespace pcap::telemetry {
 namespace {
+
+/// Seed-independence properties are swept across PCAP_FAULT_SEED=1..N in
+/// CI; tests with calibrated expectations keep their fixed seeds.
+std::uint64_t fault_seed(std::uint64_t fallback) {
+  const char* env = std::getenv("PCAP_FAULT_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::strtoull(env, nullptr, 10);
+}
 
 NodeSample make_sample(hw::NodeId id, double watts = 300.0) {
   NodeSample s;
@@ -125,8 +134,9 @@ TEST(FaultInjector, PerNodeStreamsAreRegistrationOrderIndependent) {
   p.agent_dropout_rate = 0.3;
   p.agent_recovery_rate = 0.3;
   p.corruption_rate = 0.2;
-  FaultInjector a(p, common::Rng(7));
-  FaultInjector b(p, common::Rng(7));
+  const std::uint64_t seed = fault_seed(7);
+  FaultInjector a(p, common::Rng(seed));
+  FaultInjector b(p, common::Rng(seed));
   a.ensure_nodes({0, 1, 2, 3});
   b.ensure_nodes({3, 2});
   b.ensure_nodes({1, 0});
@@ -240,8 +250,9 @@ TEST(CollectorFaults, FaultStreamsDoNotPerturbTransportDraws) {
   clean.transport.loss_rate = 0.3;
   CollectorParams noisy = clean;
   noisy.faults.corruption_rate = 1.0;  // corrupts, never suppresses
-  Collector reference(clean, common::Rng(13));
-  Collector corrupted(noisy, common::Rng(13));
+  const std::uint64_t seed = fault_seed(13);
+  Collector reference(clean, common::Rng(seed));
+  Collector corrupted(noisy, common::Rng(seed));
   reference.set_candidate_set({0, 1, 2});
   corrupted.set_candidate_set({0, 1, 2});
   auto nodes = make_nodes(3);

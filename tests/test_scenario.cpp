@@ -45,10 +45,30 @@ TEST(HeterogeneousScenario, MixesNodeTypes) {
   EXPECT_TRUE(has_low_power);
 }
 
+TEST(LossyActuationScenario, DegradesOnlyTheCommandPath) {
+  const ExperimentConfig cfg = lossy_actuation_scenario();
+  // The actuation plane is degraded...
+  EXPECT_TRUE(cfg.actuation.enabled());
+  EXPECT_GT(cfg.actuation.command_loss_rate, 0.0);
+  EXPECT_GT(cfg.actuation.delivery_delay_cycles, 0);
+  EXPECT_GT(cfg.actuation.reboot_rate, 0.0);
+  EXPECT_NO_THROW(cfg.actuation.validate());
+  EXPECT_NO_THROW(cfg.reconciliation.validate());
+  // ...telemetry stays healthy: the scenario isolates the command path.
+  EXPECT_FALSE(cfg.faults.enabled());
+  EXPECT_DOUBLE_EQ(cfg.transport.loss_rate, 0.0);
+  // The first retry must sit above the ack latency (delivery delay + one
+  // collection cycle would ack a healthy command) — otherwise the manager
+  // re-sends commands that are merely slow, not lost.
+  EXPECT_GE(cfg.reconciliation.retry_backoff_base_cycles, 2);
+}
+
 TEST(Scenarios, AllBuildClustersWithoutThrowing) {
   EXPECT_NO_THROW(Cluster{paper_scenario().cluster});
   EXPECT_NO_THROW(Cluster{small_scenario().cluster});
   EXPECT_NO_THROW(Cluster{heterogeneous_scenario().cluster});
+  EXPECT_NO_THROW(Cluster{faulty_telemetry_scenario().cluster});
+  EXPECT_NO_THROW(Cluster{lossy_actuation_scenario().cluster});
 }
 
 }  // namespace

@@ -64,6 +64,24 @@ TEST(TraceRecorder, CsvHasHeaderAndRows) {
   EXPECT_EQ(rows[1][4], "1");
 }
 
+TEST(TraceRecorder, CsvCarriesActuationReconciliationColumns) {
+  TraceRecorder r(Seconds{1.0});
+  CyclePoint c = point(1.0, 500.0, 1);
+  c.retries = 3;
+  c.divergences = 1;
+  c.heals = 2;
+  r.record(c);
+  const auto rows = common::parse_csv(r.to_csv());
+  ASSERT_EQ(rows.size(), 2u);
+  ASSERT_EQ(rows[0].size(), 12u);
+  EXPECT_EQ(rows[0][9], "retries");
+  EXPECT_EQ(rows[0][10], "divergences");
+  EXPECT_EQ(rows[0][11], "heals");
+  EXPECT_EQ(rows[1][9], "3");
+  EXPECT_EQ(rows[1][10], "1");
+  EXPECT_EQ(rows[1][11], "2");
+}
+
 TEST(TraceRecorder, SaveWritesFile) {
   TraceRecorder r(Seconds{1.0});
   r.record(point(1.0, 500.0));
