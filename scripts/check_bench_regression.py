@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Bench smoke gate: fail CI when the control-cycle benchmark regresses.
+
+Runs bench_control_cycle --json at the reference size a few times, takes
+the best pass per metric (single-run numbers are noisy on shared runners),
+and compares against the figures recorded in BENCH_control_cycle.json.
+Any metric falling more than the tolerance below its recorded value fails
+the job.
+
+Usage: check_bench_regression.py <bench-binary> [reference-json]
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+RUNS = 3
+TOLERANCE = 0.30  # fail on >30 % regression vs the recorded reference
+
+
+def best_of(bench: str, size: int, runs: int) -> dict:
+    best: dict = {}
+    for i in range(runs):
+        out = subprocess.run(
+            [bench, "--json", str(size)],
+            check=True, capture_output=True, text=True,
+        ).stdout
+        for case in json.loads(out):
+            if case.get("nodes") != size:
+                continue
+            for key, value in case.items():
+                if key == "nodes":
+                    continue
+                best[key] = max(best.get(key, 0.0), float(value))
+        print(f"pass {i + 1}/{runs}: best so far "
+              f"{json.dumps(best, sort_keys=True)}", flush=True)
+    return best
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench = sys.argv[1]
+    ref_path = pathlib.Path(
+        sys.argv[2] if len(sys.argv) > 2 else "BENCH_control_cycle.json")
+
+    reference = json.loads(ref_path.read_text())["ci_reference"]
+    size = reference["nodes"]
+    metrics = reference["metrics"]
+
+    measured = best_of(bench, size, RUNS)
+
+    failed = False
+    for key, ref_value in metrics.items():
+        got = measured.get(key)
+        if got is None:
+            print(f"FAIL {key}: metric missing from bench output")
+            failed = True
+            continue
+        floor = (1.0 - TOLERANCE) * ref_value
+        verdict = "ok" if got >= floor else "FAIL"
+        print(f"{verdict} {key}: measured {got:.2f} vs recorded "
+              f"{ref_value:.2f} (floor {floor:.2f})")
+        failed |= got < floor
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

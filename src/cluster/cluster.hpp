@@ -73,9 +73,12 @@ struct ClusterConfig {
   /// bit-identical for every setting: all randomness is drawn from
   /// per-node streams and every reduction runs serially in index order.
   std::size_t worker_threads = 0;
-  /// Clusters below this node count never create a pool — fan-out
-  /// overhead beats the win on small populations.
-  std::size_t parallel_node_threshold = 1024;
+  /// Clusters below this node count never create a pool, and sweeps over
+  /// fewer indices than this run inline even when a pool exists — fan-out
+  /// overhead beats the win on small populations (BENCH_tick.json: the
+  /// pool still loses at 1024 nodes on one core; aligned with the
+  /// collector's parallel_threshold).
+  std::size_t parallel_node_threshold = 2048;
   /// Indices per pool chunk in a parallel sweep.
   std::size_t parallel_grain = 256;
 
@@ -181,14 +184,13 @@ class Cluster {
   /// discipline is what keeps serial and parallel runs bit-identical.
   template <typename Fn>
   void sweep(std::size_t n, Fn&& fn) {
-    if (pool_ != nullptr && n >= 2 * config_.parallel_grain) {
-      pool_->parallel_for(n, config_.parallel_grain,
-                          [&fn](std::size_t begin, std::size_t end) {
-                            for (std::size_t i = begin; i < end; ++i) fn(i);
-                          });
-    } else {
-      for (std::size_t i = 0; i < n; ++i) fn(i);
-    }
+    common::maybe_parallel_for(pool_.get(), n, config_.parallel_node_threshold,
+                               config_.parallel_grain,
+                               [&fn](std::size_t begin, std::size_t end) {
+                                 for (std::size_t i = begin; i < end; ++i) {
+                                   fn(i);
+                                 }
+                               });
   }
 
   ClusterConfig config_;

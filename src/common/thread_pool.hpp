@@ -56,4 +56,24 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+/// The one shared go-parallel decision for every sweep in the tree
+/// (cluster ticks, telemetry collection, context assembly): fan
+/// fn(begin, end) out over the pool in `grain`-sized chunks only when a
+/// pool is attached, the index count reaches `min_parallel`, and the range
+/// spans at least two grains — anything smaller loses more to fan-out than
+/// it wins, so it runs inline as one serial chunk. Chunk boundaries are
+/// fixed by `grain` alone, so results cannot depend on the worker count as
+/// long as fn only writes state owned by its own indices.
+template <typename Fn>
+void maybe_parallel_for(ThreadPool* pool, std::size_t n,
+                        std::size_t min_parallel, std::size_t grain,
+                        Fn&& fn) {
+  if (grain == 0) grain = 1;
+  if (pool != nullptr && n >= min_parallel && n >= 2 * grain) {
+    pool->parallel_for(n, grain, std::forward<Fn>(fn));
+  } else if (n > 0) {
+    fn(std::size_t{0}, n);
+  }
+}
+
 }  // namespace pcap::common

@@ -53,6 +53,10 @@ std::string CappingManager::name() const {
 void CappingManager::set_candidate_set(const std::vector<hw::NodeId>& ids) {
   collector_.set_candidate_set(ids);
   channel_.ensure_nodes(ids);
+  // The collector's copy is sorted/deduplicated; hand that one to the job
+  // index so both agree on membership. The refilter itself is deferred to
+  // the next context build.
+  job_index_.set_candidate_set(collector_.candidate_set());
 }
 
 PolicyContext CappingManager::build_context(
@@ -83,73 +87,135 @@ void CappingManager::build_context_with(
 
   const std::uint64_t now_cycle = collector_.cycle_count();
   const auto max_age = static_cast<std::uint64_t>(params_.max_sample_age_cycles);
+  const std::vector<hw::NodeId>& candidates = collector_.candidate_set();
 
-  // Node views from the freshest *plausible* telemetry. clear() keeps the
+  // The candidate set is sorted, so its maximum id validates the whole
+  // sweep against the node table in one comparison; every per-candidate
+  // access below then indexes unchecked.
+  if (!candidates.empty() &&
+      static_cast<std::size_t>(collector_.max_candidate_id()) >=
+          nodes.size()) {
+    throw std::out_of_range(
+        "CappingManager::build_context: candidate id out of range");
+  }
+
+  // Phase 1 — sharded view assembly. One ViewRecord per candidate slot,
+  // from strictly per-node inputs: this slot's telemetry history, this
+  // node's spec/power model (its memoisation caches are touched by
+  // exactly one worker), and this node's reconciler entries (read-only
+  // here — unresponsive(id) never changes while the shards run, because
+  // all reconciler mutation is deferred to the serial merge, and
+  // observe_node(j) only ever touches node j's state). Chunk boundaries
+  // are fixed by the grain, so the records are identical for any worker
+  // count.
+  view_records_.resize(candidates.size());
+  common::maybe_parallel_for(
+      pool_, candidates.size(), params_.collector.parallel_threshold,
+      params_.collector.parallel_grain,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t slot = begin; slot < end; ++slot) {
+          ViewRecord& vr = view_records_[slot];
+          const hw::NodeId id = candidates[slot];
+          const auto& hist = collector_.history_at_slot(slot);
+          const hw::Node& node = nodes[id];
+          const bool unresponsive = rec != nullptr && rec->unresponsive(id);
+          vr.rejected = 0;
+          vr.substituted = false;
+
+          // Walk the history newest-to-oldest for a sample that passes
+          // the sanity check; corrupted deliveries are skipped, not
+          // trusted.
+          std::size_t chosen = 0;
+          bool found = false;
+          for (std::size_t i = hist.size(); i-- > 0;) {
+            if (plausible_sample(hist[i], node)) {
+              chosen = i;
+              found = true;
+              break;
+            }
+            ++vr.rejected;
+          }
+          if (!found) {
+            // Never sampled, or nothing in the window survived the sanity
+            // check. With no level/busy state to act on, the node cannot
+            // be a target; the facility meter still sees its real draw,
+            // so the thresholds remain grounded even while we are blind.
+            vr.status = unresponsive
+                            ? ViewRecord::Status::kMissingUnresponsive
+                            : ViewRecord::Status::kMissing;
+            continue;
+          }
+
+          const telemetry::NodeSample& latest = hist[chosen];
+          NodeView nv;
+          nv.id = id;
+          nv.level = latest.level;
+          nv.highest_level = node.spec().ladder.highest();
+          nv.at_lowest = latest.level == node.spec().ladder.lowest();
+          nv.busy = latest.busy;
+          nv.power = latest.estimated_power;
+          nv.temperature = latest.temperature;
+          nv.stale = now_cycle - latest.cycle > max_age;
+          if (unresponsive && nv.stale) {
+            // Abandoned AND blind: the node stays out of the context
+            // entirely — not selectable, not in A_degraded, not worth a
+            // command — until a fresh sample earns it a readmission in
+            // the merge.
+            vr.status = ViewRecord::Status::kExcludedUnresponsive;
+            continue;
+          }
+          if (nv.stale) {
+            // Conservative fallback: assume the unseen node has drifted
+            // UP from its last known draw. Overstating keeps the job
+            // totals — and thus how aggressively Algorithm 1 sheds — on
+            // the safe side.
+            nv.power *= 1.0 + params_.stale_power_margin;
+          } else if (chosen + 1 != hist.size()) {
+            // Fresh enough, but only after discarding newer corrupt
+            // deliveries: still a substituted estimate.
+            vr.substituted = true;
+          }
+          for (std::size_t i = chosen; i-- > 0;) {
+            if (plausible_sample(hist[i], node)) {
+              nv.power_prev = hist[i].estimated_power;
+              nv.has_prev = true;
+              break;
+            }
+          }
+          nv.power_one_level_down = node.estimated_power_at(latest.level - 1);
+          vr.view = nv;
+          vr.sample_cycle = latest.cycle;
+          vr.status = ViewRecord::Status::kOk;
+        }
+      });
+
+  // Serial merge, in candidate order — exactly the order the pre-shard
+  // loop visited nodes, so reconciler mutations, heal emission, counters
+  // and the context layout are all bit-identical to it. clear() keeps the
   // capacity, so after the first cycle this fills existing storage.
   ctx.nodes.clear();
-  for (const hw::NodeId id : collector_.candidate_set()) {
-    const auto* hist = collector_.history(id);
-    const hw::Node& node = nodes.at(id);
-    const bool unresponsive = rec != nullptr && rec->unresponsive(id);
-
-    // Walk the history newest-to-oldest for a sample that passes the
-    // sanity check; corrupted deliveries are skipped, not trusted.
-    std::size_t chosen = 0;
-    bool found = false;
-    for (std::size_t i = hist == nullptr ? 0 : hist->size(); i-- > 0;) {
-      if (plausible_sample((*hist)[i], node)) {
-        chosen = i;
-        found = true;
-        break;
-      }
-      ++ctx.rejected_samples;
-    }
-    if (!found) {
-      // Never sampled, or nothing in the window survived the sanity
-      // check. With no level/busy state to act on, the node cannot be a
-      // target; the facility meter still sees its real draw, so the
-      // thresholds remain grounded even while we are blind here.
-      if (unresponsive) {
-        ++ctx.unresponsive_nodes;
-      } else {
-        ++ctx.missing_nodes;
-      }
+  for (ViewRecord& vr : view_records_) {
+    ctx.rejected_samples += vr.rejected;
+    if (vr.status == ViewRecord::Status::kMissing) {
+      ++ctx.missing_nodes;
       continue;
     }
-
-    const telemetry::NodeSample& latest = (*hist)[chosen];
-    NodeView nv;
-    nv.id = id;
-    nv.level = latest.level;
-    nv.highest_level = node.spec().ladder.highest();
-    nv.at_lowest = latest.level == node.spec().ladder.lowest();
-    nv.busy = latest.busy;
-    nv.power = latest.estimated_power;
-    nv.temperature = latest.temperature;
-    nv.stale = now_cycle - latest.cycle > max_age;
-    if (unresponsive && nv.stale) {
-      // Abandoned AND blind: the node stays out of the context entirely —
-      // not selectable, not in A_degraded, not worth a command — until a
-      // fresh sample earns it a readmission below.
+    if (vr.status == ViewRecord::Status::kMissingUnresponsive ||
+        vr.status == ViewRecord::Status::kExcludedUnresponsive) {
       ++ctx.unresponsive_nodes;
       continue;
     }
+    NodeView nv = vr.view;
     if (rec != nullptr && !nv.stale) {
       // Ack/divergence/readmission processing runs on fresh views only:
       // a stale sample predates whatever is in flight and can neither
       // confirm nor contradict it.
-      rec->observe_node(id, latest.level, latest.cycle, now_cycle, *work);
+      rec->observe_node(nv.id, nv.level, vr.sample_cycle, now_cycle, *work);
     }
     if (nv.stale) {
-      // Conservative fallback: assume the unseen node has drifted UP from
-      // its last known draw. Overstating keeps the job totals — and thus
-      // how aggressively Algorithm 1 sheds — on the safe side.
-      nv.power *= 1.0 + params_.stale_power_margin;
       ++ctx.stale_nodes;
       ++ctx.fallback_nodes;
-    } else if (chosen + 1 != hist->size()) {
-      // Fresh enough, but only after discarding newer corrupt deliveries:
-      // still a substituted estimate, count it as such.
+    } else if (vr.substituted) {
       ++ctx.fallback_nodes;
     }
     if (rec != nullptr) {
@@ -159,63 +225,72 @@ void CappingManager::build_context_with(
       // right now); an unacked throttle claims nothing — the telemetry
       // power stands and the job-level saving below excludes the node.
       // Both errors overestimate draw, never savings.
-      if (const std::optional<hw::Level> target = rec->pending_target(id)) {
+      if (const std::optional<hw::Level> target =
+              rec->pending_target(nv.id)) {
         nv.command_in_flight = true;
         if (*target > nv.level) {
-          const Watts assumed = node.estimated_power_at(*target);
+          const Watts assumed = nodes[nv.id].estimated_power_at(*target);
           if (assumed > nv.power) nv.power = assumed;
         }
       }
     }
-    for (std::size_t i = chosen; i-- > 0;) {
-      if (plausible_sample((*hist)[i], node)) {
-        nv.power_prev = (*hist)[i].estimated_power;
-        nv.has_prev = true;
-        break;
-      }
-    }
-    nv.power_one_level_down = node.estimated_power_at(latest.level - 1);
     ctx.nodes.push_back(nv);
   }
   ctx.index_nodes();
 
-  // Job views restricted to candidate nodes. JobView slots — including
-  // their per-job node-id vectors — are recycled in place.
+  // Phase 2 — job views from the persistent index. entries() mirrors
+  // scheduler.running_jobs() in order, and each entry's candidate_nodes
+  // keeps Nodes(J) order, so every per-job power sum adds the same values
+  // in the same order the full rebuild did. Each stage slot is written by
+  // one worker and reads only the frozen context, so this pass shards
+  // too.
+  job_index_.sync(scheduler);
+  const std::vector<JobIndex::Entry>& entries = job_index_.entries();
+  job_stage_.resize(entries.size());
+  common::maybe_parallel_for(
+      pool_, entries.size(), params_.collector.parallel_threshold,
+      params_.collector.parallel_grain,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k) {
+          const JobIndex::Entry& e = entries[k];
+          JobView& jv = job_stage_[k];
+          jv.id = e.id;
+          jv.nodes.clear();
+          jv.power = Watts{0.0};
+          jv.power_prev = Watts{0.0};
+          jv.saving_one_level = Watts{0.0};
+          bool have_all_prev = true;
+          for (const hw::NodeId nid : e.candidate_nodes) {
+            const NodeView* nv = ctx.node(nid);
+            if (nv == nullptr) continue;  // no usable view this cycle
+            jv.nodes.push_back(nid);
+            jv.power += nv->power;
+            // has_prev, not power_prev > 0: an idle or gated node
+            // legitimately reports 0.0 W, and treating that as "no
+            // history" zeroed the whole job's rate-of-increase signal.
+            if (nv->has_prev) {
+              jv.power_prev += nv->power_prev;
+            } else {
+              have_all_prev = false;
+            }
+            // Stale or in-flight nodes contribute (inflated) power but no
+            // claimed saving: a throttle command they will not be
+            // selected for cannot be counted as shed watts.
+            if (nv->busy && !nv->at_lowest && !nv->stale &&
+                !nv->command_in_flight) {
+              jv.saving_one_level += nv->power - nv->power_one_level_down;
+            }
+          }
+          if (!have_all_prev) jv.power_prev = Watts{0.0};  // no rate
+        }
+      });
+  // Serial compaction: jobs with no usable node this cycle drop out,
+  // order is preserved, and swap keeps both sides' vector capacity.
   std::size_t used = 0;
-  for (const workload::JobId jid : scheduler.running_jobs()) {
-    const workload::Job* job = scheduler.find(jid);
-    if (job == nullptr) continue;
+  for (JobView& staged : job_stage_) {
+    if (staged.nodes.empty()) continue;
     if (used == ctx.jobs.size()) ctx.jobs.emplace_back();
-    JobView& jv = ctx.jobs[used];
-    jv.id = jid;
-    jv.nodes.clear();
-    jv.power = Watts{0.0};
-    jv.power_prev = Watts{0.0};
-    jv.saving_one_level = Watts{0.0};
-    bool have_all_prev = true;
-    for (const hw::NodeId nid : job->nodes()) {
-      const NodeView* nv = ctx.node(nid);
-      if (nv == nullptr) continue;  // node outside A_candidate
-      jv.nodes.push_back(nid);
-      jv.power += nv->power;
-      // has_prev, not power_prev > 0: an idle or gated node legitimately
-      // reports 0.0 W, and treating that as "no history" zeroed the whole
-      // job's rate-of-increase signal.
-      if (nv->has_prev) {
-        jv.power_prev += nv->power_prev;
-      } else {
-        have_all_prev = false;
-      }
-      // Stale or in-flight nodes contribute (inflated) power but no
-      // claimed saving: a throttle command they will not be selected for
-      // cannot be counted as shed watts.
-      if (nv->busy && !nv->at_lowest && !nv->stale &&
-          !nv->command_in_flight) {
-        jv.saving_one_level += nv->power - nv->power_one_level_down;
-      }
-    }
-    if (jv.nodes.empty()) continue;  // slot stays free for the next job
-    if (!have_all_prev) jv.power_prev = Watts{0.0};  // no rate this cycle
+    std::swap(ctx.jobs[used], staged);
     ++used;
   }
   ctx.jobs.erase(ctx.jobs.begin() + static_cast<std::ptrdiff_t>(used),

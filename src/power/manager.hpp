@@ -23,6 +23,7 @@
 #include "power/actuation_channel.hpp"
 #include "power/candidate_selector.hpp"
 #include "power/capping.hpp"
+#include "power/job_index.hpp"
 #include "power/node_controller.hpp"
 #include "power/policy.hpp"
 #include "power/reconciler.hpp"
@@ -148,7 +149,11 @@ class CappingManager final : public PowerManagerBase {
                       const sched::Scheduler& scheduler,
                       Seconds now) override;
 
+  /// The pool parallelises both the telemetry sweep and context assembly
+  /// (sharded over candidate slots; see build_context_with). Results are
+  /// bit-identical with or without it.
   void set_thread_pool(common::ThreadPool* pool) override {
+    pool_ = pool;
     collector_.set_thread_pool(pool);
   }
 
@@ -192,11 +197,34 @@ class CappingManager final : public PowerManagerBase {
   /// `work`), in-flight commands mark their views, and the safe-side
   /// power accounting is applied. The public const overloads pass
   /// nullptr: pure read-only assembly for benchmarks.
+  ///
+  /// Two-phase: a sharded pass builds one ViewRecord per candidate slot
+  /// from strictly per-node inputs (telemetry history, node table,
+  /// per-node reconciler state — all read-only there), then a serial
+  /// merge in candidate order applies everything order-sensitive
+  /// (reconciler mutation, counters, safe-side pending accounting). The
+  /// merge sees the same values in the same order the old single serial
+  /// loop did, so output is bit-identical across worker counts.
   void build_context_with(PolicyContext& ctx, Watts measured,
                           const std::vector<hw::Node>& nodes,
                           const sched::Scheduler& scheduler,
                           ActuationReconciler* rec,
                           ActuationReconciler::CycleWork* work) const;
+
+  /// One candidate slot's output from the sharded assembly pass.
+  struct ViewRecord {
+    enum class Status : std::uint8_t {
+      kMissing,              ///< no plausible sample in the window
+      kMissingUnresponsive,  ///< ditto, and the node is abandoned
+      kExcludedUnresponsive, ///< abandoned and stale: out of the context
+      kOk,
+    };
+    NodeView view;                  ///< valid only when status == kOk
+    std::uint64_t sample_cycle = 0; ///< cycle stamp of the chosen sample
+    std::uint32_t rejected = 0;     ///< implausible samples skipped
+    Status status = Status::kMissing;
+    bool substituted = false;  ///< fresh only after skipping corrupt ones
+  };
 
   CappingManagerParams params_;
   PolicyPtr policy_;
@@ -210,6 +238,18 @@ class CappingManager final : public PowerManagerBase {
   ActuationChannel channel_;
   ActuationReconciler reconciler_;
   std::optional<CandidateSelector> selector_;
+  common::ThreadPool* pool_ = nullptr;
+  /// Per-slot staging for the sharded assembly pass; persists across
+  /// cycles so the steady state allocates nothing.
+  mutable std::vector<ViewRecord> view_records_;
+  /// Incremental mirror of the scheduler's running set; synced (O(churn))
+  /// at the top of every context build. Mutable because assembly is
+  /// logically const — the index is a cache of scheduler state. Assumes
+  /// one manager observes one scheduler, as cycle() guarantees.
+  mutable JobIndex job_index_;
+  /// Per-entry JobView staging for the job pass; compacted into ctx.jobs
+  /// by swap so per-job node vectors keep their capacity on both sides.
+  mutable std::vector<JobView> job_stage_;
   /// Reused across cycles by cycle(); holds its capacity.
   PolicyContext scratch_ctx_;
   /// Per-cycle scratch, reused: commands that reached hardware this cycle

@@ -1,64 +1,33 @@
 #include "power/policies_change_based.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 namespace pcap::power {
 
-namespace {
-
-struct RatedJob {
-  const JobView* job;
-  std::vector<hw::NodeId> nodes;
-  double rate;
-};
-
-std::vector<RatedJob> rated_jobs(const PolicyContext& ctx) {
-  std::vector<RatedJob> out;
-  out.reserve(ctx.jobs.size());
-  for (const JobView& j : ctx.jobs) {
-    auto nodes = throttleable_nodes(ctx, j);
-    if (nodes.empty()) continue;
-    out.push_back(RatedJob{&j, std::move(nodes), j.rate_of_increase()});
-  }
-  return out;
-}
-
-}  // namespace
+// SelectionScratch::build prefills Ref::score with ΔP^t(J), so the
+// change-based policies rank the refs directly.
 
 std::vector<hw::NodeId> HighestRateOfIncrease::select(
     const PolicyContext& ctx) {
-  const auto jobs = rated_jobs(ctx);
+  scratch_.build(ctx);
+  const auto& jobs = scratch_.refs();
   if (jobs.empty()) return {};
-  const auto it = std::max_element(
-      jobs.begin(), jobs.end(),
-      [](const RatedJob& a, const RatedJob& b) { return a.rate < b.rate; });
-  return it->nodes;
+  const auto it =
+      std::max_element(jobs.begin(), jobs.end(),
+                       [](const SelectionScratch::Ref& a,
+                          const SelectionScratch::Ref& b) {
+                         return a.score < b.score;
+                       });
+  return scratch_.targets_of(*it);
 }
 
 std::vector<hw::NodeId> HighestRateOfIncreaseCollection::select(
     const PolicyContext& ctx) {
-  auto jobs = rated_jobs(ctx);
-  if (jobs.empty()) return {};
-  std::stable_sort(jobs.begin(), jobs.end(),
-                   [](const RatedJob& a, const RatedJob& b) {
-                     return a.rate > b.rate;  // fastest riser first
-                   });
-
-  const Watts needed = ctx.required_saving();
-  std::vector<hw::NodeId> targets;
-  std::unordered_set<hw::NodeId> seen;
-  Watts saved{0.0};
-  for (const auto& rj : jobs) {
-    for (const hw::NodeId id : rj.nodes) {
-      if (!seen.insert(id).second) continue;
-      targets.push_back(id);
-      const NodeView* nv = ctx.node(id);
-      saved += nv->power - nv->power_one_level_down;
-    }
-    if (saved >= needed) break;
-  }
-  return targets;
+  return accumulate_collection(ctx, scratch_,
+                               [](const SelectionScratch::Ref& a,
+                                  const SelectionScratch::Ref& b) {
+                                 return a.score > b.score;  // fastest first
+                               });
 }
 
 }  // namespace pcap::power

@@ -17,12 +17,18 @@ class HighestRateOfIncrease final : public TargetSelectionPolicy {
  public:
   [[nodiscard]] std::string name() const override { return "hri"; }
   std::vector<hw::NodeId> select(const PolicyContext& ctx) override;
+
+ private:
+  SelectionScratch scratch_;
 };
 
 class HighestRateOfIncreaseCollection final : public TargetSelectionPolicy {
  public:
   [[nodiscard]] std::string name() const override { return "hri-c"; }
   std::vector<hw::NodeId> select(const PolicyContext& ctx) override;
+
+ private:
+  SelectionScratch scratch_;
 };
 
 }  // namespace pcap::power

@@ -1,112 +1,65 @@
 #include "power/policies_state_based.hpp"
 
 #include <algorithm>
-#include <limits>
-#include <unordered_set>
 
 namespace pcap::power {
 
-namespace {
-
-/// Jobs that still have at least one throttleable node, paired with those
-/// nodes. Jobs whose every node already sits at the floor cannot help.
-struct ThrottleableJob {
-  const JobView* job;
-  std::vector<hw::NodeId> nodes;
-  Watts saving{0.0};
-};
-
-std::vector<ThrottleableJob> throttleable_jobs(const PolicyContext& ctx) {
-  std::vector<ThrottleableJob> out;
-  out.reserve(ctx.jobs.size());
-  for (const JobView& j : ctx.jobs) {
-    auto nodes = throttleable_nodes(ctx, j);
-    if (nodes.empty()) continue;
-    Watts saving{0.0};
-    for (const hw::NodeId id : nodes) {
-      const NodeView* nv = ctx.node(id);
-      saving += nv->power - nv->power_one_level_down;
-    }
-    out.push_back(ThrottleableJob{&j, std::move(nodes), saving});
-  }
-  return out;
-}
-
-/// Collection policies share one skeleton: order the throttleable jobs by
-/// a comparator, then accumulate savings until the required shed amount is
-/// covered (Algorithm 2 with a pluggable order). Nodes shared between the
-/// selected jobs are deduplicated, matching the Nodes(J_i) - A term.
-template <typename Compare>
-std::vector<hw::NodeId> accumulate_collection(const PolicyContext& ctx,
-                                              Compare cmp) {
-  auto jobs = throttleable_jobs(ctx);
-  if (jobs.empty()) return {};
-  std::stable_sort(jobs.begin(), jobs.end(), cmp);
-
-  const Watts needed = ctx.required_saving();
-  std::vector<hw::NodeId> targets;
-  std::unordered_set<hw::NodeId> seen;
-  Watts saved{0.0};
-  for (const auto& tj : jobs) {
-    for (const hw::NodeId id : tj.nodes) {
-      if (!seen.insert(id).second) continue;  // Nodes(J_i) - A
-      targets.push_back(id);
-      const NodeView* nv = ctx.node(id);
-      saved += nv->power - nv->power_one_level_down;
-    }
-    if (saved >= needed) break;  // "if Saved >= P - P_L then exit"
-  }
-  return targets;
-}
-
-}  // namespace
+// All five policies rank the scratch refs (jobs with at least one
+// throttleable node, rebuilt allocation-free per call); comparisons read
+// the JobView aggregates through Ref::job.
 
 std::vector<hw::NodeId> MostPowerConsumingJob::select(
     const PolicyContext& ctx) {
-  const auto jobs = throttleable_jobs(ctx);
+  scratch_.build(ctx);
+  const auto& jobs = scratch_.refs();
   if (jobs.empty()) return {};
   const auto it = std::max_element(
       jobs.begin(), jobs.end(), [](const auto& a, const auto& b) {
         return a.job->power < b.job->power;
       });
-  return it->nodes;
+  return scratch_.targets_of(*it);
 }
 
 std::vector<hw::NodeId> MostPowerConsumingCollection::select(
     const PolicyContext& ctx) {
-  return accumulate_collection(ctx, [](const auto& a, const auto& b) {
-    return a.job->power > b.job->power;  // descending power
-  });
+  return accumulate_collection(
+      ctx, scratch_, [](const auto& a, const auto& b) {
+        return a.job->power > b.job->power;  // descending power
+      });
 }
 
 std::vector<hw::NodeId> LeastPowerConsumingJob::select(
     const PolicyContext& ctx) {
-  const auto jobs = throttleable_jobs(ctx);
+  scratch_.build(ctx);
+  const auto& jobs = scratch_.refs();
   if (jobs.empty()) return {};
   const auto it = std::min_element(
       jobs.begin(), jobs.end(), [](const auto& a, const auto& b) {
         return a.job->power < b.job->power;
       });
-  return it->nodes;
+  return scratch_.targets_of(*it);
 }
 
 std::vector<hw::NodeId> LeastPowerConsumingCollection::select(
     const PolicyContext& ctx) {
-  return accumulate_collection(ctx, [](const auto& a, const auto& b) {
-    return a.job->power < b.job->power;  // ascending power
-  });
+  return accumulate_collection(
+      ctx, scratch_, [](const auto& a, const auto& b) {
+        return a.job->power < b.job->power;  // ascending power
+      });
 }
 
 std::vector<hw::NodeId> BestFitJob::select(const PolicyContext& ctx) {
-  const auto jobs = throttleable_jobs(ctx);
+  scratch_.build(ctx);
+  const auto& jobs = scratch_.refs();
   if (jobs.empty()) return {};
 
   const Watts needed = ctx.required_saving();
   // Prefer the job whose saving is the smallest one >= needed ("just
   // above the difference"); if none covers the gap, take the largest
-  // available saving to make the most progress this cycle.
-  const ThrottleableJob* best_above = nullptr;
-  const ThrottleableJob* best_below = nullptr;
+  // available saving to make the most progress this cycle. Strict
+  // comparisons keep ties on the earliest job in context order.
+  const SelectionScratch::Ref* best_above = nullptr;
+  const SelectionScratch::Ref* best_below = nullptr;
   for (const auto& tj : jobs) {
     if (tj.saving >= needed) {
       if (best_above == nullptr || tj.saving < best_above->saving) {
@@ -116,9 +69,11 @@ std::vector<hw::NodeId> BestFitJob::select(const PolicyContext& ctx) {
       best_below = &tj;
     }
   }
-  const ThrottleableJob* chosen =
+  const SelectionScratch::Ref* chosen =
       best_above != nullptr ? best_above : best_below;
-  return chosen->nodes;
+  if (chosen == nullptr) return {};  // unreachable with jobs non-empty,
+                                     // but never dereference on faith
+  return scratch_.targets_of(*chosen);
 }
 
 }  // namespace pcap::power

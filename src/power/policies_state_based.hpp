@@ -17,30 +17,45 @@ class MostPowerConsumingJob final : public TargetSelectionPolicy {
  public:
   [[nodiscard]] std::string name() const override { return "mpc"; }
   std::vector<hw::NodeId> select(const PolicyContext& ctx) override;
+
+ private:
+  SelectionScratch scratch_;
 };
 
 class MostPowerConsumingCollection final : public TargetSelectionPolicy {
  public:
   [[nodiscard]] std::string name() const override { return "mpc-c"; }
   std::vector<hw::NodeId> select(const PolicyContext& ctx) override;
+
+ private:
+  SelectionScratch scratch_;
 };
 
 class LeastPowerConsumingJob final : public TargetSelectionPolicy {
  public:
   [[nodiscard]] std::string name() const override { return "lpc"; }
   std::vector<hw::NodeId> select(const PolicyContext& ctx) override;
+
+ private:
+  SelectionScratch scratch_;
 };
 
 class LeastPowerConsumingCollection final : public TargetSelectionPolicy {
  public:
   [[nodiscard]] std::string name() const override { return "lpc-c"; }
   std::vector<hw::NodeId> select(const PolicyContext& ctx) override;
+
+ private:
+  SelectionScratch scratch_;
 };
 
 class BestFitJob final : public TargetSelectionPolicy {
  public:
   [[nodiscard]] std::string name() const override { return "bfp"; }
   std::vector<hw::NodeId> select(const PolicyContext& ctx) override;
+
+ private:
+  SelectionScratch scratch_;
 };
 
 }  // namespace pcap::power

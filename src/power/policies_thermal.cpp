@@ -1,7 +1,6 @@
 #include "power/policies_thermal.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 namespace pcap::power {
 
@@ -20,52 +19,54 @@ double mean_job_temperature(const PolicyContext& ctx, const JobView& job) {
 
 namespace {
 
-struct RatedJob {
-  const JobView* job;
-  std::vector<hw::NodeId> nodes;
-  double temperature;
-};
-
-std::vector<RatedJob> rated_jobs(const PolicyContext& ctx) {
-  std::vector<RatedJob> out;
-  out.reserve(ctx.jobs.size());
-  for (const JobView& j : ctx.jobs) {
-    auto nodes = throttleable_nodes(ctx, j);
-    if (nodes.empty()) continue;
-    out.push_back(RatedJob{&j, std::move(nodes),
-                           mean_job_temperature(ctx, j)});
+/// Replaces each ref's default ranking key (ΔP^t(J)) with the job's mean
+/// board temperature.
+void score_by_temperature(const PolicyContext& ctx,
+                          SelectionScratch& scratch) {
+  for (SelectionScratch::Ref& r : scratch.refs()) {
+    r.score = mean_job_temperature(ctx, *r.job);
   }
-  return out;
 }
 
 }  // namespace
 
 std::vector<hw::NodeId> HottestJob::select(const PolicyContext& ctx) {
-  const auto jobs = rated_jobs(ctx);
+  scratch_.build(ctx);
+  score_by_temperature(ctx, scratch_);
+  const auto& jobs = scratch_.refs();
   if (jobs.empty()) return {};
-  const auto it = std::max_element(jobs.begin(), jobs.end(),
-                                   [](const RatedJob& a, const RatedJob& b) {
-                                     return a.temperature < b.temperature;
-                                   });
-  return it->nodes;
+  const auto it =
+      std::max_element(jobs.begin(), jobs.end(),
+                       [](const SelectionScratch::Ref& a,
+                          const SelectionScratch::Ref& b) {
+                         return a.score < b.score;
+                       });
+  return scratch_.targets_of(*it);
 }
 
 std::vector<hw::NodeId> HottestJobCollection::select(
     const PolicyContext& ctx) {
-  auto jobs = rated_jobs(ctx);
+  // accumulate_collection rebuilds the scratch itself, which would wipe
+  // the temperature scores, so this collection runs the skeleton inline:
+  // build, score, stable sort (ties keep context order), accumulate.
+  scratch_.build(ctx);
+  score_by_temperature(ctx, scratch_);
+  auto& jobs = scratch_.refs();
   if (jobs.empty()) return {};
   std::stable_sort(jobs.begin(), jobs.end(),
-                   [](const RatedJob& a, const RatedJob& b) {
-                     return a.temperature > b.temperature;
+                   [](const SelectionScratch::Ref& a,
+                      const SelectionScratch::Ref& b) {
+                     return a.score > b.score;  // hottest first
                    });
 
   const Watts needed = ctx.required_saving();
   std::vector<hw::NodeId> targets;
-  std::unordered_set<hw::NodeId> seen;
+  scratch_.begin_visit();
   Watts saved{0.0};
-  for (const auto& rj : jobs) {
-    for (const hw::NodeId id : rj.nodes) {
-      if (!seen.insert(id).second) continue;
+  for (const SelectionScratch::Ref& rj : jobs) {
+    for (std::uint32_t i = rj.begin; i < rj.end; ++i) {
+      const hw::NodeId id = scratch_.node_buf()[i];
+      if (!scratch_.visit(id)) continue;
       targets.push_back(id);
       const NodeView* nv = ctx.node(id);
       saved += nv->power - nv->power_one_level_down;

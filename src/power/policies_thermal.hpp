@@ -23,12 +23,18 @@ class HottestJob final : public TargetSelectionPolicy {
  public:
   [[nodiscard]] std::string name() const override { return "ht"; }
   std::vector<hw::NodeId> select(const PolicyContext& ctx) override;
+
+ private:
+  SelectionScratch scratch_;
 };
 
 class HottestJobCollection final : public TargetSelectionPolicy {
  public:
   [[nodiscard]] std::string name() const override { return "ht-c"; }
   std::vector<hw::NodeId> select(const PolicyContext& ctx) override;
+
+ private:
+  SelectionScratch scratch_;
 };
 
 /// Mean board temperature over a job's candidate nodes (degrees C);

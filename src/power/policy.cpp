@@ -25,6 +25,26 @@ void PolicyContext::index_nodes() {
   }
 }
 
+void SelectionScratch::build(const PolicyContext& ctx) {
+  refs_.clear();
+  node_buf_.clear();
+  for (const JobView& j : ctx.jobs) {
+    const auto begin = static_cast<std::uint32_t>(node_buf_.size());
+    Watts saving{0.0};
+    for (const hw::NodeId id : j.nodes) {
+      const NodeView* nv = ctx.node(id);
+      if (nv != nullptr && nv->busy && !nv->at_lowest && !nv->stale &&
+          !nv->command_in_flight) {
+        node_buf_.push_back(id);
+        saving += nv->power - nv->power_one_level_down;
+      }
+    }
+    const auto end = static_cast<std::uint32_t>(node_buf_.size());
+    if (end == begin) continue;  // nothing throttleable in this job
+    refs_.push_back(Ref{&j, begin, end, saving, j.rate_of_increase()});
+  }
+}
+
 std::vector<hw::NodeId> throttleable_nodes(const PolicyContext& ctx,
                                            const JobView& job) {
   std::vector<hw::NodeId> out;

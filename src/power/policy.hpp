@@ -6,6 +6,7 @@
 // never the hardware directly.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -93,6 +94,64 @@ struct PolicyContext {
   std::vector<std::uint32_t> node_index_;
 };
 
+/// Reusable, policy-owned working storage for select(). Every selection
+/// policy starts the same way — find the jobs that still have at least
+/// one throttleable node, with those nodes and their one-level saving —
+/// and most then deduplicate nodes across the chosen jobs (the
+/// Nodes(J_i) - A term of Algorithm 2). Doing that with per-call vectors
+/// and a hash set allocated every yellow cycle; this scratch keeps one
+/// flat node buffer (each job's throttleable nodes as a contiguous
+/// range), one ref table, and an epoch-stamped visited array, all of
+/// which reach a steady size and then never touch the allocator again.
+class SelectionScratch {
+ public:
+  struct Ref {
+    const JobView* job = nullptr;
+    std::uint32_t begin = 0;  ///< node range [begin, end) into node_buf()
+    std::uint32_t end = 0;
+    Watts saving{0.0};   ///< Σ P(x) - P'(x) over the range
+    /// Ranking key: ΔP^t(J) after build(); a policy whose order is not
+    /// rate-based overwrites it (e.g. mean temperature) before sorting.
+    double score = 0.0;
+  };
+
+  /// Rebuilds refs()/node_buf() from the context: one Ref per job with at
+  /// least one throttleable node, in ctx.jobs order; savings accumulate
+  /// in node order, exactly as the per-call version did.
+  void build(const PolicyContext& ctx);
+
+  /// Mutable so collection policies can stable_sort the refs in place.
+  [[nodiscard]] std::vector<Ref>& refs() { return refs_; }
+  [[nodiscard]] const std::vector<hw::NodeId>& node_buf() const {
+    return node_buf_;
+  }
+
+  /// Copies a ref's node range into a fresh result vector (select()
+  /// returns ownership; everything up to that point stays in scratch).
+  [[nodiscard]] std::vector<hw::NodeId> targets_of(const Ref& ref) const {
+    return {node_buf_.begin() + ref.begin, node_buf_.begin() + ref.end};
+  }
+
+  /// Starts a new dedup round: after it, visit(id) returns true exactly
+  /// once per id. Epoch stamps make this O(1) — no per-round clearing.
+  void begin_visit() { ++epoch_; }
+  bool visit(hw::NodeId id) {
+    const auto idx = static_cast<std::size_t>(id);
+    if (idx >= seen_.size()) seen_.resize(idx + 1, 0);
+    if (seen_[idx] == epoch_) return false;
+    seen_[idx] = epoch_;
+    return true;
+  }
+
+ private:
+  std::vector<Ref> refs_;
+  std::vector<hw::NodeId> node_buf_;
+  /// seen_[id] == epoch_ means id was visited this round. A uint64 epoch
+  /// never wraps, so stale stamps from old rounds are always distinct.
+  std::vector<std::uint64_t> seen_;
+  std::uint64_t epoch_ = 0;
+};
+
 class TargetSelectionPolicy {
  public:
   virtual ~TargetSelectionPolicy() = default;
@@ -115,5 +174,36 @@ using PolicyPtr = std::unique_ptr<TargetSelectionPolicy>;
 /// skipped targets rather than wrong actuation.
 std::vector<hw::NodeId> throttleable_nodes(const PolicyContext& ctx,
                                            const JobView& job);
+
+/// Algorithm 2's shared skeleton (used by MPC-C, LPC-C, HRI-C, HT-C):
+/// rebuild the scratch from ctx, order the refs by `cmp` (stable, so ties
+/// keep job order), then take whole jobs in that order — deduplicating
+/// nodes shared between them — until the accumulated saving covers
+/// required_saving().
+template <typename Compare>
+std::vector<hw::NodeId> accumulate_collection(const PolicyContext& ctx,
+                                              SelectionScratch& scratch,
+                                              Compare cmp) {
+  scratch.build(ctx);
+  std::vector<SelectionScratch::Ref>& jobs = scratch.refs();
+  if (jobs.empty()) return {};
+  std::stable_sort(jobs.begin(), jobs.end(), cmp);
+
+  const Watts needed = ctx.required_saving();
+  std::vector<hw::NodeId> targets;
+  scratch.begin_visit();
+  Watts saved{0.0};
+  for (const SelectionScratch::Ref& tj : jobs) {
+    for (std::uint32_t i = tj.begin; i < tj.end; ++i) {
+      const hw::NodeId id = scratch.node_buf()[i];
+      if (!scratch.visit(id)) continue;  // Nodes(J_i) - A
+      targets.push_back(id);
+      const NodeView* nv = ctx.node(id);
+      saved += nv->power - nv->power_one_level_down;
+    }
+    if (saved >= needed) break;  // "if Saved >= P - P_L then exit"
+  }
+  return targets;
+}
 
 }  // namespace pcap::power

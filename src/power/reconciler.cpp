@@ -46,41 +46,61 @@ std::uint64_t ActuationReconciler::backoff(int retries) const {
   return std::min(base << retries, cap);
 }
 
+ActuationReconciler::Slot& ActuationReconciler::slot(hw::NodeId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  if (idx >= slots_.size()) slots_.resize(idx + 1);
+  return slots_[idx];
+}
+
+void ActuationReconciler::register_pending(Slot& s, hw::Level target,
+                                           std::uint64_t cycle) {
+  if (!s.has_pending) ++pending_count_;
+  s.has_pending = true;
+  s.pending_target = target;
+  s.issued_cycle = cycle;
+  s.next_retry_cycle = cycle + backoff(0);
+  s.pending_retries = 0;
+}
+
 void ActuationReconciler::register_pending(hw::NodeId id, hw::Level target,
                                            std::uint64_t cycle) {
-  pending_[id] = Pending{target, cycle, cycle + backoff(0), 0};
+  register_pending(slot(id), target, cycle);
 }
 
 void ActuationReconciler::observe_node(hw::NodeId id, hw::Level observed,
                                        std::uint64_t sample_cycle,
                                        std::uint64_t now_cycle,
                                        CycleWork& work) {
-  if (unresponsive_.count(id) != 0) {
+  Slot& s = slot(id);
+  if (s.unresponsive) {
     // A fresh report from a node we gave up on: readmit it, adopting its
     // actual state as the new truth — our old intent was abandoned with
     // the retry budget.
-    unresponsive_.erase(id);
-    believed_[id] = Believed{observed, sample_cycle};
+    s.unresponsive = false;
+    --unresponsive_count_;
+    s.has_believed = true;
+    s.believed_level = observed;
+    s.observed_cycle = sample_cycle;
     ++work.readmitted;
     ++readmitted_;
     return;
   }
 
-  auto bit = believed_.find(id);
-  if (bit != believed_.end() && sample_cycle <= bit->second.observed_cycle) {
+  if (s.has_believed && sample_cycle <= s.observed_cycle) {
     // Not newer than what already drove this table (the freshest sample
     // can move backwards when newer deliveries are corrupt): ignore.
     return;
   }
 
-  auto pit = pending_.find(id);
-  if (pit != pending_.end()) {
-    const Pending& p = pit->second;
-    if (observed == p.target && sample_cycle > p.issued_cycle) {
+  if (s.has_pending) {
+    if (observed == s.pending_target && sample_cycle > s.issued_cycle) {
       // Ack: the node demonstrably reached the commanded level after the
       // command was issued.
-      believed_[id] = Believed{observed, sample_cycle};
-      pending_.erase(pit);
+      s.has_believed = true;
+      s.believed_level = observed;
+      s.observed_cycle = sample_cycle;
+      s.has_pending = false;
+      --pending_count_;
       ++work.acks;
       ++acks_;
     }
@@ -89,13 +109,15 @@ void ActuationReconciler::observe_node(hw::NodeId id, hw::Level observed,
     return;
   }
 
-  if (bit == believed_.end()) {
+  if (!s.has_believed) {
     // First sight of this node: adopt what it reports.
-    believed_[id] = Believed{observed, sample_cycle};
+    s.has_believed = true;
+    s.believed_level = observed;
+    s.observed_cycle = sample_cycle;
     return;
   }
 
-  if (observed != bit->second.level) {
+  if (observed != s.believed_level) {
     // Divergence with nothing in flight: the node changed level under us
     // (reboot reset, partial transition acked long ago, operator). Heal
     // it back to the believed level and track the heal like any command.
@@ -103,21 +125,19 @@ void ActuationReconciler::observe_node(hw::NodeId id, hw::Level observed,
     ++divergences_;
     ++work.heals;
     ++heals_;
-    work.commands.push_back(LevelCommand{id, bit->second.level});
-    register_pending(id, bit->second.level, now_cycle);
+    work.commands.push_back(LevelCommand{id, s.believed_level});
+    register_pending(s, s.believed_level, now_cycle);
   }
-  bit->second.observed_cycle = sample_cycle;
+  s.observed_cycle = sample_cycle;
 }
 
 void ActuationReconciler::finish_observation(std::uint64_t cycle,
                                              CycleWork& work) {
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    Pending& p = it->second;
-    if (p.next_retry_cycle > cycle) {
-      ++it;
-      continue;
-    }
-    if (p.retries >= params_.max_retries) {
+  if (pending_count_ == 0) return;
+  for (std::size_t idx = 0; idx < slots_.size(); ++idx) {
+    Slot& s = slots_[idx];
+    if (!s.has_pending || s.next_retry_cycle > cycle) continue;
+    if (s.pending_retries >= params_.max_retries) {
       // Budget exhausted: stop shouting at a node that never answers.
       // Marking it unresponsive drops it from the candidate context, so
       // selection and A_degraded forget it until fresh telemetry earns
@@ -125,55 +145,56 @@ void ActuationReconciler::finish_observation(std::uint64_t cycle,
       PCAP_WARN(
           "reconciler: node %llu unresponsive after %d retries "
           "(target level %d abandoned)",
-          static_cast<unsigned long long>(it->first), p.retries, p.target);
-      unresponsive_.insert(it->first);
+          static_cast<unsigned long long>(idx), s.pending_retries,
+          s.pending_target);
+      s.unresponsive = true;
+      ++unresponsive_count_;
+      s.has_pending = false;
+      --pending_count_;
       ++work.abandoned;
       ++abandoned_;
-      it = pending_.erase(it);
       continue;
     }
-    ++p.retries;
-    p.next_retry_cycle = cycle + backoff(p.retries);
-    work.commands.push_back(LevelCommand{it->first, p.target});
+    ++s.pending_retries;
+    s.next_retry_cycle = cycle + backoff(s.pending_retries);
+    work.commands.push_back(
+        LevelCommand{static_cast<hw::NodeId>(idx), s.pending_target});
     ++work.retries;
     ++retries_;
-    ++it;
   }
 }
 
 void ActuationReconciler::admit(const std::vector<LevelCommand>& decided,
                                 std::uint64_t cycle, CycleWork& work) {
   for (const LevelCommand& cmd : decided) {
-    if (unresponsive_.count(cmd.node) != 0) {
+    Slot& s = slot(cmd.node);
+    if (s.unresponsive) {
       ++work.suppressed;
       ++suppressed_;
       continue;
     }
-    auto it = pending_.find(cmd.node);
-    if (it != pending_.end()) {
-      if (it->second.target == cmd.level) continue;  // retries own it
-      // A different target supersedes the pending command outright — the
-      // newest intent wins and gets a fresh retry budget.
-      it->second = Pending{cmd.level, cycle, cycle + backoff(0), 0};
-      work.commands.push_back(cmd);
-      continue;
+    if (s.has_pending && s.pending_target == cmd.level) {
+      continue;  // retries own it
     }
-    register_pending(cmd.node, cmd.level, cycle);
+    // Registers a brand-new command, or supersedes a pending one with a
+    // different target outright — the newest intent wins and gets a fresh
+    // retry budget.
+    register_pending(s, cmd.level, cycle);
     work.commands.push_back(cmd);
   }
 }
 
 std::optional<hw::Level> ActuationReconciler::pending_target(
     hw::NodeId id) const {
-  const auto it = pending_.find(id);
-  if (it == pending_.end()) return std::nullopt;
-  return it->second.target;
+  const Slot* s = find_slot(id);
+  if (s == nullptr || !s->has_pending) return std::nullopt;
+  return s->pending_target;
 }
 
 hw::Level ActuationReconciler::believed(hw::NodeId id,
                                         hw::Level fallback) const {
-  const auto it = believed_.find(id);
-  return it == believed_.end() ? fallback : it->second.level;
+  const Slot* s = find_slot(id);
+  return s == nullptr || !s->has_believed ? fallback : s->believed_level;
 }
 
 }  // namespace pcap::power

@@ -27,13 +27,12 @@
 // headroom. Both errors overestimate draw — capping stays conservative.
 //
 // The reconciler is plain serial state driven from the manager's control
-// cycle; determinism falls out of iterating ordered containers.
+// cycle; determinism falls out of every sweep running in ascending
+// node-id order.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "hw/node.hpp"
@@ -103,19 +102,21 @@ class ActuationReconciler {
 
   /// Unacked command outstanding for this node?
   [[nodiscard]] bool in_flight(hw::NodeId id) const {
-    return pending_.count(id) != 0;
+    const Slot* s = find_slot(id);
+    return s != nullptr && s->has_pending;
   }
   /// Target level of the outstanding command, if any.
   [[nodiscard]] std::optional<hw::Level> pending_target(hw::NodeId id) const;
   /// Last confirmed level, or `fallback` if the node was never observed.
   [[nodiscard]] hw::Level believed(hw::NodeId id, hw::Level fallback) const;
   [[nodiscard]] bool unresponsive(hw::NodeId id) const {
-    return unresponsive_.count(id) != 0;
+    const Slot* s = find_slot(id);
+    return s != nullptr && s->unresponsive;
   }
 
-  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  [[nodiscard]] std::size_t pending_count() const { return pending_count_; }
   [[nodiscard]] std::size_t unresponsive_count() const {
-    return unresponsive_.size();
+    return unresponsive_count_;
   }
 
   // Cumulative counters over the reconciler's lifetime.
@@ -132,27 +133,45 @@ class ActuationReconciler {
   [[nodiscard]] const ReconcilerParams& params() const { return params_; }
 
  private:
-  struct Pending {
-    hw::Level target = 0;
-    std::uint64_t issued_cycle = 0;
-    std::uint64_t next_retry_cycle = 0;
-    int retries = 0;
+  /// Per-node reconciliation state, indexed directly by node id. The
+  /// observe path runs once per candidate per non-green cycle, so probes
+  /// must be O(1) array hits, not tree walks: node ids are dense in this
+  /// tree (the node table, the collector's slot array and the policy
+  /// context's node index all assume it), and a slot is ~48 bytes, so the
+  /// whole table stays resident for even very large machines.
+  struct Slot {
+    hw::Level pending_target = 0;            ///< valid iff has_pending
+    std::uint64_t issued_cycle = 0;          ///< valid iff has_pending
+    std::uint64_t next_retry_cycle = 0;      ///< valid iff has_pending
+    int pending_retries = 0;                 ///< valid iff has_pending
+    hw::Level believed_level = 0;            ///< valid iff has_believed
+    std::uint64_t observed_cycle = 0;        ///< valid iff has_believed
+    bool has_pending = false;
+    bool has_believed = false;
+    bool unresponsive = false;
   };
-  struct Believed {
-    hw::Level level = 0;
-    std::uint64_t observed_cycle = 0;
-  };
+
+  /// Grows the table to cover `id` (new slots are empty) and returns its
+  /// slot. State therefore persists across candidate-set churn, exactly
+  /// as the old ordered-map tables did.
+  Slot& slot(hw::NodeId id);
+  [[nodiscard]] const Slot* find_slot(hw::NodeId id) const {
+    const auto idx = static_cast<std::size_t>(id);
+    return idx < slots_.size() ? &slots_[idx] : nullptr;
+  }
 
   void register_pending(hw::NodeId id, hw::Level target,
                         std::uint64_t cycle);
+  void register_pending(Slot& s, hw::Level target, std::uint64_t cycle);
   [[nodiscard]] std::uint64_t backoff(int retries) const;
 
   ReconcilerParams params_;
-  // Ordered containers: every sweep over them is in node-id order, which
-  // keeps emitted command order — and therefore whole runs — deterministic.
-  std::map<hw::NodeId, Pending> pending_;
-  std::map<hw::NodeId, Believed> believed_;
-  std::set<hw::NodeId> unresponsive_;
+  // Every sweep over the table runs in ascending node-id order — the same
+  // order the old ordered-map iteration produced — which keeps emitted
+  // command order, and therefore whole runs, deterministic.
+  std::vector<Slot> slots_;
+  std::size_t pending_count_ = 0;
+  std::size_t unresponsive_count_ = 0;
   std::uint64_t acks_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t divergences_ = 0;

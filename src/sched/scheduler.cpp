@@ -47,6 +47,7 @@ std::vector<JobId> Scheduler::try_launch(Seconds now) {
     if (try_start(job, now)) {
       started.push_back(*it);
       running_.push_back(*it);
+      events_.push_back(JobEvent{JobEvent::Kind::kStarted, *it});
       it = queue_.erase(it);
     } else if (options_.backfill) {
       ++it;  // head blocked; look further down the queue
@@ -127,6 +128,7 @@ void Scheduler::on_job_finished(JobId id) {
   }
   running_.erase(it);
   finished_.push_back(id);
+  events_.push_back(JobEvent{JobEvent::Kind::kFinished, id});
 }
 
 }  // namespace pcap::sched

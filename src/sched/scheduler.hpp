@@ -18,6 +18,16 @@
 
 namespace pcap::sched {
 
+/// One entry in the scheduler's append-only lifecycle log. Consumers (the
+/// power manager's job index) keep a cursor into the log and replay only
+/// the suffix each control cycle, so tracking membership of the running
+/// set costs O(churn) instead of O(running jobs) per cycle.
+struct JobEvent {
+  enum class Kind : std::uint8_t { kStarted, kFinished };
+  Kind kind = Kind::kStarted;
+  workload::JobId id = 0;
+};
+
 struct SchedulerOptions {
   AllocationStrategy strategy = AllocationStrategy::kFirstFit;
   bool backfill = false;  ///< allow jobs behind a blocked head to start
@@ -62,6 +72,13 @@ class Scheduler {
   [[nodiscard]] const std::vector<workload::JobId>& running_jobs() const {
     return running_;
   }
+  /// Append-only start/finish log, in the exact order running_jobs()
+  /// mutated: replaying it from any cursor reconstructs the running set
+  /// (and its order) at that point. One entry per job lifecycle edge —
+  /// a few bytes per job, never compacted.
+  [[nodiscard]] const std::vector<JobEvent>& job_events() const {
+    return events_;
+  }
   [[nodiscard]] const std::vector<workload::JobId>& finished_jobs() const {
     return finished_;
   }
@@ -90,6 +107,7 @@ class Scheduler {
   std::deque<workload::JobId> queue_;
   std::vector<workload::JobId> running_;
   std::vector<workload::JobId> finished_;
+  std::vector<JobEvent> events_;
   std::vector<std::optional<workload::JobId>> node_owner_;
 };
 

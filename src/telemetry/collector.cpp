@@ -96,34 +96,23 @@ void Collector::collect_one(Monitored& m, const hw::Node& node, Seconds now,
 void Collector::collect(const std::vector<hw::Node>& nodes, Seconds now,
                         std::size_t monitored_jobs) {
   ++cycle_counter_;
-  for (const hw::NodeId id : candidates_) {
-    if (id >= nodes.size()) {
-      throw std::out_of_range("Collector::collect: candidate id out of range");
-    }
+  // candidates_ is sorted, so the whole sweep is validated by its largest
+  // id — one comparison, not one bounds check per candidate per cycle.
+  if (!candidates_.empty() &&
+      static_cast<std::size_t>(candidates_.back()) >= nodes.size()) {
+    throw std::out_of_range("Collector::collect: candidate id out of range");
   }
-  if (pool_ != nullptr && candidates_.size() >= params_.parallel_threshold) {
-    pool_->parallel_for(candidates_.size(), params_.parallel_grain,
-                        [&](std::size_t begin, std::size_t end) {
-                          std::uint64_t delivered = 0;
-                          std::uint64_t lost = 0;
-                          for (std::size_t i = begin; i < end; ++i) {
-                            collect_one(slots_[i], nodes[candidates_[i]], now,
-                                        delivered, lost);
-                          }
-                          samples_delivered_.fetch_add(
-                              delivered, std::memory_order_relaxed);
-                          samples_lost_.fetch_add(lost,
-                                                  std::memory_order_relaxed);
-                        });
-  } else {
-    std::uint64_t delivered = 0;
-    std::uint64_t lost = 0;
-    for (std::size_t i = 0; i < candidates_.size(); ++i) {
-      collect_one(slots_[i], nodes[candidates_[i]], now, delivered, lost);
-    }
-    samples_delivered_.fetch_add(delivered, std::memory_order_relaxed);
-    samples_lost_.fetch_add(lost, std::memory_order_relaxed);
-  }
+  common::maybe_parallel_for(
+      pool_, candidates_.size(), params_.parallel_threshold,
+      params_.parallel_grain, [&](std::size_t begin, std::size_t end) {
+        std::uint64_t delivered = 0;
+        std::uint64_t lost = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          collect_one(slots_[i], nodes[candidates_[i]], now, delivered, lost);
+        }
+        samples_delivered_.fetch_add(delivered, std::memory_order_relaxed);
+        samples_lost_.fetch_add(lost, std::memory_order_relaxed);
+      });
   last_manager_utilization_ =
       cost_model_.cpu_utilization(candidates_.size(), monitored_jobs,
                                   cycle_period_);

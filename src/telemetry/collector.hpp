@@ -78,6 +78,19 @@ class Collector {
   /// together, and one hash probe beats two.
   [[nodiscard]] const common::RingBuffer<NodeSample>* history(
       hw::NodeId id) const;
+  /// History of candidate_set()[slot]. For sweeps that already walk the
+  /// candidate array in order: indexes straight into the slot array, no
+  /// id->slot translation at all.
+  [[nodiscard]] const common::RingBuffer<NodeSample>& history_at_slot(
+      std::size_t slot) const {
+    return slots_[slot].history;
+  }
+  /// Largest candidate id (0 when the set is empty). The candidate array
+  /// is kept sorted, so consumers validate a whole sweep against a node
+  /// table with one comparison instead of one bounds check per candidate.
+  [[nodiscard]] hw::NodeId max_candidate_id() const {
+    return candidates_.empty() ? hw::NodeId{0} : candidates_.back();
+  }
 
   /// Attaches (or detaches, with nullptr) the pool used to parallelise
   /// collect(). The collector does not own the pool.

@@ -112,5 +112,169 @@ TEST(Determinism, RepeatedParallelRunsAgree) {
   expect_identical(a, b);
 }
 
+// -- degraded, lossy-actuation bit-identity -----------------------------------
+//
+// The sharded context assembly defers all reconciler mutation to the
+// serial merge; this run makes that machinery earn its keep on every
+// cycle: a provision tight enough to keep the engine in yellow/red (so
+// A_degraded stays populated and the context is built every control
+// cycle), a faulty telemetry plane (loss + delay + dropout + corruption +
+// crashes → stale views, fallbacks, rejected samples), and a lossy
+// actuation plane (command loss, delays, failed and partial transitions,
+// reboots → retries, divergences, heals, unresponsive nodes). Every one
+// of those paths must still be bit-identical across worker counts.
+RunResult run_degraded_cluster(std::size_t worker_threads) {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.spec = hw::tianhe1a_node_spec();
+  cfg.tick = Seconds{1.0};
+  cfg.control_period = Seconds{4.0};
+  cfg.seed = 30270807;
+  cfg.scheduler.max_procs_per_node = 3;
+  cfg.worker_threads = worker_threads;
+  cfg.parallel_node_threshold = 1;
+  cfg.parallel_grain = 16;
+  cluster::Cluster cl(cfg);
+
+  power::CappingManagerParams p;
+  // Tight enough that yellow recurs for the whole run: the degraded set
+  // never drains, so the manager cannot take the green fast path.
+  p.thresholds.provision = cl.theoretical_peak() * 0.70;
+  p.thresholds.training_cycles = 0;
+  p.thresholds.freeze_at_provision = true;
+  p.cycle_period = cfg.control_period;
+  p.collector.parallel_threshold = 16;
+  p.collector.parallel_grain = 16;
+  p.collector.transport.loss_rate = 0.05;
+  p.collector.transport.delay_cycles = 1;
+  p.collector.faults.agent_dropout_rate = 0.02;
+  p.collector.faults.agent_recovery_rate = 0.25;
+  p.collector.faults.crash_rate = 0.005;
+  p.collector.faults.corruption_rate = 0.02;
+  p.actuation.command_loss_rate = 0.15;
+  p.actuation.delivery_delay_cycles = 1;
+  p.actuation.transition_failure_rate = 0.05;
+  p.actuation.partial_transition_rate = 0.20;
+  p.actuation.reboot_rate = 0.002;
+  auto mgr = std::make_unique<power::CappingManager>(
+      p, power::make_policy("mpc-c"), common::Rng(cfg.seed ^ 0x9d2c5680u));
+  mgr->set_candidate_set(cl.controllable_nodes());
+  cl.set_manager(std::move(mgr));
+
+  cl.start_recording();
+  cl.run(Seconds{500.0});
+
+  RunResult out;
+  out.points = cl.recorder().points();
+  out.finished = cl.finished_records();
+  for (const metrics::JobRecord& r : out.finished) {
+    out.total_energy_j += r.energy_j;
+  }
+  return out;
+}
+
+TEST(Determinism, DegradedLossyRunBitIdenticalToSerial) {
+  const RunResult serial = run_degraded_cluster(1);
+
+  // The scenario must actually exercise the degraded machinery, or this
+  // test silently decays into the healthy-path one above.
+  std::uint64_t non_green = 0;
+  std::uint64_t targets = 0;
+  for (const metrics::CyclePoint& pt : serial.points) {
+    if (pt.state != static_cast<int>(power::PowerState::kGreen)) ++non_green;
+    targets += pt.targets;
+  }
+  ASSERT_GT(non_green, 20u) << "provision not tight enough";
+  ASSERT_GT(targets, 50u) << "policy never selected anything";
+
+  const RunResult four = run_degraded_cluster(4);
+  expect_identical(serial, four);
+}
+
+// -- policy-selection goldens -------------------------------------------------
+//
+// The control-plane rework (sharded context assembly, persistent job
+// index, allocation-free selection scratch) must not change a single
+// selection. These aggregates were recorded from the pre-change tree on a
+// fixed-seed yellow-heavy sweep; any drift in context assembly order,
+// job aggregation order, or policy tie-breaking shows up here.
+
+struct SelectionGolden {
+  const char* policy;
+  std::uint64_t targets;
+  std::uint64_t transitions;
+  std::uint64_t yellow_points;
+  std::uint64_t red_points;
+  double power_sum_w;  // exact: bit-for-bit reproducible
+};
+
+SelectionGolden run_selection_sweep(const char* policy) {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.spec = hw::tianhe1a_node_spec();
+  cfg.tick = Seconds{1.0};
+  cfg.control_period = Seconds{4.0};
+  cfg.seed = 771177;
+  cfg.scheduler.max_procs_per_node = 3;
+  cfg.worker_threads = 1;
+  cluster::Cluster cl(cfg);
+
+  power::CappingManagerParams p;
+  // A tight provision keeps the run in yellow/red most of the time, so
+  // the policy is consulted on nearly every control cycle.
+  p.thresholds.provision = cl.theoretical_peak() * 0.80;
+  p.thresholds.training_cycles = 0;
+  p.thresholds.freeze_at_provision = true;
+  p.cycle_period = cfg.control_period;
+  auto mgr = std::make_unique<power::CappingManager>(
+      p, power::make_policy(policy), common::Rng(cfg.seed ^ 0x9d2c5680u));
+  mgr->set_candidate_set(cl.controllable_nodes());
+  cl.set_manager(std::move(mgr));
+
+  cl.start_recording();
+  cl.run(Seconds{400.0});
+
+  SelectionGolden g{policy, 0, 0, 0, 0, 0.0};
+  for (const metrics::CyclePoint& pt : cl.recorder().points()) {
+    g.targets += pt.targets;
+    g.transitions += pt.transitions;
+    if (pt.state == static_cast<int>(power::PowerState::kYellow)) {
+      ++g.yellow_points;
+    }
+    if (pt.state == static_cast<int>(power::PowerState::kRed)) {
+      ++g.red_points;
+    }
+    g.power_sum_w += pt.power_w;
+  }
+  return g;
+}
+
+TEST(Determinism, SelectionGoldensUnchanged) {
+  // Recorded from the pre-rework serial control plane (commit 1cf1764).
+  // mpc/mpc-c/hri/hri-c coincide here: the fixed-seed workload keeps one
+  // dominant wide job ahead on both power and rate, so every variant
+  // keeps picking it — the bit-exact power_sum_w still pins the whole
+  // command trajectory for each.
+  const SelectionGolden goldens[] = {
+      {"mpc", 516, 516, 12, 0, 0x1.3a06c09cdd0e7p+24},
+      {"mpc-c", 516, 516, 12, 0, 0x1.3a06c09cdd0e7p+24},
+      {"lpc", 308, 308, 56, 0, 0x1.3cb9d85f76f69p+24},
+      {"lpc-c", 564, 564, 24, 0, 0x1.3a3dbc6c8c30bp+24},
+      {"bfp", 366, 366, 12, 0, 0x1.3ca7c5822df19p+24},
+      {"hri", 516, 516, 12, 0, 0x1.3a06c09cdd0e7p+24},
+      {"hri-c", 516, 516, 12, 0, 0x1.3a06c09cdd0e7p+24},
+  };
+  for (const SelectionGolden& want : goldens) {
+    const SelectionGolden got = run_selection_sweep(want.policy);
+    EXPECT_EQ(got.targets, want.targets) << want.policy;
+    EXPECT_EQ(got.transitions, want.transitions) << want.policy;
+    EXPECT_EQ(got.yellow_points, want.yellow_points) << want.policy;
+    EXPECT_EQ(got.red_points, want.red_points) << want.policy;
+    EXPECT_EQ(got.power_sum_w, want.power_sum_w)
+        << want.policy << " power_sum_w (hex): " << std::hexfloat
+        << got.power_sum_w << std::defaultfloat;
+  }
+}
+
 }  // namespace
 }  // namespace pcap

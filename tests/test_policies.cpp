@@ -152,6 +152,81 @@ TEST(Bfp, FallsBackToLargestSavingWhenNoneCovers) {
             (std::vector<hw::NodeId>{3, 4, 5}));
 }
 
+TEST(Bfp, EmptyWhenNothingThrottleable) {
+  // Every node at the floor: no job has a throttleable node, so BFP must
+  // return empty instead of dereferencing a never-assigned "chosen" job
+  // (it used to reach the dereference with no guard at all).
+  auto ctx = three_job_ctx(30.0);
+  for (NodeView& nv : ctx.nodes) nv.at_lowest = true;
+  BestFitJob p;
+  EXPECT_TRUE(p.select(ctx).empty());
+
+  PolicyContext empty;
+  empty.index_nodes();
+  EXPECT_TRUE(p.select(empty).empty());
+}
+
+TEST(Bfp, EqualSavingTieBreaksByJobOrder) {
+  BestFitJob p;
+  // Jobs 0 and 2 both save exactly 40 W, both >= gap 30: the strict "<"
+  // in the best-above scan must keep the first job in context order.
+  auto ctx = three_job_ctx(30.0);
+  ctx.nodes[5].busy = false;  // job 2's saving drops from 60 to 40
+  EXPECT_EQ(p.select(ctx), (std::vector<hw::NodeId>{0, 1}));
+
+  // Same tie below the gap: gap 100 is not coverable; jobs 0 and 2 tie
+  // at 40 W of best-effort saving, and the first again wins.
+  auto ctx2 = three_job_ctx(100.0);
+  ctx2.nodes[5].busy = false;
+  EXPECT_EQ(p.select(ctx2), (std::vector<hw::NodeId>{0, 1}));
+}
+
+TEST(PolicyContext, RequiredSavingTracksGapExactly) {
+  PolicyContext ctx;
+  ctx.system_power = Watts{1234.5};
+  ctx.p_low = Watts{1234.5};
+  EXPECT_EQ(ctx.required_saving(), Watts{0.0});  // boundary: gap == 0
+  ctx.system_power = Watts{1234.5 + 0.25};
+  EXPECT_EQ(ctx.required_saving(), Watts{0.25});
+}
+
+TEST(SelectionScratchTest, VisitDedupsPerRound) {
+  SelectionScratch s;
+  s.begin_visit();
+  EXPECT_TRUE(s.visit(7));
+  EXPECT_FALSE(s.visit(7));
+  EXPECT_TRUE(s.visit(3));
+  s.begin_visit();  // new round: stamps from the old round are stale
+  EXPECT_TRUE(s.visit(7));
+  EXPECT_TRUE(s.visit(3));
+  EXPECT_FALSE(s.visit(3));
+}
+
+TEST(SelectionScratchTest, BuildGroupsThrottleableNodesByJob) {
+  const auto ctx = three_job_ctx();
+  SelectionScratch s;
+  s.build(ctx);
+  ASSERT_EQ(s.refs().size(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    const SelectionScratch::Ref& r = s.refs()[j];
+    EXPECT_EQ(r.job, &ctx.jobs[j]);
+    const std::vector<hw::NodeId> nodes(
+        s.node_buf().begin() + r.begin, s.node_buf().begin() + r.end);
+    EXPECT_EQ(nodes, ctx.jobs[j].nodes);
+    EXPECT_EQ(r.saving, Watts{20.0 * static_cast<double>(nodes.size())});
+  }
+  // Rebuilding after a node becomes unthrottleable shrinks that job's
+  // range (and drops the job entirely when nothing is left).
+  auto ctx2 = three_job_ctx();
+  ctx2.nodes[2].command_in_flight = true;  // job 1's only node
+  ctx2.nodes[3].stale = true;              // job 2 loses one of three
+  s.build(ctx2);
+  ASSERT_EQ(s.refs().size(), 2u);
+  EXPECT_EQ(s.refs()[0].job, &ctx2.jobs[0]);
+  EXPECT_EQ(s.refs()[1].job, &ctx2.jobs[2]);
+  EXPECT_EQ(s.refs()[1].end - s.refs()[1].begin, 2u);
+}
+
 TEST(Hri, PicksFastestRisingJob) {
   HighestRateOfIncrease p;
   // Job 1 doubled its power: rate 1.0 vs ~0.017 and ~0.011.
