@@ -2,16 +2,23 @@
 // thermal advance, metering, and the capping control cycle (no training
 // delay, so Algorithm 1 runs from the first control period).
 //
-// Usage: bench_micro_tick [node_count...]
+// Usage: bench_micro_tick [--json] [--obs=on|off] [node_count...]
 //   default node counts: 128 1024 8192 32768
 //
 // Each population is measured twice: serial (worker_threads = 1) and
 // parallel (worker_threads = hardware concurrency; populations below the
 // parallel threshold still run serial by design). Results land in
 // BENCH_tick.json at the repo root when they change materially.
+//
+// --obs=off disables the cycle-phase span timers (ClusterConfig::
+// obs_timing); counters and gauges stay live either way. Pairing an
+// --obs=on run against an --obs=off run (scripts/check_bench_regression.py
+// --ab) prices the full instrumentation, which must stay under 2% of tick
+// throughput. --json emits one machine-readable array for that script.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -30,7 +37,7 @@ struct Case {
   int measure;  // measured ticks
 };
 
-double run_case(const Case& c, std::size_t worker_threads) {
+double run_case(const Case& c, std::size_t worker_threads, bool obs_timing) {
   cluster::ClusterConfig cfg;
   cfg.num_nodes = c.nodes;
   cfg.spec = hw::tianhe1a_node_spec();
@@ -39,6 +46,7 @@ double run_case(const Case& c, std::size_t worker_threads) {
   cfg.seed = 1234;
   cfg.scheduler.max_procs_per_node = 3;
   cfg.worker_threads = worker_threads;
+  cfg.obs_timing = obs_timing;
   cluster::Cluster cl(cfg);
 
   power::CappingManagerParams p;
@@ -64,17 +72,31 @@ double run_case(const Case& c, std::size_t worker_threads) {
 int main(int argc, char** argv) {
   std::vector<Case> cases = {
       {128, 60, 20000}, {1024, 40, 4000}, {8192, 20, 600}, {32768, 8, 150}};
-  if (argc > 1) {
+  bool json = false;
+  bool obs_timing = true;
+  std::vector<char*> size_args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--obs=on") == 0) {
+      obs_timing = true;
+    } else if (std::strcmp(argv[i], "--obs=off") == 0) {
+      obs_timing = false;
+    } else {
+      size_args.push_back(argv[i]);
+    }
+  }
+  if (!size_args.empty()) {
     std::vector<Case> chosen;
-    for (int i = 1; i < argc; ++i) {
+    for (char* arg : size_args) {
       char* end = nullptr;
-      const unsigned long long parsed = std::strtoull(argv[i], &end, 10);
-      if (end == argv[i] || *end != '\0' || parsed == 0 ||
-          parsed > 10'000'000ULL || argv[i][0] == '-') {
+      const unsigned long long parsed = std::strtoull(arg, &end, 10);
+      if (end == arg || *end != '\0' || parsed == 0 ||
+          parsed > 10'000'000ULL || arg[0] == '-') {
         std::fprintf(stderr,
                      "bench_micro_tick: bad node count '%s' "
                      "(expected a positive integer <= 10000000)\n",
-                     argv[i]);
+                     arg);
         return 2;
       }
       const auto want = static_cast<std::size_t>(parsed);
@@ -96,10 +118,25 @@ int main(int argc, char** argv) {
     cases = std::move(chosen);
   }
 
-  std::printf("%8s  %14s  %14s\n", "nodes", "serial t/s", "parallel t/s");
+  if (json) {
+    std::printf("[");
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const Case& c = cases[i];
+      const double serial = run_case(c, 1, obs_timing);
+      const double parallel = run_case(c, 0, obs_timing);
+      std::printf("%s\n  {\"nodes\": %zu, \"serial_ticks_per_s\": %.2f, "
+                  "\"parallel_ticks_per_s\": %.2f}",
+                  i == 0 ? "" : ",", c.nodes, serial, parallel);
+    }
+    std::printf("\n]\n");
+    return 0;
+  }
+
+  std::printf("%8s  %14s  %14s   (obs %s)\n", "nodes", "serial t/s",
+              "parallel t/s", obs_timing ? "on" : "off");
   for (const Case& c : cases) {
-    const double serial = run_case(c, 1);
-    const double parallel = run_case(c, 0);
+    const double serial = run_case(c, 1, obs_timing);
+    const double parallel = run_case(c, 0, obs_timing);
     std::printf("%8zu  %14.2f  %14.2f\n", c.nodes, serial, parallel);
     std::fflush(stdout);
   }

@@ -7,6 +7,8 @@
 //   ./build/examples/pcapsim                     # paper scenario, MPC
 //   ./build/examples/pcapsim my_experiment.ini
 //   ./build/examples/pcapsim --print-config      # show effective defaults
+//   ./build/examples/pcapsim --metrics=prom      # + Prometheus dump
+//   ./build/examples/pcapsim --metrics=json      # + JSON snapshot dump
 //
 // Example config:
 //   [cluster]
@@ -72,10 +74,27 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // --metrics=prom|json appends the final registry export (see DESIGN.md
+  // §10) to the run's report; any remaining argument is the config file.
+  const char* metrics_mode = nullptr;
+  const char* config_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      metrics_mode = argv[i] + 10;
+      if (std::strcmp(metrics_mode, "prom") != 0 &&
+          std::strcmp(metrics_mode, "json") != 0) {
+        std::fprintf(stderr, "pcapsim: --metrics wants prom or json\n");
+        return 1;
+      }
+    } else {
+      config_path = argv[i];
+    }
+  }
+
   cluster::ExperimentConfig cfg;
   try {
-    cfg = argc > 1 ? cluster::experiment_from_file(argv[1])
-                   : cluster::paper_scenario();
+    cfg = config_path != nullptr ? cluster::experiment_from_file(config_path)
+                                 : cluster::paper_scenario();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pcapsim: %s\n", e.what());
     return 1;
@@ -126,5 +145,11 @@ int main(int argc, char** argv) {
   table.cell("DVFS transitions").cell(r.transitions);
   table.end_row();
   table.print();
+
+  if (metrics_mode != nullptr) {
+    std::printf("\n%s", std::strcmp(metrics_mode, "prom") == 0
+                            ? r.metrics_prometheus.c_str()
+                            : r.metrics_json.c_str());
+  }
   return 0;
 }

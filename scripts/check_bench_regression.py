@@ -8,6 +8,14 @@ Any metric falling more than the tolerance below its recorded value fails
 the job.
 
 Usage: check_bench_regression.py <bench-binary> [reference-json]
+
+A/B mode gates the observability instrumentation instead of a recorded
+reference: the same benchmark runs once per variant flag and the first
+variant (instrumentation on) must stay within the tolerance of the second
+(off). Best-of-RUNS per variant, same noise reasoning as above.
+
+Usage: check_bench_regression.py --ab <bench-binary> [size] [tolerance]
+    e.g. check_bench_regression.py --ab build/bench/bench_micro_tick 1024 0.10
 """
 
 import json
@@ -17,13 +25,14 @@ import sys
 
 RUNS = 3
 TOLERANCE = 0.30  # fail on >30 % regression vs the recorded reference
+AB_TOLERANCE = 0.10  # on-vs-off gate; generous for shared-runner noise
 
 
-def best_of(bench: str, size: int, runs: int) -> dict:
+def best_of(bench: str, size: int, runs: int, extra_args=()) -> dict:
     best: dict = {}
     for i in range(runs):
         out = subprocess.run(
-            [bench, "--json", str(size)],
+            [bench, "--json", *extra_args, str(size)],
             check=True, capture_output=True, text=True,
         ).stdout
         for case in json.loads(out):
@@ -38,7 +47,38 @@ def best_of(bench: str, size: int, runs: int) -> dict:
     return best
 
 
+def check_ab(argv) -> int:
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench = argv[0]
+    size = int(argv[1]) if len(argv) > 1 else 1024
+    tolerance = float(argv[2]) if len(argv) > 2 else AB_TOLERANCE
+
+    print(f"== instrumentation ON (--obs=on), {size} nodes ==", flush=True)
+    on = best_of(bench, size, RUNS, extra_args=("--obs=on",))
+    print(f"== instrumentation OFF (--obs=off), {size} nodes ==", flush=True)
+    off = best_of(bench, size, RUNS, extra_args=("--obs=off",))
+
+    failed = False
+    for key, off_value in sorted(off.items()):
+        on_value = on.get(key)
+        if on_value is None:
+            print(f"FAIL {key}: metric missing from --obs=on output")
+            failed = True
+            continue
+        floor = (1.0 - tolerance) * off_value
+        overhead = (1.0 - on_value / off_value) * 100.0 if off_value else 0.0
+        verdict = "ok" if on_value >= floor else "FAIL"
+        print(f"{verdict} {key}: on {on_value:.2f} vs off {off_value:.2f} "
+              f"({overhead:+.2f}% overhead, floor {floor:.2f})")
+        failed |= on_value < floor
+    return 1 if failed else 0
+
+
 def main() -> int:
+    if len(sys.argv) >= 2 and sys.argv[1] == "--ab":
+        return check_ab(sys.argv[2:])
     if len(sys.argv) < 2:
         print(__doc__, file=sys.stderr)
         return 2

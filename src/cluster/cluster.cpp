@@ -81,6 +81,29 @@ Cluster::Cluster(ClusterConfig config)
     }
   }
 
+  // Observability: the cluster owns the registry; the engine publishes
+  // into it, managers bind into it (set_manager), and it freezes at the
+  // first tick so no series creation ever reaches the hot path.
+  metrics_.set_timing_enabled(config_.obs_timing);
+  sim_.attach_metrics(metrics_);
+  power_gauge_ = metrics_.gauge("pcap_cluster_power_watts",
+                                "Wall-socket power at the last tick");
+  running_gauge_ = metrics_.gauge("pcap_cluster_running_jobs",
+                                  "Jobs currently running");
+  queued_gauge_ = metrics_.gauge("pcap_cluster_queued_jobs",
+                                 "Jobs waiting in the queue");
+  pool_depth_gauge_ = metrics_.gauge("pcap_pool_queue_depth",
+                                     "Worker-pool tasks queued at tick end");
+  ticks_counter_ = metrics_.counter("pcap_cluster_ticks_total",
+                                    "Simulation ticks executed");
+  jobs_finished_counter_ = metrics_.counter("pcap_cluster_jobs_finished_total",
+                                            "Jobs run to completion");
+  const std::string span = "pcap_cycle_phase_seconds";
+  const std::string span_help = "Wall-clock time per control-loop phase";
+  tick_span_.bind(metrics_, span, span_help, "phase=\"tick\"");
+  node_sweep_span_.bind(metrics_, span, span_help, "phase=\"node_sweep\"");
+  manager_->bind_metrics(metrics_);
+
   // The per-tick process drives everything.
   sim_.every(config_.tick, config_.tick, [this](Seconds) { tick(); });
 }
@@ -89,6 +112,11 @@ void Cluster::set_manager(std::unique_ptr<power::PowerManagerBase> manager) {
   if (!manager) throw std::invalid_argument("Cluster: null manager");
   manager_ = std::move(manager);
   manager_->set_thread_pool(pool_.get());
+  // Registration is idempotent per key, so re-installing the same manager
+  // type against the (possibly frozen) registry reuses the existing slots;
+  // only a new manager type after the first tick would add series, and
+  // the freeze turns that into a loud error rather than a hot-path alloc.
+  manager_->bind_metrics(metrics_);
 }
 
 void Cluster::submit(Job job) {
@@ -156,13 +184,18 @@ void Cluster::ensure_queue_nonempty() {
 }
 
 void Cluster::tick() {
+  if (!metrics_.frozen()) metrics_.freeze();
+  const obs::SpanTimer::Scope tick_scope = tick_span_.start();
   const Seconds dt = config_.tick;
   const Seconds now = sim_.now();
 
   ensure_queue_nonempty();
   sched_->try_launch(now);
 
-  refresh_workload(dt);
+  {
+    const obs::SpanTimer::Scope sweep_scope = node_sweep_span_.start();
+    refresh_workload(dt);
+  }
 
   // One true-power evaluation per node per tick fills the ledger; the
   // energy attribution, the facility meter and the thermal step all read
@@ -205,6 +238,15 @@ void Cluster::tick() {
   if (control_tick) {
     last_report_ = manager_->cycle(last_power_, nodes_, *sched_, now);
   }
+
+  // Publish cluster-level series — all pure array stores against frozen
+  // slots, from the serial tail of the tick.
+  metrics_.set_total(ticks_counter_, ticks_);
+  metrics_.set(power_gauge_, last_power_.value());
+  metrics_.set(running_gauge_, static_cast<double>(sched_->running_count()));
+  metrics_.set(queued_gauge_, static_cast<double>(sched_->queue_length()));
+  metrics_.set(pool_depth_gauge_,
+               pool_ ? static_cast<double>(pool_->queue_depth()) : 0.0);
 
   if (recording_) {
     metrics::CyclePoint p;
@@ -343,6 +385,7 @@ void Cluster::refresh_workload(Seconds dt) {
     }
   }
   jobs_scratch_.resize(write);
+  metrics_.add(jobs_finished_counter_, finished_scratch_.size());
   for (const JobId jid : finished_scratch_) {
     sched_->on_job_finished(jid);
     if (recording_) {

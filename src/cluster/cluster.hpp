@@ -27,6 +27,8 @@
 #include "interconnect/interconnect.hpp"
 #include "metrics/performance.hpp"
 #include "metrics/trace_recorder.hpp"
+#include "obs/registry.hpp"
+#include "obs/spans.hpp"
 #include "power/manager.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/simulation.hpp"
@@ -92,6 +94,12 @@ struct ClusterConfig {
   /// Override the generated application mix (empty = the paper's five
   /// NPB benchmarks). npb_extended_suite() adds MG/FT/IS.
   std::vector<workload::AppModel> app_suite;
+
+  /// Gates the wall-clock cycle-phase span timers (obs/spans.hpp). Off,
+  /// the registry still accumulates every deterministic counter/gauge but
+  /// tick/cycle scopes skip their clock reads — the configuration the
+  /// bench uses to price the instrumentation.
+  bool obs_timing = true;
 };
 
 class Cluster {
@@ -163,6 +171,12 @@ class Cluster {
     return generated_trace_;
   }
 
+  /// The cluster-owned metrics registry: engine + cluster + manager series
+  /// all live here. Frozen at the first tick, so install managers first.
+  /// Export with metrics().prometheus_text() / metrics().json_snapshot().
+  [[nodiscard]] obs::Registry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
+
  private:
   /// Per-node device-usage target for one tick; idle unless a job's phase
   /// overwrites it in pass 1.
@@ -227,6 +241,18 @@ class Cluster {
   power::ManagerReport last_report_;
   std::uint64_t ticks_ = 0;
   std::uint64_t control_every_ = 1;
+
+  /// Owned registry plus the cluster's own series; managers bind into the
+  /// same registry via set_manager.
+  obs::Registry metrics_;
+  obs::GaugeHandle power_gauge_;
+  obs::GaugeHandle running_gauge_;
+  obs::GaugeHandle queued_gauge_;
+  obs::GaugeHandle pool_depth_gauge_;
+  obs::CounterHandle ticks_counter_;
+  obs::CounterHandle jobs_finished_counter_;
+  obs::SpanTimer tick_span_;
+  obs::SpanTimer node_sweep_span_;
 
   bool recording_ = false;
   std::unordered_map<workload::JobId, double> job_energy_j_;

@@ -128,7 +128,25 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // 3. Training phase (thresholds learn; no job/power metrics recorded).
   if (config.training > Seconds{0.0}) cl.run(config.training);
 
-  // 4. Measured phase.
+  // 4. Measured phase. The manager's per-cycle counters accumulate over
+  // the whole run (training included), so snapshot them here: the
+  // measured-window totals below are registry deltas against this
+  // baseline. Managers that bind no metrics (none, baselines) simply have
+  // no series — counter_value() yields nullopt and the delta stays 0,
+  // matching their all-zero report columns.
+  const auto counter_at = [&cl](const std::string& key) -> std::uint64_t {
+    return cl.metrics().counter_value(key).value_or(0);
+  };
+  const std::uint64_t base_stale =
+      counter_at("pcap_manager_stale_node_cycles_total");
+  const std::uint64_t base_fallback =
+      counter_at("pcap_manager_fallback_node_cycles_total");
+  const std::uint64_t base_skipped =
+      counter_at("pcap_manager_skipped_targets_total");
+  const std::uint64_t base_retries = counter_at("pcap_manager_retries_total");
+  const std::uint64_t base_divergences =
+      counter_at("pcap_manager_divergences_total");
+  const std::uint64_t base_heals = counter_at("pcap_manager_heals_total");
   cl.start_recording();
   cl.run(config.measured);
 
@@ -155,13 +173,23 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   for (const auto& p : cl.recorder().points()) {
     util_sum += p.manager_utilization;
     transitions += p.transitions;
-    r.stale_node_cycles += p.stale_nodes;
-    r.fallback_node_cycles += p.fallback_nodes;
-    r.skipped_targets += p.skipped_targets;
-    r.command_retries += p.retries;
-    r.divergences += p.divergences;
-    r.heals += p.heals;
   }
+  // Telemetry-health and reconciliation totals come from the registry
+  // (delta over the measured window), not from re-summing CSV columns —
+  // the recorder and this result are two views over the same counters.
+  r.stale_node_cycles = static_cast<std::size_t>(
+      counter_at("pcap_manager_stale_node_cycles_total") - base_stale);
+  r.fallback_node_cycles = static_cast<std::size_t>(
+      counter_at("pcap_manager_fallback_node_cycles_total") - base_fallback);
+  r.skipped_targets = static_cast<std::size_t>(
+      counter_at("pcap_manager_skipped_targets_total") - base_skipped);
+  r.command_retries = static_cast<std::size_t>(
+      counter_at("pcap_manager_retries_total") - base_retries);
+  r.divergences = static_cast<std::size_t>(
+      counter_at("pcap_manager_divergences_total") - base_divergences);
+  r.heals =
+      static_cast<std::size_t>(counter_at("pcap_manager_heals_total") -
+                               base_heals);
   r.samples_lost = cl.last_report().samples_lost;
   r.samples_suppressed = cl.last_report().samples_suppressed;
   r.samples_corrupted = cl.last_report().samples_corrupted;
@@ -180,6 +208,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   r.transitions = transitions;
   r.p_low = cl.last_report().p_low;
   r.p_high = cl.last_report().p_high;
+  r.metrics_prometheus = cl.metrics().prometheus_text();
+  r.metrics_json = cl.metrics().json_snapshot();
   return r;
 }
 

@@ -114,6 +114,13 @@ struct ExperimentResult {
   std::uint64_t reboot_events = 0;
   std::uint64_t commands_abandoned = 0;
   std::uint64_t commands_clamped = 0;
+
+  // Final registry exports (obs/registry.hpp): every series the engine,
+  // cluster and manager published, including the cycle-phase span
+  // histograms. The telemetry/actuation totals above are themselves
+  // derived from this registry (counter deltas over the measured window).
+  std::string metrics_prometheus;  ///< Prometheus text exposition
+  std::string metrics_json;        ///< JSON snapshot
 };
 
 /// Runs calibration (if needed), training and measurement; returns the

@@ -25,6 +25,11 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+std::size_t ThreadPool::queue_depth() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> wrapped(std::move(task));
   auto fut = wrapped.get_future();

@@ -28,6 +28,10 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
+  /// Tasks queued but not yet claimed by a worker (observability gauge;
+  /// takes the queue mutex, so sample it from serial sections only).
+  [[nodiscard]] std::size_t queue_depth();
+
   /// Enqueues a task; the returned future resolves when it completes.
   std::future<void> submit(std::function<void()> task);
 

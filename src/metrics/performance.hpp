@@ -25,6 +25,9 @@ struct JobRecord {
   double energy_j = 0.0;    ///< energy attributed to the job's nodes
   bool privileged = false;
 
+  /// T_j / T_cap,j; degenerates to 0 when actual_s <= 0 — callers that
+  /// aggregate (summarize_performance) treat such jobs as lossless
+  /// (ratio 1) instead.
   [[nodiscard]] double speed_ratio() const {
     return actual_s > 0.0 ? baseline_s / actual_s : 0.0;
   }
@@ -58,6 +61,9 @@ struct PerformanceSummary {
   double lossless_fraction = 1.0;
   double mean_slowdown_percent = 0.0;
   double worst_slowdown_percent = 0.0;
+  /// Jobs with actual_s <= 0 (finished within one tick-interpolation),
+  /// counted as lossless with ratio 1.0 and a logged warning.
+  std::size_t zero_duration_jobs = 0;
 };
 
 /// `lossless_tolerance` is the relative slack under which a job counts as

@@ -46,9 +46,11 @@ double accumulated_overspend(const PowerTrace& trace, Watts threshold) {
 
 double fraction_above(const PowerTrace& trace, Watts threshold) {
   if (trace.empty()) return 0.0;
+  // Strict comparison, like time_above and overspent_energy: a sample
+  // exactly at the threshold is not overspending.
   std::size_t n = 0;
   for (const double w : trace.watts) {
-    if (w >= threshold.value()) ++n;
+    if (w > threshold.value()) ++n;
   }
   return static_cast<double>(n) / static_cast<double>(trace.size());
 }

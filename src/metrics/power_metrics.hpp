@@ -29,6 +29,13 @@ struct PowerTrace {
   void add(Watts p) { watts.push_back(p.value()); }
 };
 
+// Threshold-boundary convention: a sample sitting EXACTLY at the
+// threshold is not "above" it. overspent_energy contributes zero there
+// (max(0, P - th) == 0), so time_above, fraction_above and
+// accumulated_overspend all use the same strict P > th comparison — a
+// trace pinned at the threshold reports zero overspend, zero time above
+// and zero fraction above, never a mix.
+
 /// Peak power P_max of the trace (0 for an empty trace).
 Watts peak_power(const PowerTrace& trace);
 
@@ -41,14 +48,16 @@ Joules total_energy(const PowerTrace& trace);
 /// Energy spent above the threshold: ∫_{P>th} (P - th) dt.
 Joules overspent_energy(const PowerTrace& trace, Watts threshold);
 
-/// Total time spent above the threshold.
+/// Total time spent strictly above the threshold.
 Seconds time_above(const PowerTrace& trace, Watts threshold);
 
 /// The paper's ΔP×T metric. Returns 0 for an empty trace or zero total
 /// energy.
 double accumulated_overspend(const PowerTrace& trace, Watts threshold);
 
-/// Fraction of samples at or above the threshold.
+/// Fraction of samples strictly above the threshold (0 for an empty
+/// trace). Agrees with time_above on every sample:
+/// fraction_above * duration == time_above.
 double fraction_above(const PowerTrace& trace, Watts threshold);
 
 // -- survey metrics (§I.B) ---------------------------------------------------

@@ -1,0 +1,16 @@
+#include "obs/spans.hpp"
+
+namespace pcap::obs {
+
+std::vector<double> default_time_bounds() {
+  return {1e-6,    3.16e-6, 1e-5,    3.16e-5, 1e-4,    3.16e-4, 1e-3,
+          3.16e-3, 1e-2,    3.16e-2, 1e-1,    3.16e-1, 1.0,     10.0};
+}
+
+void SpanTimer::bind(Registry& reg, const std::string& name,
+                     const std::string& help, const std::string& labels) {
+  reg_ = &reg;
+  handle_ = reg.histogram(name, help, default_time_bounds(), labels);
+}
+
+}  // namespace pcap::obs

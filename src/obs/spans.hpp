@@ -1,0 +1,83 @@
+// Cycle-phase span timers over the metrics registry.
+//
+// A SpanTimer owns one histogram series in the shared
+// "pcap_cycle_phase_seconds" family (or any family the binder chooses);
+// start() returns a scope that measures wall-clock time from construction
+// to destruction and records it as one observation. The measurement uses
+// std::chrono::steady_clock and is therefore non-deterministic by design
+// — span values may never feed back into simulation behaviour (DESIGN.md
+// §9). When the registry's timing gate is off, start() skips the clock
+// reads entirely, which is how the bench proves the instrumentation's
+// overhead.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace pcap::obs {
+
+/// Log-spaced duration buckets, 1 µs .. 10 s (half-decade steps): wide
+/// enough for a 32k-node context assembly, fine enough to see a phase
+/// regress by one decade.
+std::vector<double> default_time_bounds();
+
+class SpanTimer {
+ public:
+  SpanTimer() = default;  ///< unbound: start() returns an inert scope
+
+  /// Registers the series; `labels` conventionally carries
+  /// phase="<stage>". Idempotent per (name, labels) like all registration.
+  void bind(Registry& reg, const std::string& name, const std::string& help,
+            const std::string& labels);
+
+  class Scope {
+   public:
+    Scope() = default;
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope(Scope&& other) noexcept
+        : reg_(other.reg_), handle_(other.handle_), start_(other.start_) {
+      other.reg_ = nullptr;
+    }
+    Scope& operator=(Scope&&) = delete;
+    ~Scope() {
+      if (reg_ == nullptr) return;
+      const auto end = std::chrono::steady_clock::now();
+      reg_->observe(handle_,
+                    std::chrono::duration<double>(end - start_).count());
+    }
+
+   private:
+    friend class SpanTimer;
+    Scope(Registry* reg, HistogramHandle handle)
+        : reg_(reg), handle_(handle),
+          start_(std::chrono::steady_clock::now()) {}
+
+    Registry* reg_ = nullptr;
+    HistogramHandle handle_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// Begins a measured span; inert when unbound or timing is disabled.
+  [[nodiscard]] Scope start() const {
+    if (reg_ == nullptr || !reg_->timing_enabled()) return Scope{};
+    return Scope{reg_, handle_};
+  }
+
+  /// Records a duration directly (tests / externally timed sections).
+  void record(double seconds) {
+    if (reg_ != nullptr) reg_->observe(handle_, seconds);
+  }
+
+  [[nodiscard]] bool bound() const { return reg_ != nullptr; }
+  [[nodiscard]] HistogramHandle handle() const { return handle_; }
+
+ private:
+  Registry* reg_ = nullptr;
+  HistogramHandle handle_;
+};
+
+}  // namespace pcap::obs

@@ -59,6 +59,154 @@ void CappingManager::set_candidate_set(const std::vector<hw::NodeId>& ids) {
   job_index_.set_candidate_set(collector_.candidate_set());
 }
 
+void CappingManager::bind_metrics(obs::Registry& reg) {
+  Metrics& m = metrics_;
+  m.reg = &reg;
+
+  const std::string cycles = "pcap_manager_cycles_total";
+  const std::string cycles_help = "Control cycles by resulting power state";
+  m.cycles_green = reg.counter(cycles, cycles_help, "state=\"green\"");
+  m.cycles_yellow = reg.counter(cycles, cycles_help, "state=\"yellow\"");
+  m.cycles_red = reg.counter(cycles, cycles_help, "state=\"red\"");
+  m.training_cycles = reg.counter("pcap_manager_training_cycles_total",
+                                  "Cycles spent in threshold training");
+
+  m.targets = reg.counter("pcap_manager_targets_total",
+                          "Nodes selected as throttle/restore targets");
+  m.transitions = reg.counter("pcap_manager_transitions_total",
+                              "Level changes actually applied at nodes");
+  m.skipped_targets =
+      reg.counter("pcap_manager_skipped_targets_total",
+                  "Policy targets the capping engine refused");
+  m.deferred_targets =
+      reg.counter("pcap_manager_deferred_targets_total",
+                  "Targets passed over because a command was in flight");
+
+  m.stale_nodes = reg.counter("pcap_manager_stale_node_cycles_total",
+                              "Node-cycles served past the sample-age bound");
+  m.missing_nodes = reg.counter("pcap_manager_missing_node_cycles_total",
+                                "Node-cycles with no usable sample");
+  m.fallback_nodes =
+      reg.counter("pcap_manager_fallback_node_cycles_total",
+                  "Node-cycles served from a substituted estimate");
+  m.rejected_samples = reg.counter("pcap_manager_rejected_samples_total",
+                                   "Implausible telemetry samples skipped");
+  m.unresponsive_node_cycles =
+      reg.counter("pcap_manager_unresponsive_node_cycles_total",
+                  "Node-cycles excluded: retry budget exhausted");
+
+  m.acks = reg.counter("pcap_manager_acks_total",
+                       "Commands confirmed by telemetry");
+  m.retries = reg.counter("pcap_manager_retries_total",
+                          "Unacked commands re-sent");
+  m.divergences = reg.counter("pcap_manager_divergences_total",
+                              "Observed level != believed level");
+  m.heals = reg.counter("pcap_manager_heals_total",
+                        "Healing commands emitted");
+
+  m.samples_lost = reg.counter("pcap_telemetry_samples_lost_total",
+                               "Samples dropped by the transport");
+  m.samples_suppressed = reg.counter("pcap_telemetry_samples_suppressed_total",
+                                     "Samples that never left the node");
+  m.samples_corrupted = reg.counter("pcap_telemetry_samples_corrupted_total",
+                                    "Samples delivered with garbage power");
+  m.crash_events = reg.counter("pcap_telemetry_crash_events_total",
+                               "Profiling agent crash events");
+  m.recovery_events = reg.counter("pcap_telemetry_recovery_events_total",
+                                  "Profiling agent recovery events");
+
+  m.commands_lost = reg.counter("pcap_actuation_commands_lost_total",
+                                "Commands dropped in transit");
+  m.commands_rebooting =
+      reg.counter("pcap_actuation_commands_rebooting_total",
+                  "Commands dropped at a rebooting node");
+  m.transitions_failed =
+      reg.counter("pcap_actuation_transitions_failed_total",
+                  "Delivered commands whose DVFS switch failed");
+  m.transitions_partial =
+      reg.counter("pcap_actuation_transitions_partial_total",
+                  "Delivered commands that landed part-way");
+  m.reboot_events = reg.counter("pcap_actuation_reboot_events_total",
+                                "Node reboot events");
+  m.commands_abandoned = reg.counter("pcap_actuation_commands_abandoned_total",
+                                     "Commands whose retry budget ran out");
+  m.commands_clamped = reg.counter("pcap_actuation_commands_clamped_total",
+                                   "Requests clamped by the node controller");
+
+  m.measured_watts = reg.gauge("pcap_manager_measured_watts",
+                               "Facility meter reading at the last cycle");
+  m.p_low_watts = reg.gauge("pcap_manager_p_low_watts",
+                            "Learned lower power threshold");
+  m.p_high_watts = reg.gauge("pcap_manager_p_high_watts",
+                             "Learned upper power threshold");
+  m.commands_in_flight = reg.gauge("pcap_manager_commands_in_flight",
+                                   "Unacked commands after actuation");
+  m.unresponsive_nodes = reg.gauge("pcap_manager_unresponsive_nodes",
+                                   "Candidates currently abandoned");
+  m.agents_down = reg.gauge("pcap_telemetry_agents_down",
+                            "Profiling agents currently silent");
+
+  const std::string span = "pcap_cycle_phase_seconds";
+  const std::string span_help = "Wall-clock time per control-loop phase";
+  m.collect_span.bind(reg, span, span_help, "phase=\"collect\"");
+  m.context_span.bind(reg, span, span_help, "phase=\"context\"");
+  m.policy_span.bind(reg, span, span_help, "phase=\"policy\"");
+  m.actuate_span.bind(reg, span, span_help, "phase=\"actuate\"");
+}
+
+void CappingManager::publish_metrics(const ManagerReport& report) {
+  Metrics& m = metrics_;
+  obs::Registry* reg = m.reg;
+  if (reg == nullptr) return;
+
+  switch (report.state) {
+    case PowerState::kGreen: reg->add(m.cycles_green); break;
+    case PowerState::kYellow: reg->add(m.cycles_yellow); break;
+    case PowerState::kRed: reg->add(m.cycles_red); break;
+  }
+  if (report.training) reg->add(m.training_cycles);
+
+  reg->add(m.targets, report.targets);
+  reg->add(m.transitions, report.transitions);
+  reg->add(m.skipped_targets, report.skipped_targets);
+  reg->add(m.deferred_targets, report.deferred_targets);
+
+  reg->add(m.stale_nodes, report.stale_nodes);
+  reg->add(m.missing_nodes, report.missing_nodes);
+  reg->add(m.fallback_nodes, report.fallback_nodes);
+  reg->add(m.rejected_samples, report.rejected_samples);
+  reg->add(m.unresponsive_node_cycles, report.unresponsive_nodes);
+
+  reg->add(m.acks, report.acks);
+  reg->add(m.retries, report.retries);
+  reg->add(m.divergences, report.divergences);
+  reg->add(m.heals, report.heals);
+
+  // Lifetime ground truth owned by the collector/injector/channel: mirror,
+  // don't accumulate, or resets and replays would double-count.
+  reg->set_total(m.samples_lost, report.samples_lost);
+  reg->set_total(m.samples_suppressed, report.samples_suppressed);
+  reg->set_total(m.samples_corrupted, report.samples_corrupted);
+  reg->set_total(m.crash_events, report.crash_events);
+  reg->set_total(m.recovery_events, report.recovery_events);
+  reg->set_total(m.commands_lost, report.commands_lost);
+  reg->set_total(m.commands_rebooting, report.commands_rebooting);
+  reg->set_total(m.transitions_failed, report.transitions_failed);
+  reg->set_total(m.transitions_partial, report.transitions_partial);
+  reg->set_total(m.reboot_events, report.reboot_events);
+  reg->set_total(m.commands_abandoned, report.commands_abandoned);
+  reg->set_total(m.commands_clamped, report.commands_clamped);
+
+  reg->set(m.measured_watts, report.measured.value());
+  reg->set(m.p_low_watts, report.p_low.value());
+  reg->set(m.p_high_watts, report.p_high.value());
+  reg->set(m.commands_in_flight,
+           static_cast<double>(report.commands_in_flight));
+  reg->set(m.unresponsive_nodes,
+           static_cast<double>(reconciler_.unresponsive_count()));
+  reg->set(m.agents_down, static_cast<double>(report.agents_down));
+}
+
 PolicyContext CappingManager::build_context(
     Watts measured, const std::vector<hw::Node>& nodes,
     const sched::Scheduler& scheduler) const {
@@ -308,7 +456,10 @@ ManagerReport CappingManager::cycle(Watts measured,
   }
 
   // 1. Telemetry sweep over A_candidate.
-  collector_.collect(nodes, now, scheduler.running_count());
+  {
+    const obs::SpanTimer::Scope span = metrics_.collect_span.start();
+    collector_.collect(nodes, now, scheduler.running_count());
+  }
 
   // 2. Threshold learning / adjustment.
   learner_.observe(measured);
@@ -354,6 +505,7 @@ ManagerReport CappingManager::cycle(Watts measured,
   if (report.training) {
     if (!delivered_scratch_.empty()) controller_.apply(delivered_scratch_, nodes);
     fill_actuation_totals();
+    publish_metrics(report);
     return report;
   }
 
@@ -370,6 +522,7 @@ ManagerReport CappingManager::cycle(Watts measured,
       reconciler_.pending_count() > 0 ||
       reconciler_.unresponsive_count() > 0 ||
       channel_.in_flight_count() > 0) {
+    const obs::SpanTimer::Scope span = metrics_.context_span.start();
     build_context_with(scratch_ctx_, measured, nodes, scheduler,
                        &reconciler_, &recon_work_);
     reconciler_.finish_observation(now_cycle, recon_work_);
@@ -380,25 +533,34 @@ ManagerReport CappingManager::cycle(Watts measured,
     report.unresponsive_nodes = scratch_ctx_.unresponsive_nodes;
   }
   const PolicyContext& ctx = scratch_ctx_;
-  const CycleDecision decision =
-      engine_.cycle(measured, report.p_low, report.p_high, *policy_, ctx);
+  CycleDecision decision;
+  {
+    const obs::SpanTimer::Scope span = metrics_.policy_span.start();
+    decision =
+        engine_.cycle(measured, report.p_low, report.p_high, *policy_, ctx);
+  }
   report.state = decision.state;
   report.targets = decision.commands.size();
   report.skipped_targets = decision.skipped;
+  report.deferred_targets = decision.deferred_in_flight;
 
   // Heals and due retries are already in recon_work_.commands; the
   // engine's fresh decisions join them after the unresponsive filter and
   // pending dedup. Everything then goes through the (possibly lossy)
   // channel, and only what the channel delivered reaches hardware.
-  reconciler_.admit(decision.commands, now_cycle, recon_work_);
-  channel_.send(recon_work_.commands, nodes, delivered_scratch_);
-  report.transitions = controller_.apply(delivered_scratch_, nodes);
+  {
+    const obs::SpanTimer::Scope span = metrics_.actuate_span.start();
+    reconciler_.admit(decision.commands, now_cycle, recon_work_);
+    channel_.send(recon_work_.commands, nodes, delivered_scratch_);
+    report.transitions = controller_.apply(delivered_scratch_, nodes);
+  }
 
   report.acks = recon_work_.acks;
   report.retries = recon_work_.retries;
   report.divergences = recon_work_.divergences;
   report.heals = recon_work_.heals;
   fill_actuation_totals();
+  publish_metrics(report);
   return report;
 }
 

@@ -20,6 +20,8 @@
 
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
+#include "obs/registry.hpp"
+#include "obs/spans.hpp"
 #include "power/actuation_channel.hpp"
 #include "power/candidate_selector.hpp"
 #include "power/capping.hpp"
@@ -52,6 +54,7 @@ struct ManagerReport {
   std::size_t fallback_nodes = 0;    ///< views on a substituted estimate
   std::size_t rejected_samples = 0;  ///< implausible samples skipped
   std::size_t skipped_targets = 0;   ///< policy targets the engine refused
+  std::size_t deferred_targets = 0;  ///< targets passed over: command in flight
 
   // Actuation reconciliation, this cycle. Zero whenever no context was
   // built (steady green with nothing pending).
@@ -99,6 +102,12 @@ class PowerManagerBase {
   /// pool is owned by the caller (the cluster) and outlives the manager's
   /// use of it. nullptr detaches.
   virtual void set_thread_pool(common::ThreadPool* /*pool*/) {}
+
+  /// Offers a metrics registry (owned by the caller, outliving the
+  /// manager's use of it). Managers preregister their series here so the
+  /// per-cycle publish is pure array stores; the default implementation
+  /// publishes nothing.
+  virtual void bind_metrics(obs::Registry& /*reg*/) {}
 };
 
 struct CappingManagerParams {
@@ -148,6 +157,11 @@ class CappingManager final : public PowerManagerBase {
   ManagerReport cycle(Watts measured, std::vector<hw::Node>& nodes,
                       const sched::Scheduler& scheduler,
                       Seconds now) override;
+
+  /// Preregisters every manager series (counters, gauges, cycle-phase
+  /// spans) in `reg`. ManagerReport and the trace CSV then become views
+  /// over the values the registry accumulates — see DESIGN.md §10.
+  void bind_metrics(obs::Registry& reg) override;
 
   /// The pool parallelises both the telemetry sweep and context assembly
   /// (sharded over candidate slots; see build_context_with). Results are
@@ -211,6 +225,35 @@ class CappingManager final : public PowerManagerBase {
                           ActuationReconciler* rec,
                           ActuationReconciler::CycleWork* work) const;
 
+  /// Registry bindings. Handles are preregistered by bind_metrics, so
+  /// publish_metrics() performs only array stores; everything is inert
+  /// until a registry is bound.
+  struct Metrics {
+    obs::Registry* reg = nullptr;
+    // Per-cycle accumulators (counter += report value each cycle).
+    obs::CounterHandle cycles_green, cycles_yellow, cycles_red,
+        training_cycles;
+    obs::CounterHandle targets, transitions, skipped_targets,
+        deferred_targets;
+    obs::CounterHandle stale_nodes, missing_nodes, fallback_nodes,
+        rejected_samples, unresponsive_node_cycles;
+    obs::CounterHandle acks, retries, divergences, heals;
+    // Mirrored lifetime ground truth (collector/injector/channel own it).
+    obs::CounterHandle samples_lost, samples_suppressed, samples_corrupted,
+        crash_events, recovery_events;
+    obs::CounterHandle commands_lost, commands_rebooting, transitions_failed,
+        transitions_partial, reboot_events, commands_abandoned,
+        commands_clamped;
+    // Instantaneous state.
+    obs::GaugeHandle measured_watts, p_low_watts, p_high_watts,
+        commands_in_flight, unresponsive_nodes, agents_down;
+    // Control-loop stage timers.
+    obs::SpanTimer collect_span, context_span, policy_span, actuate_span;
+  };
+
+  /// Pushes one cycle's report into the registry (no-op when unbound).
+  void publish_metrics(const ManagerReport& report);
+
   /// One candidate slot's output from the sharded assembly pass.
   struct ViewRecord {
     enum class Status : std::uint8_t {
@@ -239,6 +282,7 @@ class CappingManager final : public PowerManagerBase {
   ActuationReconciler reconciler_;
   std::optional<CandidateSelector> selector_;
   common::ThreadPool* pool_ = nullptr;
+  Metrics metrics_;
   /// Per-slot staging for the sharded assembly pass; persists across
   /// cycles so the steady state allocates nothing.
   mutable std::vector<ViewRecord> view_records_;

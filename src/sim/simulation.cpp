@@ -63,6 +63,7 @@ void Simulation::run_until(Seconds end) {
     ++processed_;
   }
   now_ = end;
+  publish_metrics();
 }
 
 bool Simulation::step() {
@@ -74,6 +75,7 @@ bool Simulation::step() {
   now_ = ev.time;
   ev.fn();
   ++processed_;
+  publish_metrics();
   return true;
 }
 
@@ -81,6 +83,16 @@ void Simulation::reset() {
   queue_.clear();
   now_ = Seconds{0.0};
   processed_ = 0;
+  publish_metrics();
+}
+
+void Simulation::attach_metrics(obs::Registry& reg) {
+  metrics_ = &reg;
+  events_counter_ = reg.counter("pcap_sim_events_total",
+                                "Discrete events processed by the engine");
+  pending_gauge_ = reg.gauge("pcap_sim_pending_events",
+                             "Events waiting in the queue");
+  publish_metrics();
 }
 
 }  // namespace pcap::sim

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "obs/registry.hpp"
 #include "sim/event_queue.hpp"
 
 namespace pcap::sim {
@@ -63,7 +64,18 @@ class Simulation {
   /// Drops all pending events and resets the clock to zero.
   void reset();
 
+  /// Registers the engine's series (events processed, pending events) in
+  /// `reg` and publishes them at the end of every run_until()/step().
+  /// The registry must outlive the simulation.
+  void attach_metrics(obs::Registry& reg);
+
  private:
+  void publish_metrics() {
+    if (metrics_ == nullptr) return;
+    metrics_->set_total(events_counter_, processed_);
+    metrics_->set(pending_gauge_, static_cast<double>(queue_.size()));
+  }
+
   void schedule_periodic(Seconds first, Seconds period,
                          std::shared_ptr<PeriodicHandle::State> state,
                          std::shared_ptr<std::function<void(Seconds)>> fn);
@@ -71,6 +83,9 @@ class Simulation {
   EventQueue queue_;
   Seconds now_{0.0};
   std::uint64_t processed_ = 0;
+  obs::Registry* metrics_ = nullptr;
+  obs::CounterHandle events_counter_;
+  obs::GaugeHandle pending_gauge_;
 };
 
 }  // namespace pcap::sim

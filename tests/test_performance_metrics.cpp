@@ -124,6 +124,50 @@ TEST(SummarizeByApp, EmptyInput) {
   EXPECT_TRUE(summarize_by_app({}).empty());
 }
 
+TEST(Summary, ZeroDurationJobCountsAsLossless) {
+  // Regression: a job whose capped duration interpolated to 0 within one
+  // tick used to contribute speed_ratio() == 0, dragging Performance(cap)
+  // toward 0 for a job that lost nothing. It now counts as ratio 1.
+  const std::vector<JobRecord> jobs = {rec(100.0, 0.0), rec(100.0, 100.0)};
+  const PerformanceSummary s = summarize_performance(jobs);
+  EXPECT_DOUBLE_EQ(s.performance, 1.0);
+  EXPECT_EQ(s.lossless_jobs, 2u);
+  EXPECT_EQ(s.zero_duration_jobs, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_slowdown_percent, 0.0);
+}
+
+TEST(Summary, NegativeDurationTreatedAsZero) {
+  const std::vector<JobRecord> jobs = {rec(100.0, -1.0)};
+  const PerformanceSummary s = summarize_performance(jobs);
+  EXPECT_DOUBLE_EQ(s.performance, 1.0);
+  EXPECT_EQ(s.zero_duration_jobs, 1u);
+}
+
+TEST(SummarizeByApp, ZeroDurationJobDoesNotPoisonMeans) {
+  // The by-app aggregation accumulates locally and divides once; a
+  // degenerate record only affects its own contribution.
+  JobRecord a = rec(100.0, 0.0);
+  a.app = "EP";
+  a.energy_j = 0.0;
+  JobRecord b = rec(100.0, 100.0);
+  b.app = "EP";
+  b.energy_j = 300.0;
+  const auto by_app = summarize_by_app({a, b});
+  ASSERT_EQ(by_app.size(), 1u);
+  EXPECT_EQ(by_app[0].jobs, 2u);
+  EXPECT_DOUBLE_EQ(by_app[0].mean_energy_j, 150.0);
+  EXPECT_DOUBLE_EQ(by_app[0].mean_duration_s, 50.0);
+}
+
+TEST(EnergyDelayProduct, ZeroExponentIsEnergy) {
+  // E x D^0 == E even for a zero-duration delay (0^0 treated as 1 by
+  // the loop formulation — no pow(0, 0) surprise).
+  JobRecord r = rec(100.0, 0.0);
+  r.energy_j = 500.0;
+  EXPECT_DOUBLE_EQ(r.energy_delay(0), 500.0);
+  EXPECT_DOUBLE_EQ(r.energy_delay(1), 0.0);
+}
+
 TEST(Summary, UncappedRunScoresPerfectly) {
   std::vector<JobRecord> jobs;
   for (int i = 0; i < 10; ++i) jobs.push_back(rec(50.0 + i, 50.0 + i));

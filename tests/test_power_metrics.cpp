@@ -55,6 +55,14 @@ TEST(TimeAbove, CountsSamples) {
       4.0);
 }
 
+TEST(TimeAbove, ThresholdExactSampleIsNotAbove) {
+  // The boundary convention (power_metrics.hpp): a sample sitting exactly
+  // at the threshold is NOT above it, matching overspent_energy's
+  // max(0, w - th) which contributes nothing there.
+  EXPECT_DOUBLE_EQ(
+      time_above(trace({150.0, 150.0, 150.0}), Watts{150.0}).value(), 0.0);
+}
+
 TEST(AccumulatedOverspend, MatchesPaperFormula) {
   // P = {200, 100, 300}, th = 150. Overspend = 200, total = 600.
   EXPECT_NEAR(accumulated_overspend(trace({200.0, 100.0, 300.0}),
@@ -89,10 +97,39 @@ TEST(AccumulatedOverspend, CappingReducesIt) {
             accumulated_overspend(uncapped, Watts{150.0}));
 }
 
-TEST(FractionAbove, CountsInclusive) {
+TEST(FractionAbove, CountsStrictlyAbove) {
+  // Strict >: the threshold-exact 150 W sample does not count. Before the
+  // fix this returned 2/3 (inclusive) while time_above said 1 sample.
   EXPECT_DOUBLE_EQ(fraction_above(trace({100.0, 150.0, 200.0}), Watts{150.0}),
-                   2.0 / 3.0);
+                   1.0 / 3.0);
   EXPECT_DOUBLE_EQ(fraction_above(trace({}), Watts{1.0}), 0.0);
+}
+
+TEST(FractionAbove, AgreesWithTimeAboveAtThreshold) {
+  // fraction_above * duration == time_above, including at the boundary.
+  const auto t = trace({149.9, 150.0, 150.1, 200.0}, 2.0);
+  EXPECT_DOUBLE_EQ(
+      fraction_above(t, Watts{150.0}) * t.duration().value(),
+      time_above(t, Watts{150.0}).value());
+}
+
+TEST(AccumulatedOverspend, ZeroDtTraceIsZero) {
+  // Degenerate dt = 0: both integrals vanish; no division blow-up.
+  EXPECT_DOUBLE_EQ(
+      accumulated_overspend(trace({200.0, 300.0}, 0.0), Watts{150.0}), 0.0);
+}
+
+TEST(AccumulatedOverspend, AllBelowThresholdIsZero) {
+  EXPECT_DOUBLE_EQ(
+      accumulated_overspend(trace({10.0, 20.0, 30.0}), Watts{150.0}), 0.0);
+}
+
+TEST(AccumulatedOverspend, AllAtThresholdIsZero) {
+  // Every sample exactly at the threshold overspends nothing — the same
+  // boundary convention time_above/fraction_above follow.
+  EXPECT_DOUBLE_EQ(
+      accumulated_overspend(trace({150.0, 150.0, 150.0}), Watts{150.0}),
+      0.0);
 }
 
 TEST(EnergyDelayProduct, Powers) {
@@ -110,6 +147,13 @@ TEST(WorkPerWatt, Green500Style) {
   // 1000 work units in 10 s at mean 50 W -> 100 units/s / 50 W = 2.
   EXPECT_DOUBLE_EQ(work_per_watt(1000.0, Joules{500.0}, Seconds{10.0}), 2.0);
   EXPECT_DOUBLE_EQ(work_per_watt(1.0, Joules{0.0}, Seconds{10.0}), 0.0);
+}
+
+TEST(WorkPerWatt, ZeroDurationIsZero) {
+  // Degenerate zero/negative durations short-circuit to 0 instead of
+  // dividing by zero.
+  EXPECT_DOUBLE_EQ(work_per_watt(1000.0, Joules{500.0}, Seconds{0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(work_per_watt(1000.0, Joules{500.0}, Seconds{-1.0}), 0.0);
 }
 
 TEST(Pue, FacilityOverIt) {

@@ -69,6 +69,32 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(target.mean(), 1.5);
 }
 
+TEST(RunningStats, ShardedMergeMatchesSinglePassReference) {
+  // Uneven shards (the shape a parallel sweep produces) merged in order
+  // must reproduce the single-pass Welford moments exactly enough for
+  // metric reporting, including min/max which are order-free.
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 1200; ++i) xs.push_back(rng.uniform(-50.0, 150.0));
+
+  RunningStats single;
+  for (const double x : xs) single.add(x);
+
+  const std::size_t cuts[] = {0, 1, 17, 900, xs.size()};
+  RunningStats merged;
+  for (std::size_t c = 0; c + 1 < std::size(cuts); ++c) {
+    RunningStats shard;
+    for (std::size_t i = cuts[c]; i < cuts[c + 1]; ++i) shard.add(xs[i]);
+    merged.merge(shard);
+  }
+  EXPECT_EQ(merged.count(), single.count());
+  EXPECT_NEAR(merged.mean(), single.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), single.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(merged.min(), single.min());
+  EXPECT_DOUBLE_EQ(merged.max(), single.max());
+  EXPECT_NEAR(merged.sum(), single.sum(), 1e-7);
+}
+
 TEST(RunningStats, Reset) {
   RunningStats s;
   s.add(5.0);
@@ -126,6 +152,19 @@ TEST(Histogram, OutOfRangeClampsAndCounts) {
   EXPECT_EQ(h.overflow(), 1u);
   EXPECT_EQ(h.bin(0), 1u);
   EXPECT_EQ(h.bin(4), 1u);
+}
+
+TEST(Histogram, BoundaryValuesFollowHalfOpenRange) {
+  // The range is [lo, hi): x == lo is in-range (bin 0, no underflow);
+  // x == hi is out of range (clamped to the last bin, counted overflow).
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);
+  h.add(10.0);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(4), 1u);
+  EXPECT_EQ(h.total(), 2u);
 }
 
 TEST(Histogram, QuantileMedian) {
