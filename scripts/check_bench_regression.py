@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
-"""Bench smoke gate: fail CI when the control-cycle benchmark regresses.
+"""Bench smoke gate: fail CI when a recorded benchmark regresses.
 
-Runs bench_control_cycle --json at the reference size a few times, takes
-the best pass per metric (single-run numbers are noisy on shared runners),
-and compares against the figures recorded in BENCH_control_cycle.json.
-Any metric falling more than the tolerance below its recorded value fails
-the job.
+Runs a --json benchmark (bench_control_cycle, bench_micro_tick) at the
+reference size a few times, takes the best pass per metric (single-run
+numbers are noisy on shared runners), and compares against the
+`ci_reference` block of the recorded reference JSON
+(BENCH_control_cycle.json, BENCH_tick.json). Any metric falling more than
+the tolerance below its recorded value fails the job.
 
 Usage: check_bench_regression.py <bench-binary> [reference-json]
 

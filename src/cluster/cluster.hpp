@@ -2,27 +2,36 @@
 // stepped on the discrete-event kernel.
 //
 // Every tick (the sampling interval τ, default 1 s) the cluster:
-//   1. keeps the job queue non-empty (the paper's arrival rule) or feeds a
-//      recorded trace,
-//   2. launches queued jobs onto free nodes,
-//   3. refreshes every node's operating point from its job's current phase
-//      (with OU utilisation noise) and advances job progress at the
-//      bottleneck-node rate,
-//   4. integrates node thermals,
-//   5. reads the facility power meter, and
+//   1. applies deferred workload events from the previous tick (phase
+//      changes, retirements, actuation-plane level changes),
+//   2. keeps the job queue non-empty (the paper's arrival rule) or feeds a
+//      recorded trace, and launches queued jobs onto free nodes,
+//   3. advances job progress at each job's cached bottleneck rate,
+//   4. refreshes the *due* nodes — the utilisation staircase grid plus
+//      anything an event touched — analytically fast-forwarding ramp,
+//      OU noise and RC thermal state across the skipped ticks,
+//   5. folds the accounted-power ledger and reads the facility meter, and
 //   6. runs one control cycle of the installed power manager.
+//
+// Hot per-node state lives in a structure-of-arrays pool (hw::NodeStatePool);
+// hw::Node is a view. Steady-state ticks cost O(due set), not O(N): a node
+// whose job sits in a long phase is touched only on its staircase slot
+// (every util_refresh_ticks ticks), and — with noise disabled — not at all
+// once its ramp converges. Serial, parallel, event-driven and full-scan
+// modes produce bit-identical trajectories; see DESIGN.md.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "hw/node.hpp"
+#include "hw/node_pool.hpp"
 #include "hw/power_meter.hpp"
 #include "interconnect/interconnect.hpp"
 #include "metrics/performance.hpp"
@@ -57,6 +66,9 @@ struct ClusterConfig {
   sched::SchedulerOptions scheduler;
 
   /// OU noise on per-node CPU utilisation (stationary sigma / relaxation).
+  /// Applied to busy nodes only: it models workload-phase fluctuation, and
+  /// a noise band on an idle node's ~2 % utilisation is unphysical (it
+  /// clips at zero). Idle nodes converge to idle_utilization and quiesce.
   double utilization_noise_sigma = 0.02;
   double utilization_noise_tau_s = 30.0;
   /// Idle nodes hover at this mean utilisation.
@@ -67,6 +79,25 @@ struct ClusterConfig {
   /// system power ramps rather than steps — which is what gives the
   /// 1 Hz control loop its reaction window. 0 disables ramping.
   double utilization_ramp_tau_s = 45.0;
+
+  /// Utilisation staircase period R: each node's ramp + OU noise are
+  /// re-evaluated every R ticks (64-node blocks rotate through the grid,
+  /// so ~N/R nodes refresh per tick). The closed-form k-step ramp and the
+  /// exact k-step OU transition make the staircase a coarser *sampling* of
+  /// the same process, not a different one. 1 restores per-tick refresh.
+  /// 16 keeps the staircase well inside the 4 s default control period's
+  /// effective sampling (the manager reads the meter, not the per-node
+  /// signals) while quartering the sweep cost versus per-4-tick refresh.
+  std::int64_t util_refresh_ticks = 16;
+  /// Once |smoothed - target| falls below this, the ramp snaps to its
+  /// target; with noise disabled the node then quiesces entirely (drops
+  /// out of the staircase grid) until the next install wakes it.
+  double util_snap_eps = 1e-4;
+  /// Event-driven refresh (default): build the due set from the staircase
+  /// grid + wake events. false = reference mode: scan all N nodes per tick
+  /// applying identical per-node predicates — same results, no skipping —
+  /// used by the determinism A/B gate in CI.
+  bool event_driven_ticks = true;
 
   std::uint64_t seed = 42;
 
@@ -146,6 +177,19 @@ class Cluster {
     return delivered_;
   }
 
+  /// Nodes re-evaluated by the last tick's refresh pass (the due set:
+  /// staircase grid + wake events). The quiescence tests and the
+  /// pcap_cluster_nodes_refreshed gauge read this.
+  [[nodiscard]] std::size_t last_refreshed_nodes() const {
+    return last_refreshed_;
+  }
+
+  /// The SoA pool backing every node's hot state; exposed for tests and
+  /// benchmarks that assert on pool-level invariants.
+  [[nodiscard]] const hw::NodeStatePool& node_pool() const {
+    return *node_pool_;
+  }
+
   /// The worker pool driving intra-tick sweeps — shared with the manager's
   /// telemetry collector, and available to callers running their own
   /// cluster-level sweeps. nullptr when the cluster runs serial (small
@@ -178,8 +222,8 @@ class Cluster {
   [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
 
  private:
-  /// Per-node device-usage target for one tick; idle unless a job's phase
-  /// overwrites it in pass 1.
+  /// Per-node device-usage target, rewritten only when an install event
+  /// (launch, phase change, retirement) lands on the node.
   struct UsageTarget {
     double cpu = 0.0;
     double mem_fraction = 0.02;
@@ -187,36 +231,47 @@ class Cluster {
     bool busy = false;
   };
 
+  static constexpr std::uint32_t kNoJob = 0xffffffffu;
+  /// Nodes per staircase block; blocks rotate through the refresh grid so
+  /// the due set stays cache-linear runs of 64 slots.
+  static constexpr std::size_t kBlock = 64;
+
   void tick();
-  void refresh_workload(Seconds dt);
   void ensure_queue_nonempty();
 
-  /// Runs fn(i) for i in [0, n): over the pool in fixed-size chunks when
-  /// one exists and n is big enough to amortise the fan-out, else inline.
-  /// Callers must only write to slots owned by index i; every reduction
-  /// over the results happens serially in index order afterwards — that
-  /// discipline is what keeps serial and parallel runs bit-identical.
-  template <typename Fn>
-  void sweep(std::size_t n, Fn&& fn) {
-    common::maybe_parallel_for(pool_.get(), n, config_.parallel_node_threshold,
-                               config_.parallel_grain,
-                               [&fn](std::size_t begin, std::size_t end) {
-                                 for (std::size_t i = begin; i < end; ++i) {
-                                   fn(i);
-                                 }
-                               });
-  }
+  // -- tick stages (see tick() for ordering rationale) -----------------------
+  void drain_level_changes();
+  void drain_pending_installs(std::int64_t tk, double now_s);
+  void launch_jobs(Seconds now, std::int64_t tk);
+  void advance_jobs(Seconds now, Seconds dt);
+  void retire_finished();
+  void build_due_set(std::int64_t tk);
+  void refresh_due_nodes(std::int64_t tk, double now_s, double dt_s);
+
+  /// Re-points node `i` at its owner's current phase (or idle), after
+  /// fast-forwarding ramp/noise through tick tk-1 under the *old* target
+  /// and temperature through the previous tick boundary under the old
+  /// power — the new target only shapes ticks >= tk, exactly as if every
+  /// tick had been stepped. Wakes the node (staircase + forced list).
+  void install_target(std::size_t i, std::int64_t tk, double now_s);
+  /// Closed-form staircase step: k = tk - last_refresh ramp steps at once
+  /// plus one exact k-step OU transition, writing the pool utilisation.
+  void advance_util_to(std::size_t i, std::int64_t tk);
 
   ClusterConfig config_;
   common::Rng rng_;
   sim::Simulation sim_;
+  /// SoA storage for all hot per-node state; nodes_ are views into it.
+  /// Declared before nodes_ so the views never dangle.
+  std::unique_ptr<hw::NodeStatePool> node_pool_;
   std::vector<hw::Node> nodes_;
   std::vector<common::OrnsteinUhlenbeck> util_noise_;
   std::vector<double> smoothed_util_;
   std::vector<double> delivered_;
   /// One independent noise stream per node (root fork "util-noise",
-  /// child = stream(node id)): draws are a pure function of (seed, node),
-  /// never of sweep order — the precondition for parallel ticks.
+  /// child = stream(node id)): draws are a pure function of (seed, node,
+  /// refresh history), never of sweep order or worker count — the
+  /// precondition for parallel and event-driven ticks alike.
   std::vector<common::Rng> noise_rngs_;
   std::unique_ptr<common::ThreadPool> pool_;
   std::unique_ptr<sched::Scheduler> sched_;
@@ -225,22 +280,64 @@ class Cluster {
   hw::SystemPowerMeter meter_;
   std::unique_ptr<power::PowerManagerBase> manager_;
 
-  // Preallocated per-tick scratch: steady-state ticks never allocate.
+  // -- per-node event/staircase state ----------------------------------------
   std::vector<UsageTarget> targets_;
   std::vector<double> offered_;
-  std::vector<double> node_power_;  ///< IT-side true power, refreshed per tick
-  std::vector<double> job_energy_scratch_;   ///< per running job, one tick
-  std::vector<unsigned char> job_done_;      ///< pass-2 finished flags
-  /// One scheduler lookup and one phase resolution per job per tick —
-  /// pass 1, pass 2 and energy attribution all read these.
+  /// Last tick (0-based) node i's utilisation was refreshed at; -1 before
+  /// the first. The staircase guarantees gaps of at most R ticks while a
+  /// node is awake, which bounds the ramp power table.
+  std::vector<std::int64_t> last_refresh_tick_;
+  /// 0 = quiescent (converged, noiseless), 1 = on the staircase grid,
+  /// 2 = transient deactivate request from the parallel refresh shards,
+  /// committed (and counted out of block_active_) by the serial fold.
+  std::vector<std::uint8_t> util_active_;
+  /// Awake-node count per kBlock slots: a due block with count 0 is
+  /// skipped whole — the O(active) part of the event-driven claim.
+  std::vector<std::uint32_t> block_active_;
+  /// bit0: utilisation install forced this tick; bit1: power-only wake
+  /// (DVFS level moved). Either bit puts the node in the due set.
+  std::vector<std::uint8_t> forced_mark_;
+  std::vector<std::uint32_t> forced_list_;
+  std::vector<std::uint32_t> due_scratch_;
+  /// Nodes whose install takes effect next tick (phase changes and
+  /// retirements detected this tick — the legacy sweep also applied a new
+  /// phase's targets one tick after the crossing).
+  std::vector<std::uint32_t> pending_installs_;
+  /// Running-slot of the job occupying each node (kNoJob when idle) and
+  /// the MPI ranks placed there (NIC traffic scales with it).
+  std::vector<std::uint32_t> owner_slot_;
+  std::vector<double> node_procs_;
+  /// d^k for the ramp decay d = exp(-tick/ramp_tau), k in [0, R].
+  std::vector<double> ramp_decay_pow_;
+  /// Exact OU k-step coefficients for k in [0, R] (index 0 unused): the
+  /// staircase bounds awake gaps at R ticks, so every hot-path transition
+  /// hits this table instead of recomputing exp/sqrt per node.
+  std::vector<common::OrnsteinUhlenbeck::StepCoeffs> ou_step_;
+
+  /// Block partial-sum ledger over per-node true power: leaves are the
+  /// accounted power, total() is the meter's IT-side input. Pure function
+  /// of the leaves — identical across modes and worker counts.
+  hw::PowerSumTree accounted_;
+
+  // -- per-running-job state (aligned with scheduler running order) ----------
   std::vector<workload::Job*> jobs_scratch_;
   std::vector<const workload::Phase*> phases_scratch_;
+  std::vector<double> job_power_w_;    ///< Σ accounted leaves over members
+  std::vector<double> job_energy_acc_; ///< ∫ job_power dt, flushed at retire
+  std::vector<double> job_rate_;       ///< cached bottleneck progress rate
+  std::vector<std::uint8_t> job_rate_dirty_;
+  std::vector<unsigned char> job_done_;
   std::vector<workload::JobId> finished_scratch_;
+  std::vector<double> finished_energy_scratch_;
 
   Watts last_power_{0.0};
   power::ManagerReport last_report_;
   std::uint64_t ticks_ = 0;
   std::uint64_t control_every_ = 1;
+  std::int64_t refresh_every_ = 8;
+  bool noise_on_ = true;
+  bool fabric_enabled_ = false;
+  std::size_t last_refreshed_ = 0;
 
   /// Owned registry plus the cluster's own series; managers bind into the
   /// same registry via set_manager.
@@ -249,13 +346,16 @@ class Cluster {
   obs::GaugeHandle running_gauge_;
   obs::GaugeHandle queued_gauge_;
   obs::GaugeHandle pool_depth_gauge_;
+  obs::GaugeHandle refreshed_gauge_;
   obs::CounterHandle ticks_counter_;
   obs::CounterHandle jobs_finished_counter_;
+  obs::CounterHandle node_refreshes_counter_;
   obs::SpanTimer tick_span_;
   obs::SpanTimer node_sweep_span_;
+  obs::SpanTimer launch_span_;
+  obs::SpanTimer jobs_span_;
 
   bool recording_ = false;
-  std::unordered_map<workload::JobId, double> job_energy_j_;
   std::unique_ptr<metrics::TraceRecorder> recorder_;
   std::vector<metrics::JobRecord> finished_records_;
   workload::WorkloadTrace generated_trace_;

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -160,6 +161,27 @@ class OrnsteinUhlenbeck {
 
   /// Advances the process by dt seconds and returns the new value.
   double step(double dt_seconds, Rng& rng);
+
+  /// Exact discretisation coefficients for a step of dt: decay =
+  /// exp(-dt/tau), noise_sd = sigma * sqrt(1 - decay^2) — the same values
+  /// step() computes and caches internally. Callers stepping thousands of
+  /// processes at a handful of known dts (the cluster's k-tick staircase
+  /// jumps) precompute one table and use step_with, which is bit-identical
+  /// to step(dt) and keeps exp/sqrt out of the refresh loop entirely.
+  struct StepCoeffs {
+    double decay = 0.0;
+    double noise_sd = 0.0;
+  };
+  [[nodiscard]] StepCoeffs coeffs(double dt_seconds) const {
+    StepCoeffs c;
+    c.decay = std::exp(-dt_seconds / tau_);
+    c.noise_sd = sigma_ * std::sqrt(1.0 - c.decay * c.decay);
+    return c;
+  }
+  double step_with(const StepCoeffs& c, Rng& rng) {
+    value_ = mean_ + c.decay * (value_ - mean_) + c.noise_sd * rng.normal();
+    return value_;
+  }
 
   [[nodiscard]] double value() const { return value_; }
   void reset(double value) { value_ = value; }

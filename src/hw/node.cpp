@@ -1,77 +1,55 @@
 #include "hw/node.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace pcap::hw {
+
+namespace {
+
+double draw_variation(common::Rng* rng) {
+  if (rng == nullptr) return 1.0;
+  return std::clamp(rng->normal(1.0, 0.02), 0.9, 1.1);
+}
+
+}  // namespace
 
 Node::Node(NodeId id, NodeSpecPtr spec, common::Rng* variation_rng)
     : id_(id),
       spec_(std::move(spec)),
-      level_(spec_->ladder.highest()),
-      thermal_(spec_->thermal),
-      temperature_(spec_->thermal.ambient),
-      relative_speed_(spec_->ladder.relative_speed(level_)) {
-  op_.mem_total = spec_->mem_total;
-  op_.nic_bandwidth = spec_->nic_bandwidth;
-  if (variation_rng != nullptr) {
-    variation_ = std::clamp(variation_rng->normal(1.0, 0.02), 0.9, 1.1);
+      pool_(nullptr),
+      slot_(0),
+      owned_(std::make_unique<NodeStatePool>(1)) {
+  pool_ = owned_.get();
+  pool_->init_slot(0, spec_.get(), draw_variation(variation_rng));
+}
+
+Node::Node(NodeId id, NodeSpecPtr spec, NodeStatePool* pool,
+           std::uint32_t slot, common::Rng* variation_rng)
+    : id_(id), spec_(std::move(spec)), pool_(pool), slot_(slot) {
+  pool_->init_slot(slot_, spec_.get(), draw_variation(variation_rng));
+}
+
+Node::Node(Node&& other) noexcept
+    : id_(other.id_),
+      spec_(std::move(other.spec_)),
+      pool_(other.pool_),
+      slot_(other.slot_),
+      owned_(std::move(other.owned_)) {
+  // A standalone node's view must follow its private pool.
+  if (owned_) pool_ = owned_.get();
+}
+
+Node& Node::operator=(Node&& other) noexcept {
+  if (this != &other) {
+    id_ = other.id_;
+    spec_ = std::move(other.spec_);
+    pool_ = other.pool_;
+    slot_ = other.slot_;
+    owned_ = std::move(other.owned_);
+    if (owned_) pool_ = owned_.get();
   }
-}
-
-Level Node::set_level(Level l) {
-  const Level before = level_;
-  if (!spec_->controllable) {
-    level_ = spec_->ladder.highest();
-  } else {
-    level_ = std::clamp(l, spec_->ladder.lowest(), spec_->ladder.highest());
-  }
-  if (level_ != before) {
-    relative_speed_ = spec_->ladder.relative_speed(level_);
-    static_power_valid_ = false;
-    invalidate_power_cache();
-  }
-  return level_;
-}
-
-Level Node::degrade_one() { return set_level(level_ - 1); }
-
-Level Node::restore_one() { return set_level(level_ + 1); }
-
-Watts Node::true_power() const {
-  if (true_power_valid_) return true_power_cache_;
-  const Watts estimated = estimated_power();  // fills the static caches
-  const Watts idle = idle_leak_cache_;
-  const double leak = thermal_.leakage_factor(temperature_);
-  const Watts with_leakage = (estimated - idle) + idle * leak;
-  true_power_cache_ = with_leakage * variation_;
-  true_power_valid_ = true;
-  return true_power_cache_;
-}
-
-Watts Node::estimated_power() const {
-  if (estimated_power_valid_) return estimated_power_cache_;
-  if (!static_power_valid_) {
-    static_power_cache_ = spec_->power_model.static_power(level_, op_);
-    cpu_dyn_cache_ = spec_->power_model.cpu_dyn(level_);
-    idle_leak_cache_ = spec_->power_model.idle_power(level_);
-    static_power_valid_ = true;
-  }
-  const double uti = std::clamp(op_.cpu_utilization, 0.0, 1.0);
-  estimated_power_cache_ = static_power_cache_ + cpu_dyn_cache_ * uti;
-  estimated_power_valid_ = true;
-  return estimated_power_cache_;
-}
-
-Watts Node::estimated_power_at(Level l) const {
-  const Level clamped =
-      std::clamp(l, spec_->ladder.lowest(), spec_->ladder.highest());
-  if (clamped == level_) return estimated_power();
-  return spec_->power_model.power(clamped, op_);
-}
-
-void Node::advance_thermal(Seconds dt) {
-  temperature_ = thermal_.step(temperature_, true_power(), dt);
-  true_power_valid_ = false;  // leakage now sees the new temperature
+  return *this;
 }
 
 }  // namespace pcap::hw

@@ -27,6 +27,22 @@ struct ThermalParams {
                                      ///< disables the feedback entirely.
 };
 
+/// Closed-form pieces of the RC integral, shared by ThermalModel::step and
+/// the NodeStatePool's lazy fast-forward. Power is piecewise-constant
+/// between power-changing events, so advancing by any dt under the power
+/// that held over the interval is the *exact* solution of the ODE — this
+/// is what lets quiescent nodes skip per-tick thermal stepping entirely
+/// and fast-forward in one evaluation when they next wake.
+inline double thermal_decay(const ThermalParams& p, double dt_s) {
+  return std::exp(-dt_s / p.time_constant.value());
+}
+
+inline double thermal_fast_forward(const ThermalParams& p, double current_c,
+                                   double power_w, double decay) {
+  const double target = p.ambient.value() + power_w * p.thermal_resistance;
+  return target + (current_c - target) * decay;
+}
+
 class ThermalModel {
  public:
   explicit ThermalModel(ThermalParams params);

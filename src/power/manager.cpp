@@ -42,6 +42,14 @@ CappingManager::CappingManager(CappingManagerParams params, PolicyPtr policy,
   if (params_.stale_power_margin < 0.0) {
     throw std::invalid_argument("CappingManager: bad stale power margin");
   }
+  if (params_.green_collect_stride < 1) {
+    throw std::invalid_argument("CappingManager: bad green collect stride");
+  }
+  // No staleness clamp: any cycle that will build a policy context
+  // collects first (the gate runs before the sweep), so a strided skip
+  // run can never feed a decision; max_sample_age_cycles keeps governing
+  // in-context transport-delay staleness only.
+  collect_stride_ = params_.green_collect_stride;
   collector_.set_cycle_period(params_.cycle_period);
   if (params_.selector) selector_.emplace(*params_.selector);
 }
@@ -455,13 +463,9 @@ ManagerReport CappingManager::cycle(Watts measured,
     set_candidate_set(selector_->select(nodes, scheduler));
   }
 
-  // 1. Telemetry sweep over A_candidate.
-  {
-    const obs::SpanTimer::Scope span = metrics_.collect_span.start();
-    collector_.collect(nodes, now, scheduler.running_count());
-  }
-
-  // 2. Threshold learning / adjustment.
+  // 1. Threshold learning / classification first: whether this cycle
+  // needs a full telemetry sweep depends on the classified state, and the
+  // learner reads only the facility meter, never the collector.
   learner_.observe(measured);
 
   ManagerReport report;
@@ -469,8 +473,32 @@ ManagerReport CappingManager::cycle(Watts measured,
   report.p_low = learner_.p_low();
   report.p_high = learner_.p_high();
   report.training = learner_.training();
-  report.manager_utilization = collector_.last_cycle_manager_utilization();
   report.state = classify_power(measured, report.p_low, report.p_high);
+
+  // 2. Telemetry sweep over A_candidate — or, on a quiet green cycle
+  // between stride marks, just a clock tick. `needs_context` here is
+  // evaluated strictly before begin_cycle below, and begin_cycle only
+  // shrinks the in-flight set, so whenever the context gate at step 4
+  // fires this cycle collected: a built context never reads across a
+  // strided gap.
+  const bool needs_context =
+      report.state != PowerState::kGreen || !engine_.degraded().empty() ||
+      reconciler_.pending_count() > 0 ||
+      reconciler_.unresponsive_count() > 0 || channel_.in_flight_count() > 0;
+  const bool collect_now =
+      needs_context || collect_stride_ <= 1 ||
+      (collector_.cycle_count() + 1) %
+              static_cast<std::uint64_t>(collect_stride_) ==
+          0;
+  {
+    const obs::SpanTimer::Scope span = metrics_.collect_span.start();
+    if (collect_now) {
+      collector_.collect(nodes, now, scheduler.running_count());
+    } else {
+      collector_.skip_cycle(scheduler.running_count());
+    }
+  }
+  report.manager_utilization = collector_.last_cycle_manager_utilization();
 
   // Fault/transport ground truth is cumulative collector state — cheap to
   // read and meaningful on every path, including training and steady

@@ -124,6 +124,17 @@ struct CappingManagerParams {
   /// Overstating a blind node's draw keeps the aggregate estimate — and
   /// therefore capping — on the safe side of the provision.
   double stale_power_margin = 0.10;
+  /// Steady-green telemetry stride: when the classified state is green and
+  /// nothing is degraded, pending, unresponsive or in flight, the full
+  /// agent sweep runs only every this many cycles (1 = sweep every cycle,
+  /// the legacy cadence). Any cycle that will build a policy context
+  /// collects first — the gate is evaluated before the sweep and can only
+  /// shrink between then and the context build — so decisions never act
+  /// across a strided gap, and max_sample_age_cycles never has to cover
+  /// the stride: staleness only matters on deciding cycles, which always
+  /// just collected. The meter (the classification input) is read every
+  /// cycle regardless.
+  std::int64_t green_collect_stride = 16;
   /// When set, A_candidate is recomputed dynamically (§III.A algorithm
   /// (c)) instead of being fixed by set_candidate_set().
   std::optional<CandidateSelectorParams> selector;
@@ -281,6 +292,9 @@ class CappingManager final : public PowerManagerBase {
   ActuationChannel channel_;
   ActuationReconciler reconciler_;
   std::optional<CandidateSelector> selector_;
+  /// Effective steady-green sweep stride (param clamped against the
+  /// staleness bound at construction).
+  std::int64_t collect_stride_ = 1;
   common::ThreadPool* pool_ = nullptr;
   Metrics metrics_;
   /// Per-slot staging for the sharded assembly pass; persists across

@@ -19,7 +19,7 @@ Allocator::Allocator(AllocationStrategy strategy, common::Rng rng)
     : strategy_(strategy), rng_(rng) {}
 
 std::optional<Allocation> Allocator::allocate(
-    const std::vector<hw::NodeId>& free_nodes,
+    std::span<const hw::NodeId> free_nodes,
     const std::vector<int>& cores_per_node, int nprocs,
     int max_procs_per_node) {
   if (nprocs <= 0) throw std::invalid_argument("Allocator: nprocs <= 0");
@@ -27,9 +27,11 @@ std::optional<Allocation> Allocator::allocate(
     throw std::invalid_argument("Allocator: negative per-node cap");
   }
 
-  std::vector<hw::NodeId> order = free_nodes;
+  std::span<const hw::NodeId> order = free_nodes;
   if (strategy_ == AllocationStrategy::kRandom) {
-    rng_.shuffle(order);
+    order_scratch_.assign(free_nodes.begin(), free_nodes.end());
+    rng_.shuffle(order_scratch_);
+    order = order_scratch_;
   }
 
   Allocation alloc;

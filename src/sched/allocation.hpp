@@ -5,6 +5,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -35,16 +36,18 @@ class Allocator {
   /// `max_procs_per_node` caps ranks placed per node (0 = the node's core
   /// count). HPC launchers spread memory-bandwidth-bound MPI ranks across
   /// nodes rather than packing cores, so class-D NPB placements are wide.
-  std::optional<Allocation> allocate(
-      const std::vector<hw::NodeId>& free_nodes,
-      const std::vector<int>& cores_per_node, int nprocs,
-      int max_procs_per_node = 0);
+  /// First-fit walks the span in place — no copy of the free list; only
+  /// the random strategy materialises a shuffled copy.
+  std::optional<Allocation> allocate(std::span<const hw::NodeId> free_nodes,
+                                     const std::vector<int>& cores_per_node,
+                                     int nprocs, int max_procs_per_node = 0);
 
   [[nodiscard]] AllocationStrategy strategy() const { return strategy_; }
 
  private:
   AllocationStrategy strategy_;
   common::Rng rng_;
+  std::vector<hw::NodeId> order_scratch_;  ///< random strategy's shuffle
 };
 
 }  // namespace pcap::sched

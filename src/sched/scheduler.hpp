@@ -97,7 +97,8 @@ class Scheduler {
 
  private:
   bool try_start(workload::Job& job, Seconds now);
-  [[nodiscard]] std::vector<hw::NodeId> free_nodes() const;
+  /// Removes `taken` (a successful allocation's nodes) from free_ids_.
+  void remove_from_free(const std::vector<hw::NodeId>& taken);
 
   std::vector<int> cores_per_node_;
   SchedulerOptions options_;
@@ -109,6 +110,22 @@ class Scheduler {
   std::vector<workload::JobId> finished_;
   std::vector<JobEvent> events_;
   std::vector<std::optional<workload::JobId>> node_owner_;
+  /// Count of unset entries in node_owner_, maintained incrementally so
+  /// the launch path's feasibility gate is O(1) per attempt.
+  std::size_t free_count_ = 0;
+  /// Most processes any single node can host under the rank cap —
+  /// ceil(nprocs / this) lower-bounds the node count a job needs.
+  int max_procs_one_node_ = 1;
+  /// Ascending ids of all unowned nodes, maintained incrementally.
+  /// The live region is [free_head_, size): first-fit consumes exactly the
+  /// lowest free ids, so a launch retires a prefix by advancing the head
+  /// cursor (O(job width)); releases merge into the live tail; the dead
+  /// prefix is compacted away once it outgrows the live region (amortized
+  /// O(1) per launch). Identical ordering to the owner scan this replaced,
+  /// so allocations are unchanged.
+  std::vector<hw::NodeId> free_ids_;
+  std::size_t free_head_ = 0;
+  std::vector<hw::NodeId> freed_scratch_;
 };
 
 }  // namespace pcap::sched

@@ -17,28 +17,37 @@ NodeSample ProfilingAgent::sample(const hw::Node& node, Seconds now) {
   if (node.id() != node_) {
     throw std::invalid_argument("ProfilingAgent: sampling a foreign node");
   }
-  const hw::OperatingPoint& op = node.operating_point();
-
-  hw::OperatingPoint observed = op;
+  // Observed counters: the true pool values plus sampling noise — read
+  // field by field, not via the assembled operating_point() (this sweep
+  // touches every candidate node per collection). The power estimate
+  // reuses the node's cached formula-(1) static split
+  // (estimated_power_observed) instead of a full model evaluation — same
+  // arithmetic as PowerModel::power term by term, a fraction of the cost.
+  const double true_cpu = node.cpu_utilization();
+  const double true_nic = node.nic_bytes();
+  double observed_cpu = true_cpu;
+  double observed_nic = true_nic;
   if (params_.utilization_noise > 0.0) {
-    observed.cpu_utilization = std::clamp(
-        op.cpu_utilization + rng_.normal(0.0, params_.utilization_noise), 0.0,
-        1.0);
+    observed_cpu = std::clamp(
+        true_cpu + rng_.normal(0.0, params_.utilization_noise), 0.0, 1.0);
   }
   if (params_.nic_noise > 0.0) {
-    observed.nic_bytes =
-        op.nic_bytes * std::max(0.0, rng_.normal(1.0, params_.nic_noise));
+    observed_nic = true_nic * std::max(0.0, rng_.normal(1.0, params_.nic_noise));
   }
 
   NodeSample s;
   s.node = node_;
   s.time = now;
-  s.cpu_utilization = observed.cpu_utilization;
-  s.mem_used = observed.mem_used;
-  s.nic_bytes = observed.nic_bytes;
+  s.cpu_utilization = observed_cpu;
+  s.mem_used = Bytes{node.mem_used()};
+  s.nic_bytes = Bytes{observed_nic};
   s.level = node.level();
-  s.estimated_power = node.spec().power_model.power(node.level(), observed);
-  s.temperature = node.temperature();
+  s.estimated_power =
+      node.estimated_power_observed(observed_cpu, observed_nic);
+  // Reading a temperature is what fast-forwards the node's lazy thermal
+  // state: quiescent nodes integrate the RC exponential only when someone
+  // actually looks.
+  s.temperature = node.temperature_at(now);
   s.busy = node.busy();
   return s;
 }

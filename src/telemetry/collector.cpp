@@ -14,6 +14,7 @@ Collector::Collector(CollectorParams params, common::Rng rng)
     throw std::invalid_argument(
         "Collector: history must hold at least two samples");
   }
+  hist_depth_ = static_cast<std::uint32_t>(params_.history_depth);
   if (params_.transport.loss_rate < 0.0 ||
       params_.transport.loss_rate >= 1.0) {
     throw std::invalid_argument("Collector: loss rate must be in [0, 1)");
@@ -28,26 +29,42 @@ void Collector::set_candidate_set(const std::vector<hw::NodeId>& nodes) {
   std::sort(next.begin(), next.end());
   next.erase(std::unique(next.begin(), next.end()), next.end());
 
-  // Build the new slot array up front, so the sweep itself never mutates
-  // any shared structure (a parallel sweep only touches distinct
-  // pre-existing slots). Retained nodes carry their state (agent RNG,
-  // history, in-flight reports) over; dropped nodes lose theirs.
+  // Build the new slot array (and re-striped history arena) up front, so
+  // the sweep itself never mutates any shared structure (a parallel sweep
+  // only touches distinct pre-existing slots). Retained nodes carry their
+  // state (agent RNG, history, in-flight reports) over — their history
+  // column moves from the old arena stripe-by-stripe; dropped nodes lose
+  // theirs.
   std::vector<Monitored> next_slots;
   next_slots.reserve(next.size());
-  for (const hw::NodeId id : next) {
+  const std::size_t depth = params_.history_depth;
+  std::vector<NodeSample> next_store(depth * next.size());
+  std::vector<std::uint32_t> next_head(next.size(), 0);
+  std::vector<std::uint32_t> next_size(next.size(), 0);
+  for (std::size_t s = 0; s < next.size(); ++s) {
+    const hw::NodeId id = next[s];
     const std::uint32_t old_slot = slot_of(id);
     if (old_slot != kNoSlot) {
       next_slots.push_back(std::move(slots_[old_slot]));
+      for (std::size_t d = 0; d < depth; ++d) {
+        next_store[d * next.size() + s] =
+            hist_store_[d * hist_stride_ + old_slot];
+      }
+      next_head[s] = hist_head_[old_slot];
+      next_size[s] = hist_size_[old_slot];
     } else {
       next_slots.push_back(
           Monitored{ProfilingAgent(id, params_.agent, rng_.fork(id)),
                     rng_.fork(common::hash_tag("transport") ^ id),
-                    common::RingBuffer<NodeSample>(params_.history_depth),
                     {}});
     }
   }
   candidates_ = std::move(next);
   slots_ = std::move(next_slots);
+  hist_store_ = std::move(next_store);
+  hist_head_ = std::move(next_head);
+  hist_size_ = std::move(next_size);
+  hist_stride_ = candidates_.size();
   if (params_.faults.enabled()) fault_injector_.ensure_nodes(candidates_);
 
   slot_of_.assign(
@@ -60,8 +77,10 @@ void Collector::set_candidate_set(const std::vector<hw::NodeId>& nodes) {
   }
 }
 
-void Collector::collect_one(Monitored& m, const hw::Node& node, Seconds now,
-                            std::uint64_t& delivered, std::uint64_t& lost) {
+void Collector::collect_one(std::size_t slot, const hw::Node& node,
+                            Seconds now, std::uint64_t& delivered,
+                            std::uint64_t& lost) {
+  Monitored& m = slots_[slot];
   const TransportParams& tp = params_.transport;
   NodeSample sample = m.agent.sample(node, now);
   sample.cycle = cycle_counter_;
@@ -76,7 +95,7 @@ void Collector::collect_one(Monitored& m, const hw::Node& node, Seconds now,
   } else if (tp.loss_rate > 0.0 && m.transport_rng.bernoulli(tp.loss_rate)) {
     ++lost;
   } else if (tp.delay_cycles == 0) {
-    m.history.push(sample);
+    push_history(slot, sample);
     ++delivered;
   } else {
     m.in_flight.push_back(
@@ -87,7 +106,7 @@ void Collector::collect_one(Monitored& m, const hw::Node& node, Seconds now,
   // Deliver whatever has arrived by now (in order).
   while (!m.in_flight.empty() &&
          m.in_flight.front().deliver_at_cycle <= cycle_counter_) {
-    m.history.push(m.in_flight.front().sample);
+    push_history(slot, m.in_flight.front().sample);
     m.in_flight.pop_front();
     ++delivered;
   }
@@ -108,7 +127,7 @@ void Collector::collect(const std::vector<hw::Node>& nodes, Seconds now,
         std::uint64_t delivered = 0;
         std::uint64_t lost = 0;
         for (std::size_t i = begin; i < end; ++i) {
-          collect_one(slots_[i], nodes[candidates_[i]], now, delivered, lost);
+          collect_one(i, nodes[candidates_[i]], now, delivered, lost);
         }
         samples_delivered_.fetch_add(delivered, std::memory_order_relaxed);
         samples_lost_.fetch_add(lost, std::memory_order_relaxed);
@@ -118,28 +137,36 @@ void Collector::collect(const std::vector<hw::Node>& nodes, Seconds now,
                                   cycle_period_);
 }
 
+void Collector::skip_cycle(std::size_t monitored_jobs) {
+  ++cycle_counter_;
+  last_manager_utilization_ =
+      cost_model_.cpu_utilization(0, monitored_jobs, cycle_period_);
+}
+
 std::optional<NodeSample> Collector::latest(hw::NodeId id) const {
-  const auto* h = history(id);
-  if (h == nullptr || h->empty()) return std::nullopt;
-  return h->back();
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNoSlot || hist_size_[slot] == 0) return std::nullopt;
+  return history_at_slot(slot).back();
 }
 
 std::optional<NodeSample> Collector::previous(hw::NodeId id) const {
-  const auto* h = history(id);
-  if (h == nullptr || h->size() < 2) return std::nullopt;
-  return (*h)[h->size() - 2];
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNoSlot || hist_size_[slot] < 2) return std::nullopt;
+  const SampleHistoryView h = history_at_slot(slot);
+  return h[h.size() - 2];
 }
 
-const common::RingBuffer<NodeSample>* Collector::history(hw::NodeId id) const {
+std::optional<SampleHistoryView> Collector::history(hw::NodeId id) const {
   const std::uint32_t slot = slot_of(id);
-  if (slot == kNoSlot) return nullptr;
-  return &slots_[slot].history;
+  if (slot == kNoSlot) return std::nullopt;
+  return history_at_slot(slot);
 }
 
 Watts Collector::estimated_candidate_power() const {
   Watts total{0.0};
-  for (const hw::NodeId id : candidates_) {
-    if (const auto s = latest(id)) total += s->estimated_power;
+  for (std::size_t slot = 0; slot < candidates_.size(); ++slot) {
+    if (hist_size_[slot] == 0) continue;
+    total += history_at_slot(slot).back().estimated_power;
   }
   return total;
 }

@@ -13,7 +13,6 @@
 #include <optional>
 #include <vector>
 
-#include "common/ring_buffer.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "telemetry/agent.hpp"
@@ -49,6 +48,42 @@ struct CollectorParams {
   std::size_t parallel_grain = 256;
 };
 
+/// Read-only window over one node's sample history. Histories live in a
+/// single depth-striped arena (`store[d * candidate_count + slot]`), so a
+/// collect cycle writes one contiguous stripe instead of scattering into
+/// per-node ring buffers; the view re-presents a slot's strided column
+/// with the ring-buffer indexing consumers already use (oldest-first
+/// operator[], front/back).
+class SampleHistoryView {
+ public:
+  SampleHistoryView() = default;
+  SampleHistoryView(const NodeSample* base, std::size_t stride,
+                    std::uint32_t head, std::uint32_t size,
+                    std::uint32_t depth)
+      : base_(base), stride_(stride), head_(head), size_(size),
+        depth_(depth) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return depth_; }
+  /// k-th sample, oldest first (k < size()).
+  [[nodiscard]] const NodeSample& operator[](std::size_t k) const {
+    std::uint32_t stripe =
+        head_ + depth_ - size_ + static_cast<std::uint32_t>(k);
+    if (stripe >= depth_) stripe -= depth_;
+    return base_[static_cast<std::size_t>(stripe) * stride_];
+  }
+  [[nodiscard]] const NodeSample& front() const { return (*this)[0]; }
+  [[nodiscard]] const NodeSample& back() const { return (*this)[size_ - 1]; }
+
+ private:
+  const NodeSample* base_ = nullptr;
+  std::size_t stride_ = 1;
+  std::uint32_t head_ = 0;
+  std::uint32_t size_ = 0;
+  std::uint32_t depth_ = 1;
+};
+
 class Collector {
  public:
   Collector(CollectorParams params, common::Rng rng);
@@ -69,21 +104,30 @@ class Collector {
   void collect(const std::vector<hw::Node>& nodes, Seconds now,
                std::size_t monitored_jobs);
 
+  /// Advances the collection clock without sweeping any agent — the
+  /// manager's steady-green collect stride. Sample ages and reconciler
+  /// deadlines keep counting (they are denominated in cycles), but no
+  /// agent samples, no transport draws, no fault-process steps happen.
+  /// In-flight delayed reports stay queued; the manager only reads
+  /// histories on cycles it collected, so deferring their delivery to the
+  /// next real sweep is invisible. Cost accounting records a sweep of
+  /// zero nodes (the manager woke up, decoded nothing).
+  void skip_cycle(std::size_t monitored_jobs);
+
   /// Latest sample of a node; nullopt if never sampled / not a candidate.
   [[nodiscard]] std::optional<NodeSample> latest(hw::NodeId id) const;
   /// Sample before the latest one (for rate-of-change policies).
   [[nodiscard]] std::optional<NodeSample> previous(hw::NodeId id) const;
-  /// A node's whole sample history in one lookup (nullptr if not a
+  /// A node's whole sample history in one lookup (nullopt if not a
   /// candidate) — the manager's context builder reads latest and previous
-  /// together, and one hash probe beats two.
-  [[nodiscard]] const common::RingBuffer<NodeSample>* history(
-      hw::NodeId id) const;
+  /// together, and one slot probe beats two.
+  [[nodiscard]] std::optional<SampleHistoryView> history(hw::NodeId id) const;
   /// History of candidate_set()[slot]. For sweeps that already walk the
-  /// candidate array in order: indexes straight into the slot array, no
+  /// candidate array in order: indexes straight into the arena, no
   /// id->slot translation at all.
-  [[nodiscard]] const common::RingBuffer<NodeSample>& history_at_slot(
-      std::size_t slot) const {
-    return slots_[slot].history;
+  [[nodiscard]] SampleHistoryView history_at_slot(std::size_t slot) const {
+    return SampleHistoryView(hist_store_.data() + slot, hist_stride_,
+                             hist_head_[slot], hist_size_[slot], hist_depth_);
   }
   /// Largest candidate id (0 when the set is empty). The candidate array
   /// is kept sorted, so consumers validate a whole sweep against a node
@@ -132,15 +176,14 @@ class Collector {
     std::uint64_t deliver_at_cycle;
     NodeSample sample;
   };
-  /// Everything the sweep touches for one candidate, together so one hash
-  /// probe finds it all — and so two workers sampling different
+  /// The sweep-local state of one candidate (histories live in the shared
+  /// striped arena, see hist_store_). Two workers sampling different
   /// candidates share no state. The transport RNG is per node: report
   /// loss is drawn per candidate, not from one shared sequence, which is
   /// what makes the sweep order-independent.
   struct Monitored {
     ProfilingAgent agent;
     common::Rng transport_rng;
-    common::RingBuffer<NodeSample> history;
     std::deque<InFlight> in_flight;
   };
 
@@ -148,8 +191,17 @@ class Collector {
   /// Samples one node and routes the report through the transport model.
   /// Delivered/lost counts accumulate into the caller's locals so a sweep
   /// pays one atomic update per chunk instead of one per sample.
-  void collect_one(Monitored& m, const hw::Node& node, Seconds now,
+  void collect_one(std::size_t slot, const hw::Node& node, Seconds now,
                    std::uint64_t& delivered, std::uint64_t& lost);
+
+  /// Appends a delivered sample to slot's history ring in the arena.
+  void push_history(std::size_t slot, const NodeSample& s) {
+    hist_store_[static_cast<std::size_t>(hist_head_[slot]) * hist_stride_ +
+                slot] = s;
+    const std::uint32_t next = hist_head_[slot] + 1;
+    hist_head_[slot] = next == hist_depth_ ? 0 : next;
+    if (hist_size_[slot] < hist_depth_) ++hist_size_[slot];
+  }
 
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
   /// Slot index of a node in slots_/candidates_, or kNoSlot.
@@ -170,6 +222,19 @@ class Collector {
   /// node id to its slot for the point lookups (history/latest/previous).
   std::vector<Monitored> slots_;
   std::vector<std::uint32_t> slot_of_;
+  /// Sample histories, depth-striped: stripe d of slot s lives at
+  /// hist_store_[d * hist_stride_ + s]. Heads start aligned across slots,
+  /// so the common collect cycle (every candidate delivers) writes one
+  /// contiguous stripe of the arena — streaming stores instead of a
+  /// dependent load per node into scattered per-node ring buffers, which
+  /// is what dominated the sweep at 32k+ candidates. Loss/delay/faults
+  /// only ever let individual heads fall behind; correctness never
+  /// depends on the alignment.
+  std::vector<NodeSample> hist_store_;
+  std::vector<std::uint32_t> hist_head_;  ///< next stripe to write, per slot
+  std::vector<std::uint32_t> hist_size_;  ///< samples held, per slot
+  std::size_t hist_stride_ = 0;           ///< == candidates_.size()
+  std::uint32_t hist_depth_ = 1;          ///< == params_.history_depth
   std::uint64_t cycle_counter_ = 0;
   std::atomic<std::uint64_t> samples_lost_{0};
   std::atomic<std::uint64_t> samples_delivered_{0};

@@ -598,6 +598,9 @@ RunResult run_degraded_actuation_cluster(std::size_t worker_threads) {
   p.cycle_period = cfg.control_period;
   p.collector.parallel_threshold = 16;
   p.collector.parallel_grain = 16;
+  // Collect every cycle: this rig wants maximum divergence-detection
+  // density, not the steady-green stride economy.
+  p.green_collect_stride = 1;
   p.collector.transport.loss_rate = 0.05;
   p.collector.transport.delay_cycles = 1;
   p.max_sample_age_cycles = 3;

@@ -171,6 +171,9 @@ CappingManagerParams quiet_params() {
   p.thresholds.adjust_period_cycles = 1000;
   p.collector.agent.utilization_noise = 0.0;
   p.collector.agent.nic_noise = 0.0;
+  // These tests inspect build_context right after single green cycles;
+  // collect every cycle so the context is always populated.
+  p.green_collect_stride = 1;
   return p;
 }
 

@@ -53,6 +53,11 @@ CappingManagerParams fast_params() {
   p.capping.steady_green_cycles = 3;
   p.collector.agent.utilization_noise = 0.0;
   p.collector.agent.nic_noise = 0.0;
+  // Unit tests poke single cycles and inspect the context; collect every
+  // cycle so one green cycle is enough to populate it. The stride itself
+  // has a dedicated test (test_quiescence.cpp,
+  // GreenCollectStrideSkipsQuietCyclesOnly).
+  p.green_collect_stride = 1;
   return p;
 }
 
@@ -379,8 +384,8 @@ TEST(CappingManager, DelayedTelemetryGoesStaleAndGetsFallback) {
   for (const NodeView& nv : ctx.nodes) {
     EXPECT_TRUE(nv.stale);
     // The fallback is the delivered estimate inflated by the margin.
-    const auto* hist = m.collector().history(nv.id);
-    ASSERT_NE(hist, nullptr);
+    const auto hist = m.collector().history(nv.id);
+    ASSERT_TRUE(hist.has_value());
     EXPECT_NEAR(nv.power.value(), hist->back().estimated_power.value() * 1.25,
                 1e-9);
   }
