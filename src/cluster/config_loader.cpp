@@ -6,6 +6,7 @@
 
 #include "cluster/scenario.hpp"
 #include "common/string_util.hpp"
+#include "power/zone_manager.hpp"
 
 namespace pcap::cluster {
 
@@ -54,6 +55,9 @@ const std::set<std::string>& known_keys() {
       "actuation.max_retries",
       "actuation.retry_backoff_cycles",
       "actuation.retry_backoff_cap_cycles",
+      "zones.count",
+      "zones.assignment",
+      "zones.redistribution",
   };
   return keys;
 }
@@ -204,6 +208,19 @@ ExperimentConfig apply_config(ExperimentConfig base,
       checked_int(cfg, "actuation.retry_backoff_cap_cycles",
                   out.reconciliation.retry_backoff_cap_cycles));
   out.reconciliation.validate();
+
+  // [zones]
+  out.zone_count =
+      static_cast<int>(cfg.get_int("zones.count", out.zone_count));
+  if (out.zone_count < 1) {
+    throw std::runtime_error("experiment config: 'zones.count' must be >= 1");
+  }
+  out.zone_assignment = common::to_lower(
+      cfg.get_string("zones.assignment", out.zone_assignment));
+  power::parse_zone_assignment(out.zone_assignment);  // validate early
+  out.zone_redistribution = common::to_lower(
+      cfg.get_string("zones.redistribution", out.zone_redistribution));
+  power::parse_zone_redistribution(out.zone_redistribution);
 
   return out;
 }

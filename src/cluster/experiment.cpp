@@ -10,6 +10,7 @@
 #include "baselines/uniform_policy.hpp"
 #include "common/logging.hpp"
 #include "power/policy_registry.hpp"
+#include "power/zone_manager.hpp"
 
 namespace pcap::cluster {
 
@@ -42,6 +43,13 @@ std::unique_ptr<power::PowerManagerBase> make_manager(
     Watts provision, const std::vector<hw::NodeId>& candidates) {
   common::Rng rng(cluster.seed ^ 0x9d2c5680u);
 
+  if (config.zone_count >= 2 &&
+      (config.manager == "none" || config.manager == "budget" ||
+       config.manager == "feedback")) {
+    throw std::invalid_argument(
+        "make_manager: zones.count >= 2 requires a capping-policy manager "
+        "(got '" + config.manager + "')");
+  }
   if (config.manager == "none" || candidates.empty()) {
     return std::make_unique<power::NoCappingManager>();
   }
@@ -80,6 +88,11 @@ std::unique_ptr<power::PowerManagerBase> make_manager(
 
   power::CappingManagerParams p;
   if (config.dynamic_candidates) {
+    if (config.zone_count >= 2) {
+      throw std::invalid_argument(
+          "make_manager: zones.count >= 2 is incompatible with dynamic "
+          "candidate selection");
+    }
     power::CandidateSelectorParams sel;
     sel.max_candidates = config.candidate_count;
     p.selector = sel;
@@ -99,6 +112,18 @@ std::unique_ptr<power::PowerManagerBase> make_manager(
   p.stale_power_margin = config.stale_power_margin;
   p.actuation = config.actuation;
   p.reconciliation = config.reconciliation;
+  if (config.zone_count >= 2) {
+    power::ZoneTreeParams zp;
+    zp.zone_count = static_cast<std::size_t>(config.zone_count);
+    zp.assignment = power::parse_zone_assignment(config.zone_assignment);
+    zp.redistribution =
+        power::parse_zone_redistribution(config.zone_redistribution);
+    const std::string policy_name = config.manager;
+    auto mgr = std::make_unique<power::ZoneTreeManager>(
+        zp, p, [policy_name] { return make_policy_any(policy_name); }, rng);
+    mgr->set_candidate_set(candidates);
+    return mgr;
+  }
   auto mgr = std::make_unique<power::CappingManager>(
       p, make_policy_any(config.manager), rng);
   mgr->set_candidate_set(candidates);

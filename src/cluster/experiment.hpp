@@ -70,6 +70,15 @@ struct ExperimentConfig {
   power::ActuationFaultParams actuation;
   /// Manager-side ack/retry/divergence policy for the lossy channel.
   power::ReconcilerParams reconciliation;
+
+  /// Hierarchical control plane: with zone_count >= 2 the capping-policy
+  /// managers run as a ZoneTreeManager (Z zone shards + a root learner /
+  /// headroom redistributor) instead of one flat CappingManager. 1 = the
+  /// flat controller. Incompatible with dynamic_candidates and with the
+  /// budget/feedback/none baselines.
+  int zone_count = 1;
+  std::string zone_assignment = "block";        ///< block | stride
+  std::string zone_redistribution = "uniform";  ///< uniform | proportional
 };
 
 struct ExperimentResult {

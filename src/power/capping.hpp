@@ -80,6 +80,13 @@ class CappingEngine {
   /// Forgets all throttling history (e.g. when capping is switched off).
   void reset();
 
+  /// Records a non-green cycle without running a decision: Time_g := 0,
+  /// A_degraded untouched. The zone tree calls this for shards it skips
+  /// in yellow/red (no capacity left / already floored), so a later green
+  /// period still has to re-earn steady-green before restoring — exactly
+  /// as if yellow_cycle/red_cycle had run and emitted nothing.
+  void note_non_green_cycle() { time_g_ = 0; }
+
  private:
   CycleDecision green_cycle(const PolicyContext& ctx);
   CycleDecision yellow_cycle(TargetSelectionPolicy& policy,

@@ -67,8 +67,8 @@ void CappingManager::set_candidate_set(const std::vector<hw::NodeId>& ids) {
   job_index_.set_candidate_set(collector_.candidate_set());
 }
 
-void CappingManager::bind_metrics(obs::Registry& reg) {
-  Metrics& m = metrics_;
+void ManagerMetrics::bind(obs::Registry& reg) {
+  ManagerMetrics& m = *this;
   m.reg = &reg;
 
   const std::string cycles = "pcap_manager_cycles_total";
@@ -162,8 +162,9 @@ void CappingManager::bind_metrics(obs::Registry& reg) {
   m.actuate_span.bind(reg, span, span_help, "phase=\"actuate\"");
 }
 
-void CappingManager::publish_metrics(const ManagerReport& report) {
-  Metrics& m = metrics_;
+void ManagerMetrics::publish(const ManagerReport& report,
+                             std::size_t unresponsive_now) {
+  ManagerMetrics& m = *this;
   obs::Registry* reg = m.reg;
   if (reg == nullptr) return;
 
@@ -210,10 +211,11 @@ void CappingManager::publish_metrics(const ManagerReport& report) {
   reg->set(m.p_high_watts, report.p_high.value());
   reg->set(m.commands_in_flight,
            static_cast<double>(report.commands_in_flight));
-  reg->set(m.unresponsive_nodes,
-           static_cast<double>(reconciler_.unresponsive_count()));
+  reg->set(m.unresponsive_nodes, static_cast<double>(unresponsive_now));
   reg->set(m.agents_down, static_cast<double>(report.agents_down));
 }
+
+void CappingManager::bind_metrics(obs::Registry& reg) { metrics_.bind(reg); }
 
 PolicyContext CappingManager::build_context(
     Watts measured, const std::vector<hw::Node>& nodes,
@@ -338,7 +340,15 @@ void CappingManager::build_context_with(
               break;
             }
           }
-          nv.power_one_level_down = node.estimated_power_at(latest.level - 1);
+          // A node already at the ladder floor has no level below it:
+          // estimated_power_at(level - 1) would index off the bottom of
+          // the DVFS table. Clamp the hypothetical to the current draw so
+          // saving_one_level contributes exactly 0 W for floored nodes —
+          // the value every consumer already assumes, since they all skip
+          // at_lowest views before reading it.
+          nv.power_one_level_down =
+              nv.at_lowest ? nv.power
+                           : node.estimated_power_at(latest.level - 1);
           vr.view = nv;
           vr.sample_cycle = latest.cycle;
           vr.status = ViewRecord::Status::kOk;
@@ -453,6 +463,66 @@ void CappingManager::build_context_with(
                  ctx.jobs.end());
 }
 
+void CappingManager::collect_phase(bool collect_now,
+                                   const std::vector<hw::Node>& nodes,
+                                   Seconds now, std::size_t monitored_jobs) {
+  if (collect_now) {
+    collector_.collect(nodes, now, monitored_jobs);
+  } else {
+    // Clock tick only: per-slot staleness stays well-defined and the
+    // stride schedule keeps its phase.
+    collector_.skip_cycle(monitored_jobs);
+  }
+}
+
+void CappingManager::begin_actuation_phase(std::vector<hw::Node>& nodes) {
+  delivered_scratch_.clear();
+  recon_work_.clear();
+  channel_.begin_cycle(nodes, delivered_scratch_);
+}
+
+void CappingManager::context_phase(Watts measured,
+                                   const std::vector<hw::Node>& nodes,
+                                   const sched::Scheduler& scheduler,
+                                   ManagerReport& report) {
+  build_context_with(scratch_ctx_, measured, nodes, scheduler, &reconciler_,
+                     &recon_work_);
+  reconciler_.finish_observation(collector_.cycle_count(), recon_work_);
+  report.stale_nodes = scratch_ctx_.stale_nodes;
+  report.missing_nodes = scratch_ctx_.missing_nodes;
+  report.fallback_nodes = scratch_ctx_.fallback_nodes;
+  report.rejected_samples = scratch_ctx_.rejected_samples;
+  report.unresponsive_nodes = scratch_ctx_.unresponsive_nodes;
+}
+
+CycleDecision CappingManager::select_phase(Watts measured, Watts p_low,
+                                           Watts p_high) {
+  // Keep the context's classification inputs consistent with the decision
+  // being made: the flat cycle passes the same values the context was
+  // built with (a no-op overwrite), while the zone tree re-aims the
+  // shard's context at synthetic thresholds encoding its deficit share,
+  // so ctx.required_saving() must track (system_power, p_low) here.
+  scratch_ctx_.system_power = measured;
+  scratch_ctx_.p_low = p_low;
+  return engine_.cycle(measured, p_low, p_high, *policy_, scratch_ctx_);
+}
+
+std::size_t CappingManager::actuate_phase(const CycleDecision& decision,
+                                          std::vector<hw::Node>& nodes) {
+  // Heals and due retries are already in recon_work_.commands; the
+  // engine's fresh decisions join them after the unresponsive filter and
+  // pending dedup. Everything then goes through the (possibly lossy)
+  // channel, and only what the channel delivered reaches hardware.
+  reconciler_.admit(decision.commands, collector_.cycle_count(), recon_work_);
+  channel_.send(recon_work_.commands, nodes, delivered_scratch_);
+  return controller_.apply(delivered_scratch_, nodes);
+}
+
+std::size_t CappingManager::apply_deliveries(std::vector<hw::Node>& nodes) {
+  if (delivered_scratch_.empty()) return 0;
+  return controller_.apply(delivered_scratch_, nodes);
+}
+
 ManagerReport CappingManager::cycle(Watts measured,
                                     std::vector<hw::Node>& nodes,
                                     const sched::Scheduler& scheduler,
@@ -476,27 +546,17 @@ ManagerReport CappingManager::cycle(Watts measured,
   report.state = classify_power(measured, report.p_low, report.p_high);
 
   // 2. Telemetry sweep over A_candidate — or, on a quiet green cycle
-  // between stride marks, just a clock tick. `needs_context` here is
-  // evaluated strictly before begin_cycle below, and begin_cycle only
-  // shrinks the in-flight set, so whenever the context gate at step 4
-  // fires this cycle collected: a built context never reads across a
-  // strided gap.
-  const bool needs_context =
-      report.state != PowerState::kGreen || !engine_.degraded().empty() ||
-      reconciler_.pending_count() > 0 ||
-      reconciler_.unresponsive_count() > 0 || channel_.in_flight_count() > 0;
-  const bool collect_now =
-      needs_context || collect_stride_ <= 1 ||
-      (collector_.cycle_count() + 1) %
-              static_cast<std::uint64_t>(collect_stride_) ==
-          0;
+  // between stride marks, just a clock tick. The context/collect gate is
+  // evaluated exactly ONCE, here, strictly before begin_actuation_phase:
+  // that call processes reboots and due deliveries and can shrink the
+  // in-flight set, so a second evaluation after it could disagree with
+  // the collect decision made now — skipping the sweep yet building a
+  // context, or (worse) collecting and then not consuming the acks.
+  const bool needs_context = context_gate(report.state);
+  const bool collect_now = needs_context || collect_due();
   {
     const obs::SpanTimer::Scope span = metrics_.collect_span.start();
-    if (collect_now) {
-      collector_.collect(nodes, now, scheduler.running_count());
-    } else {
-      collector_.skip_cycle(scheduler.running_count());
-    }
+    collect_phase(collect_now, nodes, now, scheduler.running_count());
   }
   report.manager_utilization = collector_.last_cycle_manager_utilization();
 
@@ -515,8 +575,7 @@ ManagerReport CappingManager::cycle(Watts measured,
   // is ready to react: nodes reboot (resetting to their highest level)
   // and commands whose delivery delay expired land now — even during
   // training, when the arrivals are leftovers from before a reset.
-  delivered_scratch_.clear();
-  channel_.begin_cycle(nodes, delivered_scratch_);
+  begin_actuation_phase(nodes);
 
   const auto fill_actuation_totals = [&] {
     report.commands_lost = channel_.commands_lost();
@@ -531,9 +590,9 @@ ManagerReport CappingManager::cycle(Watts measured,
 
   // 3. During training the system runs unmanaged (§V.C).
   if (report.training) {
-    if (!delivered_scratch_.empty()) controller_.apply(delivered_scratch_, nodes);
+    apply_deliveries(nodes);
     fill_actuation_totals();
-    publish_metrics(report);
+    metrics_.publish(report, reconciler_.unresponsive_count());
     return report;
   }
 
@@ -544,43 +603,23 @@ ManagerReport CappingManager::cycle(Watts measured,
   // it does run, the persistent buffers make it allocation-free. Unacked
   // or abandoned commands force the build: acks arrive through it, and
   // unresponsive nodes can only be readmitted by looking at telemetry.
-  recon_work_.clear();
-  const std::uint64_t now_cycle = collector_.cycle_count();
-  if (report.state != PowerState::kGreen || !engine_.degraded().empty() ||
-      reconciler_.pending_count() > 0 ||
-      reconciler_.unresponsive_count() > 0 ||
-      channel_.in_flight_count() > 0) {
+  if (needs_context) {
     const obs::SpanTimer::Scope span = metrics_.context_span.start();
-    build_context_with(scratch_ctx_, measured, nodes, scheduler,
-                       &reconciler_, &recon_work_);
-    reconciler_.finish_observation(now_cycle, recon_work_);
-    report.stale_nodes = scratch_ctx_.stale_nodes;
-    report.missing_nodes = scratch_ctx_.missing_nodes;
-    report.fallback_nodes = scratch_ctx_.fallback_nodes;
-    report.rejected_samples = scratch_ctx_.rejected_samples;
-    report.unresponsive_nodes = scratch_ctx_.unresponsive_nodes;
+    context_phase(measured, nodes, scheduler, report);
   }
-  const PolicyContext& ctx = scratch_ctx_;
   CycleDecision decision;
   {
     const obs::SpanTimer::Scope span = metrics_.policy_span.start();
-    decision =
-        engine_.cycle(measured, report.p_low, report.p_high, *policy_, ctx);
+    decision = select_phase(measured, report.p_low, report.p_high);
   }
   report.state = decision.state;
   report.targets = decision.commands.size();
   report.skipped_targets = decision.skipped;
   report.deferred_targets = decision.deferred_in_flight;
 
-  // Heals and due retries are already in recon_work_.commands; the
-  // engine's fresh decisions join them after the unresponsive filter and
-  // pending dedup. Everything then goes through the (possibly lossy)
-  // channel, and only what the channel delivered reaches hardware.
   {
     const obs::SpanTimer::Scope span = metrics_.actuate_span.start();
-    reconciler_.admit(decision.commands, now_cycle, recon_work_);
-    channel_.send(recon_work_.commands, nodes, delivered_scratch_);
-    report.transitions = controller_.apply(delivered_scratch_, nodes);
+    report.transitions = actuate_phase(decision, nodes);
   }
 
   report.acks = recon_work_.acks;
@@ -588,7 +627,7 @@ ManagerReport CappingManager::cycle(Watts measured,
   report.divergences = recon_work_.divergences;
   report.heals = recon_work_.heals;
   fill_actuation_totals();
-  publish_metrics(report);
+  metrics_.publish(report, reconciler_.unresponsive_count());
   return report;
 }
 

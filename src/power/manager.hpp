@@ -85,6 +85,38 @@ struct ManagerReport {
   std::uint64_t commands_clamped = 0;    ///< request clamped by the node
 };
 
+/// Registry bindings shared by every capping-style manager (the flat
+/// CappingManager and the zone tree publish the same series, so
+/// experiment extraction reads one schema whichever control plane ran).
+/// Handles are preregistered by bind(), so publish() performs only array
+/// stores; everything is inert until a registry is bound.
+struct ManagerMetrics {
+  obs::Registry* reg = nullptr;
+  // Per-cycle accumulators (counter += report value each cycle).
+  obs::CounterHandle cycles_green, cycles_yellow, cycles_red, training_cycles;
+  obs::CounterHandle targets, transitions, skipped_targets, deferred_targets;
+  obs::CounterHandle stale_nodes, missing_nodes, fallback_nodes,
+      rejected_samples, unresponsive_node_cycles;
+  obs::CounterHandle acks, retries, divergences, heals;
+  // Mirrored lifetime ground truth (collector/injector/channel own it).
+  obs::CounterHandle samples_lost, samples_suppressed, samples_corrupted,
+      crash_events, recovery_events;
+  obs::CounterHandle commands_lost, commands_rebooting, transitions_failed,
+      transitions_partial, reboot_events, commands_abandoned,
+      commands_clamped;
+  // Instantaneous state.
+  obs::GaugeHandle measured_watts, p_low_watts, p_high_watts,
+      commands_in_flight, unresponsive_nodes, agents_down;
+  // Control-loop stage timers.
+  obs::SpanTimer collect_span, context_span, policy_span, actuate_span;
+
+  void bind(obs::Registry& registry);
+  /// Pushes one cycle's report into the registry (no-op when unbound).
+  /// `unresponsive_now` is the instantaneous reconciler tally (summed
+  /// across shards by the zone tree).
+  void publish(const ManagerReport& report, std::size_t unresponsive_now);
+};
+
 class PowerManagerBase {
  public:
   virtual ~PowerManagerBase() = default;
@@ -216,6 +248,80 @@ class CappingManager final : public PowerManagerBase {
                           const std::vector<hw::Node>& nodes,
                           const sched::Scheduler& scheduler) const;
 
+  // --- Shard phase API -------------------------------------------------
+  // cycle() is expressed through these phases; the zone tree drives the
+  // same phases per shard with the learner/classification hoisted to the
+  // root. Call order within one cycle: context_gate (once!) →
+  // collect_phase → begin_actuation_phase → [apply_deliveries on the
+  // training path | context_phase → select_phase → actuate_phase].
+
+  /// The single context/collect gate: true when this cycle must build a
+  /// policy context (and therefore must have collected first). Evaluate
+  /// exactly ONCE per cycle, before begin_actuation_phase — that call
+  /// processes reboots and delayed deliveries, which can shrink
+  /// in_flight/pending state; re-evaluating after it can disagree with
+  /// the collect decision made before it (collect skipped, context built
+  /// on stale views).
+  [[nodiscard]] bool context_gate(PowerState state) const {
+    return state != PowerState::kGreen || !engine_.degraded().empty() ||
+           reconciler_.pending_count() > 0 ||
+           reconciler_.unresponsive_count() > 0 ||
+           channel_.in_flight_count() > 0;
+  }
+
+  /// True when the steady-green stride schedule says the upcoming cycle
+  /// sweeps anyway (keeps per-slot staleness clocks bounded).
+  [[nodiscard]] bool collect_due() const {
+    return collect_stride_ <= 1 ||
+           (collector_.cycle_count() + 1) % collect_stride_ == 0;
+  }
+
+  /// Runs (or stride-skips) the telemetry sweep; either way the
+  /// collector's cycle clock advances so staleness stays well-defined.
+  void collect_phase(bool collect_now, const std::vector<hw::Node>& nodes,
+                     Seconds now, std::size_t monitored_jobs);
+
+  /// Opens the actuation cycle: clears per-cycle scratch, then lets the
+  /// channel process reboots and due delayed deliveries (mutates nodes —
+  /// serialise across shards). Deliveries land in delivered_scratch_ for
+  /// apply_deliveries / actuate_phase.
+  void begin_actuation_phase(std::vector<hw::Node>& nodes);
+
+  /// Builds the persistent policy context through the reconciler and
+  /// closes the observation window (retries/abandons into recon_work_).
+  /// Fills the telemetry-health and per-cycle reconciliation fields of
+  /// `report`.
+  void context_phase(Watts measured, const std::vector<hw::Node>& nodes,
+                     const sched::Scheduler& scheduler, ManagerReport& report);
+
+  /// Runs Algorithm 1 against the context built by context_phase,
+  /// overriding the classification inputs: the zone tree passes synthetic
+  /// thresholds that encode (global state, zone deficit share).
+  [[nodiscard]] CycleDecision select_phase(Watts measured, Watts p_low,
+                                           Watts p_high);
+
+  /// Admits the decision through the reconciler, sends via the channel,
+  /// applies everything delivered (mutates nodes — serialise across
+  /// shards). Returns the number of level transitions applied.
+  std::size_t actuate_phase(const CycleDecision& decision,
+                            std::vector<hw::Node>& nodes);
+
+  /// Training-path tail: applies only the channel's due deliveries (no
+  /// new commands). Returns transitions applied.
+  std::size_t apply_deliveries(std::vector<hw::Node>& nodes);
+
+  /// Zero-decision non-green cycle (zone skipped by the tree): the green
+  /// timer resets exactly as if a yellow/red decision had run.
+  void note_non_green_cycle() { engine_.note_non_green_cycle(); }
+
+  /// The context select_phase decided against (persistent scratch).
+  [[nodiscard]] const PolicyContext& context() const { return scratch_ctx_; }
+  /// This cycle's reconciler work (valid after context_phase).
+  [[nodiscard]] const ActuationReconciler::CycleWork& recon_work() const {
+    return recon_work_;
+  }
+  [[nodiscard]] const CappingManagerParams& params() const { return params_; }
+
  private:
   /// The real context assembly. When `rec` is non-null, each fresh node
   /// view is fed through the reconciler (acks/divergences/heals into
@@ -235,35 +341,6 @@ class CappingManager final : public PowerManagerBase {
                           const sched::Scheduler& scheduler,
                           ActuationReconciler* rec,
                           ActuationReconciler::CycleWork* work) const;
-
-  /// Registry bindings. Handles are preregistered by bind_metrics, so
-  /// publish_metrics() performs only array stores; everything is inert
-  /// until a registry is bound.
-  struct Metrics {
-    obs::Registry* reg = nullptr;
-    // Per-cycle accumulators (counter += report value each cycle).
-    obs::CounterHandle cycles_green, cycles_yellow, cycles_red,
-        training_cycles;
-    obs::CounterHandle targets, transitions, skipped_targets,
-        deferred_targets;
-    obs::CounterHandle stale_nodes, missing_nodes, fallback_nodes,
-        rejected_samples, unresponsive_node_cycles;
-    obs::CounterHandle acks, retries, divergences, heals;
-    // Mirrored lifetime ground truth (collector/injector/channel own it).
-    obs::CounterHandle samples_lost, samples_suppressed, samples_corrupted,
-        crash_events, recovery_events;
-    obs::CounterHandle commands_lost, commands_rebooting, transitions_failed,
-        transitions_partial, reboot_events, commands_abandoned,
-        commands_clamped;
-    // Instantaneous state.
-    obs::GaugeHandle measured_watts, p_low_watts, p_high_watts,
-        commands_in_flight, unresponsive_nodes, agents_down;
-    // Control-loop stage timers.
-    obs::SpanTimer collect_span, context_span, policy_span, actuate_span;
-  };
-
-  /// Pushes one cycle's report into the registry (no-op when unbound).
-  void publish_metrics(const ManagerReport& report);
 
   /// One candidate slot's output from the sharded assembly pass.
   struct ViewRecord {
@@ -296,7 +373,7 @@ class CappingManager final : public PowerManagerBase {
   /// staleness bound at construction).
   std::int64_t collect_stride_ = 1;
   common::ThreadPool* pool_ = nullptr;
-  Metrics metrics_;
+  ManagerMetrics metrics_;
   /// Per-slot staging for the sharded assembly pass; persists across
   /// cycles so the steady state allocates nothing.
   mutable std::vector<ViewRecord> view_records_;

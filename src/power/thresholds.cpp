@@ -72,6 +72,13 @@ void ThresholdLearner::set_manual_peak(Watts p_peak, bool freeze) {
   }
   p_peak_ = p_peak;
   frozen_ = freeze;
+  // The override starts a fresh observation window. Without this, the next
+  // adjust() would adopt a window_peak_ accumulated from samples observed
+  // BEFORE the administrator intervened, silently undoing the manual value
+  // one adjustment period later. Only readings taken after the override
+  // may displace it, and they get a full t_p window to accumulate.
+  window_peak_ = Watts{0.0};
+  cycles_since_adjust_ = 0;
 }
 
 }  // namespace pcap::power

@@ -1,0 +1,394 @@
+#include "power/zone_manager.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace pcap::power {
+
+namespace {
+
+// Synthetic threshold triples the shards' engines classify against. The
+// watt values carry no physical meaning — they exist purely so
+// classify_power lands in the intended branch and, in yellow, so
+// ctx.required_saving() == the zone's deficit share.
+constexpr Watts kGreenP{0.0};
+constexpr Watts kGreenLow{1.0};
+constexpr Watts kGreenHigh{2.0};
+constexpr Watts kRedP{2.0};
+constexpr Watts kRedLow{0.0};
+constexpr Watts kRedHigh{1.0};
+
+}  // namespace
+
+ZoneTreeParams::Assignment parse_zone_assignment(const std::string& s) {
+  if (s == "block") return ZoneTreeParams::Assignment::kBlock;
+  if (s == "stride") return ZoneTreeParams::Assignment::kStride;
+  throw std::invalid_argument("zones.assignment must be block|stride, got '" +
+                              s + "'");
+}
+
+ZoneTreeParams::Redistribution parse_zone_redistribution(
+    const std::string& s) {
+  if (s == "uniform") return ZoneTreeParams::Redistribution::kUniform;
+  if (s == "proportional") return ZoneTreeParams::Redistribution::kProportional;
+  throw std::invalid_argument(
+      "zones.redistribution must be uniform|proportional, got '" + s + "'");
+}
+
+ZoneTreeManager::ZoneTreeManager(ZoneTreeParams params,
+                                 CappingManagerParams shard_params,
+                                 std::function<PolicyPtr()> policy_factory,
+                                 common::Rng rng)
+    : params_(params), learner_(shard_params.thresholds) {
+  if (params_.zone_count < 1) {
+    throw std::invalid_argument("ZoneTreeManager: zone_count must be >= 1");
+  }
+  if (!policy_factory) {
+    throw std::invalid_argument("ZoneTreeManager: null policy factory");
+  }
+  if (shard_params.selector) {
+    throw std::invalid_argument(
+        "ZoneTreeManager: dynamic candidate selection is not supported "
+        "under zoning (the selector would re-partition every reselect)");
+  }
+  // The shards never classify or learn: freeze their learners at the
+  // provision so their construction is valid and inert, and root-managed
+  // training never double-counts.
+  CappingManagerParams zp = shard_params;
+  zp.thresholds.freeze_at_provision = true;
+  zones_.resize(params_.zone_count);
+  for (std::size_t z = 0; z < zones_.size(); ++z) {
+    // One rng branch per zone: zone z's fault/transport streams depend
+    // only on (seed, z), not on the zone count or membership.
+    zones_[z].shard = std::make_unique<CappingManager>(
+        zp, policy_factory(), rng.fork("zone" + std::to_string(z)));
+  }
+}
+
+std::string ZoneTreeManager::name() const {
+  return "zonetree(" + std::to_string(zones_.size()) +
+         "):" + zones_.front().shard->name();
+}
+
+void ZoneTreeManager::set_candidate_set(const std::vector<hw::NodeId>& ids) {
+  std::vector<hw::NodeId> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  const std::size_t n = sorted.size();
+  const std::size_t zc = zones_.size();
+  for (Zone& zone : zones_) zone.members.clear();
+  if (params_.assignment == ZoneTreeParams::Assignment::kBlock) {
+    // Balanced contiguous ranges: the first n % zc zones get one extra.
+    const std::size_t q = n / zc;
+    const std::size_t r = n % zc;
+    std::size_t begin = 0;
+    for (std::size_t z = 0; z < zc; ++z) {
+      const std::size_t len = q + (z < r ? 1 : 0);
+      zones_[z].members.assign(sorted.begin() + begin,
+                               sorted.begin() + begin + len);
+      begin += len;
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      zones_[i % zc].members.push_back(sorted[i]);
+    }
+  }
+  for (Zone& zone : zones_) {
+    zone.shard->set_candidate_set(zone.members);
+    zone.hints_valid = false;  // membership changed: hints describe the past
+  }
+}
+
+void ZoneTreeManager::invalidate_hints() {
+  for (Zone& zone : zones_) zone.hints_valid = false;
+}
+
+void ZoneTreeManager::bind_metrics(obs::Registry& reg) {
+  reg_ = &reg;
+  metrics_.bind(reg);
+  for (std::size_t z = 0; z < zones_.size(); ++z) {
+    const std::string label = "zone=\"" + std::to_string(z) + "\"";
+    zones_[z].power_gauge =
+        reg.gauge("pcap_zone_power_watts",
+                  "Zone context power at the last active cycle", label);
+    zones_[z].share_gauge =
+        reg.gauge("pcap_zone_share_watts",
+                  "Zone deficit share at the last cycle", label);
+    zones_[z].active_cycles =
+        reg.counter("pcap_zone_active_cycles_total",
+                    "Cycles this zone ran collect+context+select", label);
+    zones_[z].targets_total =
+        reg.counter("pcap_zone_targets_total",
+                    "Throttle/restore targets selected in this zone", label);
+  }
+}
+
+ManagerReport ZoneTreeManager::cycle(Watts measured,
+                                     std::vector<hw::Node>& nodes,
+                                     const sched::Scheduler& scheduler,
+                                     Seconds now) {
+  // Root: threshold learning + global classification — one learner, one
+  // facility meter reading, exactly like the flat manager's step 1.
+  learner_.observe(measured);
+
+  ManagerReport report;
+  report.measured = measured;
+  report.p_low = learner_.p_low();
+  report.p_high = learner_.p_high();
+  report.training = learner_.training();
+  report.state = classify_power(measured, report.p_low, report.p_high);
+  const PowerState state = report.state;
+
+  // Root dirty triggers: a global state change re-arms every zone, and so
+  // does any job start/finish (membership of busy sets — and therefore
+  // shed capacity — may have moved anywhere).
+  const std::size_t job_events = scheduler.job_events().size();
+  if (state != last_state_ || job_events != job_events_seen_) {
+    invalidate_hints();
+  }
+  last_state_ = state;
+  job_events_seen_ = job_events;
+
+  const bool training = report.training;
+  const std::size_t running_jobs = scheduler.running_count();
+
+  // Phase A — per-zone gate + telemetry (parallel over zones, read-only
+  // on shared state; each shard sweeps only its own slots). The gate is
+  // evaluated exactly once per zone, strictly before phase B, mirroring
+  // the flat cycle's single-evaluation contract.
+  common::maybe_parallel_for(
+      pool_, zones_.size(), 2, 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t z = begin; z < end; ++z) {
+          Zone& zone = zones_[z];
+          CappingManager& m = *zone.shard;
+          zone.report = ManagerReport{};
+          zone.decision = CycleDecision{};
+          zone.share = Watts{0.0};
+          zone.transitions = 0;
+
+          const bool gate = m.context_gate(state);
+          if (training) {
+            zone.active = false;
+            zone.collected = gate || m.collect_due();
+          } else if (state == PowerState::kGreen) {
+            zone.active = gate;
+            zone.collected = gate || m.collect_due();
+          } else {
+            // Yellow/red quiescence: a hinted zone with nothing left to
+            // shed (yellow: zero job capacity; red: every node already at
+            // the floor) is skipped. Anything pending, in flight or
+            // unresponsive forces activity — acks and readmissions only
+            // arrive through a context build.
+            const bool nothing_to_shed = state == PowerState::kYellow
+                                             ? zone.capacity <= Watts{0.0}
+                                             : zone.floored;
+            const bool quiescent =
+                zone.hints_valid && nothing_to_shed &&
+                m.reconciler().pending_count() == 0 &&
+                m.reconciler().unresponsive_count() == 0 &&
+                m.actuation_channel().in_flight_count() == 0;
+            zone.active = !quiescent;
+            zone.collected = zone.active;
+          }
+          m.collect_phase(zone.collected, nodes, now, running_jobs);
+        }
+      });
+
+  // Phase B — actuation-plane hardware events (reboots, due deliveries)
+  // mutate nodes: strictly serial, fixed zone order. A reboot resets a
+  // node to full power behind the zone's back, so it invalidates that
+  // zone's hints (the rebuild lands next cycle — one documented cycle of
+  // lag, conservative because the meter still sees the extra draw and the
+  // other zones shed for it).
+  for (Zone& zone : zones_) {
+    const std::uint64_t reboots_before =
+        zone.shard->actuation_channel().reboot_events();
+    zone.shard->begin_actuation_phase(nodes);
+    if (zone.shard->actuation_channel().reboot_events() != reboots_before) {
+      zone.hints_valid = false;
+    }
+  }
+
+  const auto fill_totals = [&] {
+    double utilization = 0.0;
+    for (Zone& zone : zones_) {
+      const CappingManager& m = *zone.shard;
+      utilization += m.collector().last_cycle_manager_utilization();
+      report.samples_lost += m.collector().samples_lost();
+      report.samples_suppressed += m.collector().samples_suppressed();
+      const telemetry::FaultInjector& faults = m.collector().fault_injector();
+      report.samples_corrupted += faults.samples_corrupted();
+      report.crash_events += faults.crash_events();
+      report.recovery_events += faults.recovery_events();
+      report.agents_down += faults.silent_count();
+      report.commands_lost += m.actuation_channel().commands_lost();
+      report.commands_rebooting +=
+          m.actuation_channel().commands_dropped_rebooting();
+      report.transitions_failed += m.actuation_channel().transitions_failed();
+      report.transitions_partial +=
+          m.actuation_channel().transitions_partial();
+      report.reboot_events += m.actuation_channel().reboot_events();
+      report.commands_abandoned += m.reconciler().total_abandoned();
+      report.commands_clamped += m.controller().commands_clamped();
+      report.commands_in_flight += m.reconciler().pending_count();
+    }
+    report.manager_utilization = utilization;
+  };
+
+  const auto publish = [&] {
+    std::size_t unresponsive_now = 0;
+    std::size_t active = 0;
+    for (Zone& zone : zones_) {
+      unresponsive_now += zone.shard->reconciler().unresponsive_count();
+      if (zone.active) ++active;
+      if (reg_ != nullptr) {
+        reg_->set(zone.power_gauge, zone.power.value());
+        reg_->set(zone.share_gauge, zone.share.value());
+        if (zone.active) reg_->add(zone.active_cycles);
+        reg_->add(zone.targets_total, zone.decision.commands.size());
+      }
+    }
+    active_last_cycle_ = active;
+    metrics_.publish(report, unresponsive_now);
+  };
+
+  // Training: the system runs unmanaged — only due deliveries land.
+  if (training) {
+    for (Zone& zone : zones_) zone.shard->apply_deliveries(nodes);
+    fill_totals();
+    publish();
+    return report;
+  }
+
+  // Phase C — context assembly (parallel over zones; each shard's
+  // reconciler/collector/job-index state is disjoint). The zone's power
+  // and shed capacity are serial per-zone folds over its own context, so
+  // they are identical whichever worker computed them.
+  common::maybe_parallel_for(
+      pool_, zones_.size(), 2, 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t z = begin; z < end; ++z) {
+          Zone& zone = zones_[z];
+          if (!zone.active) continue;
+          zone.shard->context_phase(measured, nodes, scheduler, zone.report);
+          const PolicyContext& ctx = zone.shard->context();
+          Watts power{0.0};
+          bool floored = true;
+          for (const NodeView& nv : ctx.nodes) {
+            power += nv.power;
+            if (!nv.at_lowest) floored = false;
+          }
+          Watts capacity{0.0};
+          for (const JobView& jv : ctx.jobs) {
+            capacity += jv.saving_one_level;
+          }
+          zone.power = power;
+          zone.capacity = capacity;
+          zone.floored = floored;
+        }
+      });
+
+  // Root fold — deficit shares, serial in fixed zone order (the only
+  // cross-zone arithmetic in the cycle; its inputs are per-zone values
+  // already pinned above, so the fold is bit-identical for any worker
+  // count). Only zones that are active AND still have shed capacity are
+  // eligible; skipped zones keep share 0.
+  if (state == PowerState::kYellow) {
+    const Watts deficit = std::max(Watts{0.0}, measured - report.p_low);
+    Watts eligible_power{0.0};
+    std::size_t eligible = 0;
+    for (const Zone& zone : zones_) {
+      if (zone.active && zone.capacity > Watts{0.0}) {
+        ++eligible;
+        eligible_power += zone.power;
+      }
+    }
+    const bool proportional =
+        params_.redistribution == ZoneTreeParams::Redistribution::kProportional &&
+        eligible_power > Watts{0.0};
+    for (Zone& zone : zones_) {
+      if (!(zone.active && zone.capacity > Watts{0.0})) continue;
+      zone.share = proportional
+                       ? deficit * (zone.power.value() / eligible_power.value())
+                       : deficit / static_cast<double>(eligible);
+    }
+  }
+
+  // Phase D — selection (parallel; per-shard engine/policy state is
+  // disjoint). Green runs every zone's engine — O(1) with nothing
+  // degraded — so each shard's green timer ticks exactly as the flat
+  // engine's would. Skipped yellow/red zones reset their timer without a
+  // decision, as if a decision had run and emitted nothing.
+  common::maybe_parallel_for(
+      pool_, zones_.size(), 2, 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t z = begin; z < end; ++z) {
+          Zone& zone = zones_[z];
+          CappingManager& m = *zone.shard;
+          switch (state) {
+            case PowerState::kGreen:
+              zone.decision = m.select_phase(kGreenP, kGreenLow, kGreenHigh);
+              break;
+            case PowerState::kYellow:
+              if (zone.active && zone.share > Watts{0.0}) {
+                zone.decision = m.select_phase(
+                    zone.share, Watts{0.0},
+                    Watts{std::numeric_limits<double>::max()});
+              } else {
+                m.note_non_green_cycle();
+              }
+              break;
+            case PowerState::kRed:
+              if (zone.active) {
+                zone.decision = m.select_phase(kRedP, kRedLow, kRedHigh);
+              } else {
+                m.note_non_green_cycle();
+              }
+              break;
+          }
+        }
+      });
+
+  // Phase E — actuation mutates nodes: strictly serial, fixed zone order.
+  // Every zone actuates every cycle (an empty decision still flushes the
+  // reconciler's retries/heals and applies due deliveries). Hints refresh
+  // here, after actuation: a zone that just sent commands has pending
+  // state, so its hints stay invalid until the acks come back through a
+  // clean build.
+  for (Zone& zone : zones_) {
+    CappingManager& m = *zone.shard;
+    zone.transitions = m.actuate_phase(zone.decision, nodes);
+    if (zone.active) {
+      const ManagerReport& zr = zone.report;
+      zone.hints_valid =
+          zr.stale_nodes == 0 && zr.missing_nodes == 0 &&
+          zr.fallback_nodes == 0 && zr.rejected_samples == 0 &&
+          zr.unresponsive_nodes == 0 && m.reconciler().pending_count() == 0 &&
+          m.reconciler().unresponsive_count() == 0 &&
+          m.actuation_channel().in_flight_count() == 0;
+    }
+  }
+
+  // Root report — serial fixed-order sum over the shards.
+  for (const Zone& zone : zones_) {
+    report.targets += zone.decision.commands.size();
+    report.transitions += zone.transitions;
+    report.skipped_targets += zone.decision.skipped;
+    report.deferred_targets += zone.decision.deferred_in_flight;
+    report.stale_nodes += zone.report.stale_nodes;
+    report.missing_nodes += zone.report.missing_nodes;
+    report.fallback_nodes += zone.report.fallback_nodes;
+    report.rejected_samples += zone.report.rejected_samples;
+    report.unresponsive_nodes += zone.report.unresponsive_nodes;
+    const ActuationReconciler::CycleWork& work = zone.shard->recon_work();
+    report.acks += work.acks;
+    report.retries += work.retries;
+    report.divergences += work.divergences;
+    report.heals += work.heals;
+  }
+  fill_totals();
+  publish();
+  return report;
+}
+
+}  // namespace pcap::power

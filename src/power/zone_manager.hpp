@@ -1,0 +1,170 @@
+// The hierarchical zone-sharded control plane (§II's facility→cluster
+// provisioning hierarchy, generalised).
+//
+// The flat CappingManager runs one telemetry/context/selection sweep over
+// the whole candidate set every non-green cycle. The zone tree partitions
+// A_candidate into Z zones, gives each zone its own collector/reconciler/
+// channel/engine shard (an unmodified CappingManager driven through its
+// phase API), and keeps exactly one learner at the root:
+//
+//   root:  observe the facility meter, classify green/yellow/red against
+//          the learned thresholds, compute the global deficit
+//          D = max(0, P - P_L), and split it into per-zone shares
+//          (uniform or usage-proportional over the zones that can still
+//          shed). Zone power/capacity are folded in fixed zone order, so
+//          the root's arithmetic is one serial reduction regardless of
+//          how many workers ran the zone sweeps.
+//   zones: collect + build context + select fully in parallel (disjoint
+//          per-shard state; the shards themselves run serially inside a
+//          zone task, so there is no nested pool use). Each shard's
+//          engine sees synthetic thresholds that encode (global state,
+//          zone share): green → (0,1,2) W, yellow with share s →
+//          (s, 0, +inf) so ctx.required_saving() == s, red → (2,0,1) W.
+//          Node-mutating steps (reboot/delivery processing, actuation)
+//          run serially in fixed zone order.
+//
+// Quiescence: a zone that last built a CLEAN context (no stale/missing/
+// fallback/rejected views, nothing pending, unresponsive or in flight)
+// publishes trustworthy power/capacity hints. In yellow, a hinted zone
+// with zero job-level shed capacity is skipped outright (the flat
+// controller would build its context and select nothing); in red, a
+// hinted zone whose every context node sits at the ladder floor is
+// skipped (the flat red cycle would emit nothing for it). Skipped zones
+// still tick their collector clock, still process reboots/deliveries,
+// and still reset their green timer. Hints are invalidated by any global
+// state change, any scheduler job start/finish, and any reboot in the
+// zone; degraded telemetry never produces a clean build, so faulted
+// zones simply stay fully active (the flat behaviour).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+#include "obs/registry.hpp"
+#include "power/manager.hpp"
+#include "power/state.hpp"
+#include "power/thresholds.hpp"
+
+namespace pcap::power {
+
+struct ZoneTreeParams {
+  enum class Assignment : std::uint8_t {
+    kBlock,   ///< contiguous id ranges (rack-shaped zones)
+    kStride,  ///< round-robin (load-levelling zones)
+  };
+  enum class Redistribution : std::uint8_t {
+    kUniform,       ///< D / |eligible zones|
+    kProportional,  ///< D scaled by each zone's measured share of power
+  };
+
+  std::size_t zone_count = 4;
+  Assignment assignment = Assignment::kBlock;
+  Redistribution redistribution = Redistribution::kUniform;
+};
+
+/// Parses "block"/"stride" — throws std::invalid_argument otherwise.
+ZoneTreeParams::Assignment parse_zone_assignment(const std::string& s);
+/// Parses "uniform"/"proportional" — throws std::invalid_argument otherwise.
+ZoneTreeParams::Redistribution parse_zone_redistribution(const std::string& s);
+
+class ZoneTreeManager final : public PowerManagerBase {
+ public:
+  /// `shard_params` configures every zone shard (its thresholds sub-struct
+  /// is inert — the root owns classification). `policy_factory` is
+  /// invoked once per zone so each shard gets its own selection-policy
+  /// state. Dynamic candidate selection (shard_params.selector) is not
+  /// supported under zoning and throws.
+  ZoneTreeManager(ZoneTreeParams params, CappingManagerParams shard_params,
+                  std::function<PolicyPtr()> policy_factory, common::Rng rng);
+
+  [[nodiscard]] std::string name() const override;
+
+  /// Partitions `ids` into the configured zones and hands each shard its
+  /// members. Ids are sorted and deduplicated first so the partition is a
+  /// pure function of the id set.
+  void set_candidate_set(const std::vector<hw::NodeId>& ids);
+
+  ManagerReport cycle(Watts measured, std::vector<hw::Node>& nodes,
+                      const sched::Scheduler& scheduler,
+                      Seconds now) override;
+
+  /// The pool fans out ACROSS zones; shards never see it (their internal
+  /// sweeps stay serial inside one zone task, so no nested pool use).
+  void set_thread_pool(common::ThreadPool* pool) override { pool_ = pool; }
+
+  /// Root aggregate series are the same pcap_manager_*/pcap_telemetry_*/
+  /// pcap_actuation_* schema the flat manager publishes (experiments read
+  /// them by name); per-zone gauges/counters are added under zone="..."
+  /// labels.
+  void bind_metrics(obs::Registry& reg) override;
+
+  [[nodiscard]] std::size_t zone_count() const { return zones_.size(); }
+  [[nodiscard]] const std::vector<hw::NodeId>& zone_members(
+      std::size_t z) const {
+    return zones_[z].members;
+  }
+  [[nodiscard]] const CappingManager& zone(std::size_t z) const {
+    return *zones_[z].shard;
+  }
+  [[nodiscard]] const ThresholdLearner& thresholds() const {
+    return learner_;
+  }
+  [[nodiscard]] ThresholdLearner& thresholds() { return learner_; }
+  [[nodiscard]] const ZoneTreeParams& params() const { return params_; }
+  /// Zones that ran collect+context+select last cycle (quiescence probe).
+  [[nodiscard]] std::size_t zones_active_last_cycle() const {
+    return active_last_cycle_;
+  }
+  /// Last measured zone power / deficit share (valid after a cycle).
+  [[nodiscard]] Watts zone_power(std::size_t z) const {
+    return zones_[z].power;
+  }
+  [[nodiscard]] Watts zone_share(std::size_t z) const {
+    return zones_[z].share;
+  }
+
+ private:
+  struct Zone {
+    std::unique_ptr<CappingManager> shard;
+    std::vector<hw::NodeId> members;
+
+    // Hints from the last clean context build (see header comment).
+    bool hints_valid = false;
+    Watts power{0.0};     ///< sum of context node power
+    Watts capacity{0.0};  ///< sum of job-level one-step shed capacity
+    bool floored = false; ///< every context node at the ladder floor
+
+    // Per-cycle scratch.
+    bool active = false;   ///< built context + selected this cycle
+    bool collected = false;
+    Watts share{0.0};
+    CycleDecision decision;
+    ManagerReport report;  ///< per-zone health/selection fields
+    std::size_t transitions = 0;
+
+    // Per-zone registry handles (inert when no registry is bound).
+    obs::GaugeHandle power_gauge, share_gauge;
+    obs::CounterHandle active_cycles, targets_total;
+  };
+
+  void invalidate_hints();
+
+  ZoneTreeParams params_;
+  ThresholdLearner learner_;  ///< the root's (only live) learner
+  std::vector<Zone> zones_;
+  common::ThreadPool* pool_ = nullptr;
+  ManagerMetrics metrics_;  ///< root aggregate series
+  obs::Registry* reg_ = nullptr;
+
+  // Root dirty triggers.
+  PowerState last_state_ = PowerState::kGreen;
+  std::size_t job_events_seen_ = 0;
+  std::size_t active_last_cycle_ = 0;
+};
+
+}  // namespace pcap::power

@@ -162,5 +162,24 @@ TEST(ConfigLoader, LoadedConfigRunsEndToEnd) {
   EXPECT_GT(r.p_max, Watts{0.0});
 }
 
+TEST(ConfigLoader, ZonesSection) {
+  const ExperimentConfig cfg = load(
+      "[zones]\n"
+      "count = 8\n"
+      "assignment = STRIDE\n"
+      "redistribution = Proportional\n");
+  EXPECT_EQ(cfg.zone_count, 8);
+  EXPECT_EQ(cfg.zone_assignment, "stride");
+  EXPECT_EQ(cfg.zone_redistribution, "proportional");
+}
+
+TEST(ConfigLoader, ZonesValidation) {
+  EXPECT_THROW(load("[zones]\ncount = 0\n"), std::runtime_error);
+  EXPECT_THROW(load("[zones]\nassignment = diagonal\n"),
+               std::invalid_argument);
+  EXPECT_THROW(load("[zones]\nredistribution = greedy\n"),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace pcap::cluster

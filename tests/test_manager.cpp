@@ -416,6 +416,107 @@ TEST(CappingManager, CorruptSamplesAreRejectedNotActedOn) {
   for (const auto& n : rig.nodes) EXPECT_TRUE(n.at_highest());
 }
 
+// Regression: build_context_with priced every node's one-level-down
+// hypothetical as estimated_power_at(level - 1), indexing off the bottom
+// of the DVFS table for a node already at the ladder floor. A floored
+// candidate must contribute exactly 0 W of saving_one_level — there is no
+// level below to price.
+TEST(CappingManager, FlooredCandidateContributesNoSavingOneLevelDown) {
+  Rig rig(2);
+  rig.load(0.9);
+  rig.run_job(1, 24);  // nodes 0, 1
+  CappingManagerParams p = fast_params();
+  p.thresholds.training_cycles = 0;
+  CappingManager m(p, make_policy("mpc"), common::Rng(1));
+  m.set_candidate_set({0, 1});
+
+  rig.nodes[0].set_level(0);  // already at the ladder floor
+  m.cycle(Watts{100.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  const PolicyContext ctx =
+      m.build_context(Watts{100.0}, rig.nodes, rig.scheduler);
+  const NodeView* floored = ctx.node(0);
+  ASSERT_NE(floored, nullptr);
+  EXPECT_TRUE(floored->at_lowest);
+  // The hypothetical clamps to the current draw: zero incremental saving.
+  EXPECT_EQ(floored->power_one_level_down, floored->power);
+  const NodeView* live = ctx.node(1);
+  ASSERT_NE(live, nullptr);
+  EXPECT_LT(live->power_one_level_down, live->power);
+  // The job aggregate only carries node 1's headroom.
+  ASSERT_EQ(ctx.jobs.size(), 1u);
+  EXPECT_NEAR(ctx.jobs[0].saving_one_level.value(),
+              (live->power - live->power_one_level_down).value(), 1e-9);
+}
+
+// Regression: cycle() evaluated the five-clause context gate twice — once
+// before channel_.begin_cycle() (the collect decision) and once after
+// (the context decision). begin_cycle can only shrink the gate's inputs
+// (it drains due deliveries), so the two could disagree in exactly one
+// direction: telemetry collected, context skipped. Any divergence sitting
+// in that cycle's fresh samples went unobserved.
+//
+// Reaching the discriminating state — in-flight commands with nothing
+// pending, nothing unresponsive, nothing degraded, green power — takes a
+// specific sequence: abandon (max_retries = 0) strips the pending record
+// while the delayed command stays queued, readmission clears the
+// unresponsive flag, and a candidate-set shrink drains A_degraded without
+// issuing restore commands.
+TEST(CappingManager, DeliveryDrainCycleStillObservesDivergence) {
+  Rig rig(3);
+  rig.load(0.9);
+  rig.run_job(1, 24);  // nodes 0, 1
+  CappingManagerParams p = fast_params();
+  p.thresholds.training_cycles = 0;
+  p.thresholds.adjust_period_cycles = 1000;
+  p.capping.steady_green_cycles = 100;       // no green restores
+  p.actuation.delivery_delay_cycles = 4;     // c1's commands land at c5
+  p.reconciliation.max_retries = 0;          // abandon at first due check
+  p.reconciliation.retry_backoff_base_cycles = 1;
+  CappingManager m(p, make_policy("mpc"), common::Rng(1));
+  m.set_candidate_set({0, 1, 2});
+
+  // c1 (yellow): throttle commands for nodes 0, 1 are queued for c5;
+  // both nodes become pending and degraded.
+  const auto r1 =
+      m.cycle(Watts{1700.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  EXPECT_EQ(r1.state, PowerState::kYellow);
+  EXPECT_EQ(r1.commands_in_flight, 2u);
+  EXPECT_TRUE(rig.nodes[0].at_highest());  // delayed, nothing applied yet
+
+  // c2 (green): the unacked commands come due and the zero-retry budget
+  // abandons both nodes — pending cleared, commands still queued.
+  const auto r2 =
+      m.cycle(Watts{100.0}, rig.nodes, rig.scheduler, Seconds{2.0});
+  EXPECT_EQ(r2.commands_abandoned, 2u);
+  EXPECT_EQ(m.reconciler().unresponsive_count(), 2u);
+
+  // c3 (green): fresh telemetry readmits both abandoned nodes.
+  m.cycle(Watts{100.0}, rig.nodes, rig.scheduler, Seconds{3.0});
+  EXPECT_EQ(m.reconciler().unresponsive_count(), 0u);
+
+  // Shrink A_candidate: nodes 0, 1 leave the context, so the next engine
+  // cycle drains A_degraded without restore commands. Their queued
+  // throttles stay in flight.
+  m.set_candidate_set({2});
+  m.cycle(Watts{100.0}, rig.nodes, rig.scheduler, Seconds{4.0});  // c4
+  EXPECT_TRUE(m.engine().degraded().empty());
+  EXPECT_EQ(m.actuation_channel().in_flight_count(), 2u);
+  EXPECT_EQ(m.reconciler().pending_count(), 0u);
+  EXPECT_EQ(m.reconciler().unresponsive_count(), 0u);
+
+  // c5: the only gate clause left is in_flight > 0, and begin_cycle
+  // delivers both queued commands — the post-drain re-evaluation used to
+  // come up all-clear and skip the context. The externally diverged node
+  // 2 (believed 9, observed 5) must still be seen and healed this cycle.
+  rig.nodes[2].set_level(5);
+  const auto r5 =
+      m.cycle(Watts{100.0}, rig.nodes, rig.scheduler, Seconds{5.0});
+  EXPECT_EQ(r5.divergences, 1u);
+  EXPECT_EQ(r5.heals, 1u);
+  EXPECT_EQ(rig.nodes[0].level(), 8);  // c1's throttles landed this cycle
+  EXPECT_EQ(rig.nodes[1].level(), 8);
+}
+
 TEST(CappingManager, ManagerUtilizationReported) {
   Rig rig(8);
   rig.load(0.5);

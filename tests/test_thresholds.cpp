@@ -132,6 +132,26 @@ TEST(Thresholds, ManualPeakWithoutFreezeKeepsLearning) {
   EXPECT_EQ(l.p_peak(), Watts{3000.0});
 }
 
+// Regression: set_manual_peak left the observation window running, so
+// the first adjust() after a live (freeze = false) override adopted a
+// window peak accumulated from samples observed BEFORE the administrator
+// intervened — silently undoing the manual value up to t_p - 1 cycles
+// later. The override must start a fresh window: only readings taken
+// after it may displace it, and they get a full t_p period to accumulate.
+TEST(Thresholds, ManualPeakStartsFreshObservationWindow) {
+  ThresholdLearner l(params(0, 5));
+  for (int i = 0; i < 4; ++i) l.observe(Watts{900.0});
+  l.set_manual_peak(Watts{500.0}, /*freeze=*/false);
+  EXPECT_EQ(l.p_peak(), Watts{500.0});
+  // The very next observation used to trip an adjustment that re-adopted
+  // the stale 900 W window peak.
+  l.observe(Watts{400.0});
+  EXPECT_EQ(l.p_peak(), Watts{500.0});
+  for (int i = 0; i < 4; ++i) l.observe(Watts{400.0});
+  // A full post-override window elapsed: fresh readings take over.
+  EXPECT_EQ(l.p_peak(), Watts{400.0});
+}
+
 TEST(Thresholds, CustomMargins) {
   ThresholdParams p = params();
   p.red_margin = 0.05;
