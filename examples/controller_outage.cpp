@@ -1,0 +1,81 @@
+// Controller outages: capping while the *controller itself* fails. The
+// whole control plane blacks out for stretches of cycles, individual zone
+// shards crash on their own windows, and control cycles stall. Node-local
+// failsafe watchdogs step silent nodes down to a safe operating point;
+// when the controller returns, its reconciler adopts the watchdog-imposed
+// levels instead of healing them away, and the root conservatively
+// re-plans around orphaned zones while their shards are down.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/controller_outage
+#include <cstdio>
+
+#include "cluster/scenario.hpp"
+#include "metrics/report.hpp"
+
+int main() {
+  using namespace pcap;
+
+  cluster::ExperimentConfig cfg = cluster::controller_outage_scenario(47);
+
+  const Watts peak =
+      cluster::probe_uncapped_peak(cfg.cluster, cfg.calibration_duration);
+  cfg.provision = peak * cfg.provision_fraction;
+  std::printf("uncapped probe peak: %.0f W -> provision P_Max = %.0f W\n",
+              peak.value(), cfg.provision.value());
+  std::printf(
+      "control-fault model: %.2g/cycle root blackout (%d-cycle windows), "
+      "%.2g/cycle zone-shard crash (%d-cycle windows),\n  %.2g/cycle "
+      "stalls up to %d cycles; watchdog trips after %lld silent cycles "
+      "to level %d\n\n",
+      cfg.control.outage_rate, cfg.control.outage_duration_cycles,
+      cfg.control.zone_outage_rate, cfg.control.zone_outage_duration_cycles,
+      cfg.control.delay_rate, cfg.control.delay_max_cycles,
+      static_cast<long long>(cfg.cluster.watchdog.timeout_cycles),
+      cfg.cluster.watchdog.safe_level);
+
+  metrics::Table table({"manager", "faults", "perf", "P_max (W)", "dPxT",
+                        "outages", "dead cyc", "zone cyc", "engaged",
+                        "adopted", "diverged"});
+  struct Row {
+    const char* manager;
+    bool faulty;
+  };
+  for (const Row row : {Row{"mpc", false}, Row{"mpc", true}}) {
+    cluster::ExperimentConfig run = cfg;
+    run.manager = row.manager;
+    const bool faulty = row.faulty;
+    if (!faulty) {
+      run.control = power::ControlFaultParams{};
+      run.cluster.watchdog = hw::WatchdogParams{};
+    }
+    const cluster::ExperimentResult r = cluster::run_experiment(run);
+    table.cell(r.manager)
+        .cell(faulty ? "on" : "off")
+        .cell(r.perf.performance, 4)
+        .cell(r.p_max.value(), 0)
+        .cell(r.delta_pxt, 5)
+        .cell(r.ctrl_outages)
+        .cell(r.ctrl_outage_cycles)
+        .cell(r.ctrl_zone_outage_cycles)
+        .cell(r.watchdog_engagements)
+        .cell(r.watchdog_adoptions)
+        .cell(r.divergences);
+    table.end_row();
+    if (faulty && r.p_max > r.provision) {
+      std::printf("WARNING: %s: P_max %.0f W exceeded the provision under "
+                  "controller outages\n",
+                  r.manager.c_str(), r.p_max.value());
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\noutages/dead cyc = root blackouts and the cycles they silenced; "
+      "zone cyc = per-shard crash cycles;\nengaged = nodes the failsafe "
+      "stepped down; adopted = watchdog levels the returning controller "
+      "absorbed\nwithout divergence warnings (diverged counts the warnings "
+      "that did fire).\n");
+  return 0;
+}

@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   }
 
   // --metrics=prom|json appends the final registry export (see DESIGN.md
-  // §10) to the run's report; any remaining argument is the config file.
+  // §11) to the run's report; any remaining argument is the config file.
   const char* metrics_mode = nullptr;
   const char* config_path = nullptr;
   for (int i = 1; i < argc; ++i) {

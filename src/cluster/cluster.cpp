@@ -18,6 +18,7 @@ Cluster::Cluster(ClusterConfig config)
     : config_(std::move(config)),
       rng_(config_.seed),
       meter_(config_.meter, rng_.fork("meter")),
+      watchdog_(std::make_unique<hw::FailsafeWatchdog>(config_.watchdog)),
       manager_(std::make_unique<power::NoCappingManager>()) {
   if (config_.tick <= Seconds{0.0}) {
     throw std::invalid_argument("Cluster: non-positive tick");
@@ -154,6 +155,19 @@ Cluster::Cluster(ClusterConfig config)
   refreshed_gauge_ =
       metrics_.gauge("pcap_cluster_nodes_refreshed",
                      "Due-set size of the last tick's refresh pass");
+  watchdog_engaged_gauge_ =
+      metrics_.gauge("pcap_watchdog_engaged_nodes",
+                     "Nodes currently holding their failsafe level");
+  watchdog_pending_gauge_ =
+      metrics_.gauge("pcap_watchdog_pending_adoptions",
+                     "Failsafe level changes the controller has not yet "
+                     "adopted");
+  watchdog_engagements_counter_ =
+      metrics_.counter("pcap_watchdog_engagements_total",
+                       "Nodes that entered failsafe after controller silence");
+  watchdog_transitions_counter_ =
+      metrics_.counter("pcap_watchdog_failsafe_transitions_total",
+                       "DVFS steps applied autonomously by node watchdogs");
   ticks_counter_ = metrics_.counter("pcap_cluster_ticks_total",
                                     "Simulation ticks executed");
   jobs_finished_counter_ = metrics_.counter("pcap_cluster_jobs_finished_total",
@@ -168,6 +182,7 @@ Cluster::Cluster(ClusterConfig config)
   launch_span_.bind(metrics_, span, span_help, "phase=\"launch\"");
   jobs_span_.bind(metrics_, span, span_help, "phase=\"jobs\"");
   manager_->bind_metrics(metrics_);
+  manager_->set_watchdog(watchdog_.get());
 
   // The per-tick process drives everything.
   sim_.every(config_.tick, config_.tick, [this](Seconds) { tick(); });
@@ -182,6 +197,7 @@ void Cluster::set_manager(std::unique_ptr<power::PowerManagerBase> manager) {
   // only a new manager type after the first tick would add series, and
   // the freeze turns that into a loud error rather than a hot-path alloc.
   manager_->bind_metrics(metrics_);
+  manager_->set_watchdog(watchdog_.get());
 }
 
 void Cluster::submit(Job job) {
@@ -695,6 +711,11 @@ void Cluster::tick() {
   const bool control_tick = ticks_ % control_every_ == 0;
   if (control_tick) {
     last_report_ = manager_->cycle(last_power_, nodes_, *sched_, now);
+    // Node-local failsafes run after the controller had its chance to
+    // talk: a cycle's heartbeats/deliveries land first, then silence is
+    // judged. Level changes go through the tracked pool, so next tick's
+    // drain_level_changes re-prices the affected nodes like any actuation.
+    watchdog_->tick(nodes_);
   }
 
   // Publish cluster-level series — all pure array stores against frozen
@@ -707,6 +728,13 @@ void Cluster::tick() {
                pool_ ? static_cast<double>(pool_->queue_depth()) : 0.0);
   metrics_.set(refreshed_gauge_, static_cast<double>(last_refreshed_));
   metrics_.add(node_refreshes_counter_, last_refreshed_);
+  metrics_.set(watchdog_engaged_gauge_,
+               static_cast<double>(watchdog_->engaged_count()));
+  metrics_.set(watchdog_pending_gauge_,
+               static_cast<double>(watchdog_->pending_count()));
+  metrics_.set_total(watchdog_engagements_counter_, watchdog_->engagements());
+  metrics_.set_total(watchdog_transitions_counter_,
+                     watchdog_->failsafe_transitions());
 
   if (recording_) {
     metrics::CyclePoint p;

@@ -33,6 +33,7 @@
 #include "hw/node.hpp"
 #include "hw/node_pool.hpp"
 #include "hw/power_meter.hpp"
+#include "hw/watchdog.hpp"
 #include "interconnect/interconnect.hpp"
 #include "metrics/performance.hpp"
 #include "metrics/trace_recorder.hpp"
@@ -64,6 +65,12 @@ struct ClusterConfig {
   Seconds control_period{4.0};
   hw::PowerMeterParams meter;
   sched::SchedulerOptions scheduler;
+  /// Node-local failsafe: after this many silent control cycles a node
+  /// autonomously steps down to the safe level (0 = disabled). The cluster
+  /// owns the watchdog and ticks it once per control cycle, right after
+  /// the manager; the manager feeds it heartbeats/contacts and absorbs
+  /// its level changes through the reconciler's adoption path.
+  hw::WatchdogParams watchdog;
 
   /// OU noise on per-node CPU utilisation (stationary sigma / relaxation).
   /// Applied to busy nodes only: it models workload-phase fluctuation, and
@@ -190,6 +197,12 @@ class Cluster {
     return *node_pool_;
   }
 
+  /// The node-local failsafe watchdog (always constructed; inert unless
+  /// config.watchdog.timeout_cycles > 0).
+  [[nodiscard]] const hw::FailsafeWatchdog& watchdog() const {
+    return *watchdog_;
+  }
+
   /// The worker pool driving intra-tick sweeps — shared with the manager's
   /// telemetry collector, and available to callers running their own
   /// cluster-level sweeps. nullptr when the cluster runs serial (small
@@ -278,6 +291,8 @@ class Cluster {
   std::unique_ptr<interconnect::Interconnect> fabric_;
   std::optional<workload::JobGenerator> generator_;
   hw::SystemPowerMeter meter_;
+  /// Declared before manager_: managers hold a raw pointer into it.
+  std::unique_ptr<hw::FailsafeWatchdog> watchdog_;
   std::unique_ptr<power::PowerManagerBase> manager_;
 
   // -- per-node event/staircase state ----------------------------------------
@@ -347,6 +362,10 @@ class Cluster {
   obs::GaugeHandle queued_gauge_;
   obs::GaugeHandle pool_depth_gauge_;
   obs::GaugeHandle refreshed_gauge_;
+  obs::GaugeHandle watchdog_engaged_gauge_;
+  obs::GaugeHandle watchdog_pending_gauge_;
+  obs::CounterHandle watchdog_engagements_counter_;
+  obs::CounterHandle watchdog_transitions_counter_;
   obs::CounterHandle ticks_counter_;
   obs::CounterHandle jobs_finished_counter_;
   obs::CounterHandle node_refreshes_counter_;

@@ -58,6 +58,14 @@ const std::set<std::string>& known_keys() {
       "zones.count",
       "zones.assignment",
       "zones.redistribution",
+      "control.outage_rate",
+      "control.outage_duration_cycles",
+      "control.zone_outage_rate",
+      "control.zone_outage_duration_cycles",
+      "control.delay_rate",
+      "control.delay_max_cycles",
+      "watchdog.timeout_cycles",
+      "watchdog.safe_level",
   };
   return keys;
 }
@@ -211,7 +219,7 @@ ExperimentConfig apply_config(ExperimentConfig base,
 
   // [zones]
   out.zone_count =
-      static_cast<int>(cfg.get_int("zones.count", out.zone_count));
+      static_cast<int>(checked_int(cfg, "zones.count", out.zone_count));
   if (out.zone_count < 1) {
     throw std::runtime_error("experiment config: 'zones.count' must be >= 1");
   }
@@ -221,6 +229,28 @@ ExperimentConfig apply_config(ExperimentConfig base,
   out.zone_redistribution = common::to_lower(
       cfg.get_string("zones.redistribution", out.zone_redistribution));
   power::parse_zone_redistribution(out.zone_redistribution);
+
+  // [control] — controller-failure injection + the node-local failsafe.
+  out.control.outage_rate =
+      checked_double(cfg, "control.outage_rate", out.control.outage_rate);
+  out.control.outage_duration_cycles = static_cast<int>(
+      checked_int(cfg, "control.outage_duration_cycles",
+                  out.control.outage_duration_cycles));
+  out.control.zone_outage_rate = checked_double(
+      cfg, "control.zone_outage_rate", out.control.zone_outage_rate);
+  out.control.zone_outage_duration_cycles = static_cast<int>(
+      checked_int(cfg, "control.zone_outage_duration_cycles",
+                  out.control.zone_outage_duration_cycles));
+  out.control.delay_rate =
+      checked_double(cfg, "control.delay_rate", out.control.delay_rate);
+  out.control.delay_max_cycles = static_cast<int>(checked_int(
+      cfg, "control.delay_max_cycles", out.control.delay_max_cycles));
+  out.control.validate();
+  out.cluster.watchdog.timeout_cycles = checked_int(
+      cfg, "watchdog.timeout_cycles", out.cluster.watchdog.timeout_cycles);
+  out.cluster.watchdog.safe_level = static_cast<hw::Level>(checked_int(
+      cfg, "watchdog.safe_level", out.cluster.watchdog.safe_level));
+  out.cluster.watchdog.validate();
 
   return out;
 }

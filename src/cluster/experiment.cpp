@@ -50,6 +50,13 @@ std::unique_ptr<power::PowerManagerBase> make_manager(
         "make_manager: zones.count >= 2 requires a capping-policy manager "
         "(got '" + config.manager + "')");
   }
+  if (config.control.enabled() &&
+      (config.manager == "none" || config.manager == "budget" ||
+       config.manager == "feedback")) {
+    throw std::invalid_argument(
+        "make_manager: control-plane fault injection requires a "
+        "capping-policy manager (got '" + config.manager + "')");
+  }
   if (config.manager == "none" || candidates.empty()) {
     return std::make_unique<power::NoCappingManager>();
   }
@@ -112,6 +119,7 @@ std::unique_ptr<power::PowerManagerBase> make_manager(
   p.stale_power_margin = config.stale_power_margin;
   p.actuation = config.actuation;
   p.reconciliation = config.reconciliation;
+  p.control = config.control;
   if (config.zone_count >= 2) {
     power::ZoneTreeParams zp;
     zp.zone_count = static_cast<std::size_t>(config.zone_count);
@@ -172,6 +180,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   const std::uint64_t base_divergences =
       counter_at("pcap_manager_divergences_total");
   const std::uint64_t base_heals = counter_at("pcap_manager_heals_total");
+  const std::uint64_t base_adoptions =
+      counter_at("pcap_watchdog_adoptions_total");
   cl.start_recording();
   cl.run(config.measured);
 
@@ -227,6 +237,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   r.reboot_events = cl.last_report().reboot_events;
   r.commands_abandoned = cl.last_report().commands_abandoned;
   r.commands_clamped = cl.last_report().commands_clamped;
+  r.ctrl_outages = cl.last_report().ctrl_outages;
+  r.ctrl_outage_cycles = cl.last_report().ctrl_outage_cycles;
+  r.ctrl_delayed_cycles = cl.last_report().ctrl_delayed_cycles;
+  r.ctrl_zone_outage_cycles = cl.last_report().ctrl_zone_outage_cycles;
+  r.watchdog_engagements = cl.watchdog().engagements();
+  r.watchdog_transitions = cl.watchdog().failsafe_transitions();
+  r.watchdog_adoptions = static_cast<std::size_t>(
+      counter_at("pcap_watchdog_adoptions_total") - base_adoptions);
   const std::size_t cycles = cl.recorder().size();
   r.mean_manager_utilization =
       cycles > 0 ? util_sum / static_cast<double>(cycles) : 0.0;

@@ -70,6 +70,10 @@ struct ExperimentConfig {
   power::ActuationFaultParams actuation;
   /// Manager-side ack/retry/divergence policy for the lossy channel.
   power::ReconcilerParams reconciliation;
+  /// Control-plane fault model: whole-controller blackouts, per-zone
+  /// shard crash windows, control-cycle delay. All-zero (off) by default;
+  /// only the capping managers support it (the baselines throw).
+  power::ControlFaultParams control;
 
   /// Hierarchical control plane: with zone_count >= 2 the capping-policy
   /// managers run as a ZoneTreeManager (Z zone shards + a root learner /
@@ -123,6 +127,15 @@ struct ExperimentResult {
   std::uint64_t reboot_events = 0;
   std::uint64_t commands_abandoned = 0;
   std::uint64_t commands_clamped = 0;
+  // Control-plane fault ground truth (lifetime totals at the end of the
+  // run) and failsafe-watchdog activity.
+  std::uint64_t ctrl_outages = 0;
+  std::uint64_t ctrl_outage_cycles = 0;
+  std::uint64_t ctrl_delayed_cycles = 0;
+  std::uint64_t ctrl_zone_outage_cycles = 0;
+  std::uint64_t watchdog_engagements = 0;
+  std::uint64_t watchdog_transitions = 0;
+  std::size_t watchdog_adoptions = 0;  ///< measured-window delta
 
   // Final registry exports (obs/registry.hpp): every series the engine,
   // cluster and manager published, including the cycle-phase span

@@ -72,6 +72,24 @@ ExperimentConfig lossy_actuation_scenario(std::uint64_t seed) {
   return cfg;
 }
 
+ExperimentConfig controller_outage_scenario(std::uint64_t seed) {
+  ExperimentConfig cfg = small_scenario(seed);
+  cfg.provision_fraction = 0.95;  // capped peak must stay under provision
+  cfg.zone_count = 2;
+  cfg.control.outage_rate = 2e-3;
+  cfg.control.outage_duration_cycles = 40;
+  cfg.control.zone_outage_rate = 2e-3;
+  cfg.control.zone_outage_duration_cycles = 30;
+  cfg.control.delay_rate = 5e-3;
+  cfg.control.delay_max_cycles = 3;
+  // Failsafe well inside an outage window: 8 silent cycles trip the node
+  // to level 2 (a deep but not floor step on the 10-level ladder), so a
+  // 40-cycle blackout spends most of its span capped.
+  cfg.cluster.watchdog.timeout_cycles = 8;
+  cfg.cluster.watchdog.safe_level = 2;
+  return cfg;
+}
+
 ExperimentConfig heterogeneous_scenario(std::uint64_t seed) {
   ExperimentConfig cfg = small_scenario(seed);
   cfg.cluster.num_nodes = 0;

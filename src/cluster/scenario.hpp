@@ -35,4 +35,13 @@ ExperimentConfig faulty_telemetry_scenario(std::uint64_t seed = 23);
 /// must close the loop around with acks, retries and healing commands.
 ExperimentConfig lossy_actuation_scenario(std::uint64_t seed = 31);
 
+/// small_scenario under a failing *controller*: the whole control plane
+/// blacks out for stretches of cycles, individual zone shards crash on
+/// their own windows, and cycles occasionally stall. Node-local failsafe
+/// watchdogs step silent nodes down to a safe level; when the controller
+/// returns, its reconciler adopts the watchdog-imposed levels instead of
+/// fighting them. Two zones, so zone-shard crashes and orphan-zone
+/// accounting are exercised alongside root blackouts.
+ExperimentConfig controller_outage_scenario(std::uint64_t seed = 47);
+
 }  // namespace pcap::cluster

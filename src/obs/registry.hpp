@@ -7,7 +7,7 @@
 // the thread driving the simulation (all existing publish sites sit in
 // the serial sections of the tick/control loop).
 //
-// Determinism rules (see DESIGN.md §10):
+// Determinism rules (see DESIGN.md §11):
 //  * Counters and gauges derived from simulation state are a pure
 //    function of the seed/config — identical across worker counts.
 //  * Span histograms (obs/spans.hpp) record wall-clock durations and are

@@ -6,7 +6,7 @@
 // to destruction and records it as one observation. The measurement uses
 // std::chrono::steady_clock and is therefore non-deterministic by design
 // — span values may never feed back into simulation behaviour (DESIGN.md
-// §9). When the registry's timing gate is off, start() skips the clock
+// §11). When the registry's timing gate is off, start() skips the clock
 // reads entirely, which is how the bench proves the instrumentation's
 // overhead.
 #pragma once

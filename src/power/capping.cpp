@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/logging.hpp"
+#include "power/checkpoint.hpp"
 
 namespace pcap::power {
 
@@ -124,6 +125,19 @@ CycleDecision CappingEngine::red_cycle(const PolicyContext& ctx) {
 void CappingEngine::reset() {
   time_g_ = 0;
   degraded_.clear();
+}
+
+EngineCheckpoint CappingEngine::checkpoint() const {
+  EngineCheckpoint cp;
+  cp.time_g = time_g_;
+  cp.degraded.assign(degraded_.begin(), degraded_.end());  // ascending
+  return cp;
+}
+
+void CappingEngine::restore(const EngineCheckpoint& cp) {
+  time_g_ = cp.time_g;
+  degraded_.clear();
+  degraded_.insert(cp.degraded.begin(), cp.degraded.end());
 }
 
 }  // namespace pcap::power

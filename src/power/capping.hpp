@@ -25,6 +25,8 @@
 
 namespace pcap::power {
 
+struct EngineCheckpoint;  // power/checkpoint.hpp
+
 struct CappingParams {
   std::int64_t steady_green_cycles = 10;  ///< T_g (the paper uses 10, §V.C)
 };
@@ -86,6 +88,19 @@ class CappingEngine {
   /// period still has to re-earn steady-green before restoring — exactly
   /// as if yellow_cycle/red_cycle had run and emitted nothing.
   void note_non_green_cycle() { time_g_ = 0; }
+
+  /// Adopts a node into A_degraded that this engine did not lower itself
+  /// — the failsafe watchdog stepped it down during a controller outage
+  /// and the reconciler adopted the observed level. Membership is what
+  /// lets steady-green restore the node back up; without it the failsafe
+  /// level would stick forever.
+  void adopt_degraded(hw::NodeId id) { degraded_.insert(id); }
+
+  /// Captures/restores (Time_g, A_degraded) for warm restart. The
+  /// lifetime skipped-target counter is process-scoped and not part of
+  /// the image. See power/checkpoint.hpp.
+  [[nodiscard]] EngineCheckpoint checkpoint() const;
+  void restore(const EngineCheckpoint& cp);
 
  private:
   CycleDecision green_cycle(const PolicyContext& ctx);

@@ -1,0 +1,232 @@
+#include "power/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace pcap::power {
+
+namespace {
+
+constexpr const char* kShardHeader = "pcap-shard-checkpoint v1";
+constexpr const char* kTreeHeader = "pcap-tree-checkpoint v1";
+
+/// C99 hexfloat: every bit of the mantissa survives the text round trip
+/// (iostream hexfloat extraction is unreliable across standard libraries,
+/// so both directions go through the C formatting functions).
+std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+/// Whitespace-token reader over the checkpoint image.
+class Tokens {
+ public:
+  explicit Tokens(const std::string& text) : in_(text) {}
+
+  std::string next(const char* what) {
+    std::string tok;
+    if (!(in_ >> tok)) {
+      throw std::runtime_error(std::string("checkpoint: truncated before ") +
+                               what);
+    }
+    return tok;
+  }
+
+  void expect(const char* literal) {
+    const std::string tok = next(literal);
+    if (tok != literal) {
+      throw std::runtime_error(std::string("checkpoint: expected '") +
+                               literal + "', got '" + tok + "'");
+    }
+  }
+
+  double next_double(const char* what) {
+    const std::string tok = next(what);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0') {
+      throw std::runtime_error(std::string("checkpoint: bad double for ") +
+                               what + ": '" + tok + "'");
+    }
+    return v;
+  }
+
+  std::int64_t next_i64(const char* what) {
+    const std::string tok = next(what);
+    char* end = nullptr;
+    const long long v = std::strtoll(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0') {
+      throw std::runtime_error(std::string("checkpoint: bad integer for ") +
+                               what + ": '" + tok + "'");
+    }
+    return static_cast<std::int64_t>(v);
+  }
+
+  std::uint64_t next_u64(const char* what) {
+    const std::string tok = next(what);
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0' || tok[0] == '-') {
+      throw std::runtime_error(std::string("checkpoint: bad count for ") +
+                               what + ": '" + tok + "'");
+    }
+    return static_cast<std::uint64_t>(v);
+  }
+
+  bool next_bool(const char* what) {
+    const std::int64_t v = next_i64(what);
+    if (v != 0 && v != 1) {
+      throw std::runtime_error(std::string("checkpoint: bad flag for ") +
+                               what);
+    }
+    return v == 1;
+  }
+
+ private:
+  std::istringstream in_;
+};
+
+void encode_learner(std::ostringstream& out, const LearnerCheckpoint& l) {
+  out << "learner " << hex_double(l.p_peak) << ' '
+      << hex_double(l.running_peak) << ' ' << hex_double(l.window_peak) << ' '
+      << l.cycles << ' ' << l.cycles_since_adjust << ' ' << l.adjustments
+      << ' ' << (l.frozen ? 1 : 0) << '\n';
+}
+
+LearnerCheckpoint decode_learner(Tokens& t) {
+  t.expect("learner");
+  LearnerCheckpoint l;
+  l.p_peak = t.next_double("p_peak");
+  l.running_peak = t.next_double("running_peak");
+  l.window_peak = t.next_double("window_peak");
+  l.cycles = t.next_i64("cycles");
+  l.cycles_since_adjust = t.next_i64("cycles_since_adjust");
+  l.adjustments = t.next_i64("adjustments");
+  l.frozen = t.next_bool("frozen");
+  return l;
+}
+
+void encode_shard_body(std::ostringstream& out, const ShardCheckpoint& cp) {
+  encode_learner(out, cp.learner);
+  out << "engine " << cp.engine.time_g << ' ' << cp.engine.degraded.size();
+  for (const hw::NodeId id : cp.engine.degraded) out << ' ' << id;
+  out << '\n';
+  out << "recon " << cp.reconciler.slots.size() << '\n';
+  for (const ReconcilerSlotCheckpoint& s : cp.reconciler.slots) {
+    out << "slot " << s.node << ' ' << s.pending_target << ' '
+        << s.issued_cycle << ' ' << s.next_retry_cycle << ' '
+        << s.pending_retries << ' ' << s.believed_level << ' '
+        << s.observed_cycle << ' ' << (s.has_pending ? 1 : 0) << ' '
+        << (s.has_believed ? 1 : 0) << ' ' << (s.unresponsive ? 1 : 0)
+        << '\n';
+  }
+  out << "collector " << cp.collector_cycles << '\n';
+}
+
+ShardCheckpoint decode_shard_body(Tokens& t) {
+  ShardCheckpoint cp;
+  cp.learner = decode_learner(t);
+  t.expect("engine");
+  cp.engine.time_g = t.next_i64("time_g");
+  const std::uint64_t degraded = t.next_u64("degraded count");
+  cp.engine.degraded.reserve(degraded);
+  for (std::uint64_t i = 0; i < degraded; ++i) {
+    cp.engine.degraded.push_back(
+        static_cast<hw::NodeId>(t.next_u64("degraded id")));
+  }
+  t.expect("recon");
+  const std::uint64_t slots = t.next_u64("slot count");
+  cp.reconciler.slots.reserve(slots);
+  for (std::uint64_t i = 0; i < slots; ++i) {
+    t.expect("slot");
+    ReconcilerSlotCheckpoint s;
+    s.node = static_cast<hw::NodeId>(t.next_u64("slot node"));
+    s.pending_target = static_cast<hw::Level>(t.next_i64("pending_target"));
+    s.issued_cycle = t.next_u64("issued_cycle");
+    s.next_retry_cycle = t.next_u64("next_retry_cycle");
+    s.pending_retries = static_cast<int>(t.next_i64("pending_retries"));
+    s.believed_level = static_cast<hw::Level>(t.next_i64("believed_level"));
+    s.observed_cycle = t.next_u64("observed_cycle");
+    s.has_pending = t.next_bool("has_pending");
+    s.has_believed = t.next_bool("has_believed");
+    s.unresponsive = t.next_bool("unresponsive");
+    cp.reconciler.slots.push_back(s);
+  }
+  t.expect("collector");
+  cp.collector_cycles = t.next_u64("collector cycles");
+  return cp;
+}
+
+}  // namespace
+
+std::string encode_checkpoint(const ShardCheckpoint& cp) {
+  std::ostringstream out;
+  out << kShardHeader << '\n';
+  encode_shard_body(out, cp);
+  return out.str();
+}
+
+ShardCheckpoint decode_shard_checkpoint(const std::string& text) {
+  Tokens t(text);
+  t.expect("pcap-shard-checkpoint");
+  t.expect("v1");
+  return decode_shard_body(t);
+}
+
+std::string encode_checkpoint(const TreeCheckpoint& cp) {
+  if (cp.shards.size() != cp.hints.size()) {
+    throw std::runtime_error(
+        "checkpoint: tree shard/hint vectors must be parallel");
+  }
+  std::ostringstream out;
+  out << kTreeHeader << '\n';
+  encode_learner(out, cp.learner);
+  out << "state " << cp.last_state << ' ' << cp.job_events_seen << '\n';
+  out << "zones " << cp.shards.size() << '\n';
+  for (std::size_t z = 0; z < cp.shards.size(); ++z) {
+    out << "zone " << z << '\n';
+    encode_shard_body(out, cp.shards[z]);
+    const ZoneHintCheckpoint& h = cp.hints[z];
+    out << "hint " << (h.hints_valid ? 1 : 0) << ' ' << hex_double(h.power)
+        << ' ' << hex_double(h.capacity) << ' ' << (h.floored ? 1 : 0) << ' '
+        << (h.ever_measured ? 1 : 0) << '\n';
+  }
+  return out.str();
+}
+
+TreeCheckpoint decode_tree_checkpoint(const std::string& text) {
+  Tokens t(text);
+  t.expect("pcap-tree-checkpoint");
+  t.expect("v1");
+  TreeCheckpoint cp;
+  cp.learner = decode_learner(t);
+  t.expect("state");
+  cp.last_state = static_cast<int>(t.next_i64("last_state"));
+  cp.job_events_seen = t.next_u64("job_events_seen");
+  t.expect("zones");
+  const std::uint64_t zones = t.next_u64("zone count");
+  cp.shards.reserve(zones);
+  cp.hints.reserve(zones);
+  for (std::uint64_t z = 0; z < zones; ++z) {
+    t.expect("zone");
+    const std::uint64_t idx = t.next_u64("zone index");
+    if (idx != z) {
+      throw std::runtime_error("checkpoint: zone index out of order");
+    }
+    cp.shards.push_back(decode_shard_body(t));
+    t.expect("hint");
+    ZoneHintCheckpoint h;
+    h.hints_valid = t.next_bool("hints_valid");
+    h.power = t.next_double("hint power");
+    h.capacity = t.next_double("hint capacity");
+    h.floored = t.next_bool("floored");
+    h.ever_measured = t.next_bool("ever_measured");
+    cp.hints.push_back(h);
+  }
+  return cp;
+}
+
+}  // namespace pcap::power

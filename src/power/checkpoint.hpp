@@ -1,0 +1,100 @@
+// Controller checkpoint/warm-restart (§II carried into the failure
+// domain).
+//
+// A restarted controller that relearns thresholds from scratch spends a
+// whole training period uncapped — at 93 % provisioning that is an
+// unacceptable window. These structs capture the control plane's learned
+// and believed state — threshold learner window, Algorithm 1's A_degraded
+// and green timer, the reconciler's shadow tables, the collector's cycle
+// clock, and (for the zone tree) per-zone quiescence hints — so a fresh
+// manager restored from a checkpoint resumes capped behaviour on its
+// first cycle.
+//
+// Encoding is line-oriented text with doubles in C99 hexfloat ("%a"), so
+// a decode → encode round trip is bit-exact: the restored learner
+// thresholds are the checkpointed ones to the last ulp, which is what
+// makes warm-restart runs bit-identical across worker counts and across
+// the save/load boundary. Not checkpointed (by design): RNG fault-stream
+// positions (the injectors model the outside world, which does not
+// rewind), policy selection scratch (rebuilt from the first context), and
+// lifetime observability counters (process-scoped, a restart starts new
+// series).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/node.hpp"
+
+namespace pcap::power {
+
+struct LearnerCheckpoint {
+  double p_peak = 0.0;
+  double running_peak = 0.0;
+  double window_peak = 0.0;
+  std::int64_t cycles = 0;
+  std::int64_t cycles_since_adjust = 0;
+  std::int64_t adjustments = 0;
+  bool frozen = false;
+};
+
+struct EngineCheckpoint {
+  std::int64_t time_g = 0;
+  std::vector<hw::NodeId> degraded;  ///< A_degraded, ascending
+};
+
+struct ReconcilerSlotCheckpoint {
+  hw::NodeId node = 0;
+  hw::Level pending_target = 0;
+  std::uint64_t issued_cycle = 0;
+  std::uint64_t next_retry_cycle = 0;
+  int pending_retries = 0;
+  hw::Level believed_level = 0;
+  std::uint64_t observed_cycle = 0;
+  bool has_pending = false;
+  bool has_believed = false;
+  bool unresponsive = false;
+};
+
+struct ReconcilerCheckpoint {
+  /// Non-empty slots only, ascending node id.
+  std::vector<ReconcilerSlotCheckpoint> slots;
+};
+
+/// One CappingManager's restorable state (flat manager or zone shard).
+struct ShardCheckpoint {
+  LearnerCheckpoint learner;
+  EngineCheckpoint engine;
+  ReconcilerCheckpoint reconciler;
+  /// Collector cycle clock: believed/observed stamps above are in this
+  /// timebase, so the restored collector must resume from it or every
+  /// ack comparison would be skewed.
+  std::uint64_t collector_cycles = 0;
+};
+
+struct ZoneHintCheckpoint {
+  bool hints_valid = false;
+  double power = 0.0;
+  double capacity = 0.0;
+  bool floored = false;
+  bool ever_measured = false;
+};
+
+/// The whole zone tree: root learner + per-shard state + quiescence hints.
+struct TreeCheckpoint {
+  LearnerCheckpoint learner;  ///< the root's (only live) learner
+  std::vector<ShardCheckpoint> shards;
+  std::vector<ZoneHintCheckpoint> hints;  ///< parallel to shards
+  int last_state = 0;                     ///< root dirty-trigger state
+  std::uint64_t job_events_seen = 0;
+};
+
+// Text codecs. decode_* throws std::runtime_error on a malformed or
+// version-mismatched image.
+[[nodiscard]] std::string encode_checkpoint(const ShardCheckpoint& cp);
+[[nodiscard]] ShardCheckpoint decode_shard_checkpoint(const std::string& text);
+[[nodiscard]] std::string encode_checkpoint(const TreeCheckpoint& cp);
+[[nodiscard]] TreeCheckpoint decode_tree_checkpoint(const std::string& text);
+
+}  // namespace pcap::power

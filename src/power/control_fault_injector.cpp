@@ -1,0 +1,154 @@
+#include "power/control_fault_injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace pcap::power {
+
+namespace {
+
+void check_rate(double rate, const char* name) {
+  if (!(rate >= 0.0 && rate <= 1.0)) {
+    throw std::invalid_argument(std::string("ControlFaultParams: '") + name +
+                                "' must be in [0, 1]");
+  }
+}
+
+void check_duration(int cycles, const char* name) {
+  if (cycles < 1) {
+    throw std::invalid_argument(std::string("ControlFaultParams: '") + name +
+                                "' must be >= 1");
+  }
+}
+
+}  // namespace
+
+void ControlFaultParams::validate() const {
+  check_rate(outage_rate, "outage_rate");
+  check_rate(zone_outage_rate, "zone_outage_rate");
+  check_rate(delay_rate, "delay_rate");
+  check_duration(outage_duration_cycles, "outage_duration_cycles");
+  check_duration(zone_outage_duration_cycles, "zone_outage_duration_cycles");
+  check_duration(delay_max_cycles, "delay_max_cycles");
+}
+
+ControlFaultInjector::ControlFaultInjector(ControlFaultParams params,
+                                           common::Rng rng)
+    : params_(params), root_(rng) {
+  params_.validate();
+  // Stream 0 is the root controller's own fault process; zone z draws from
+  // stream 1 + z. stream() is pure, so adding zones later never perturbs
+  // the root schedule.
+  root_domain_.rng = root_.stream(0);
+}
+
+void ControlFaultInjector::ensure_zones(std::size_t zone_count) {
+  while (zones_.size() < zone_count) {
+    Domain d;
+    d.rng = root_.stream(1 + zones_.size());
+    zones_.push_back(d);
+  }
+}
+
+bool ControlFaultInjector::step(Domain& d, bool is_root) {
+  if (d.down_cycles_left > 0) {
+    // An open window: the domain stays silent and the window shortens.
+    --d.down_cycles_left;
+    if (is_root) {
+      if (d.stalled) {
+        ++delayed_cycles_;
+      } else {
+        ++outage_cycles_;
+      }
+    } else {
+      ++zone_outage_cycles_;
+    }
+    d.down_now = true;
+    return true;
+  }
+  d.stalled = false;
+  const double outage_rate =
+      is_root ? params_.outage_rate : params_.zone_outage_rate;
+  if (outage_rate > 0.0 && d.rng.uniform() < outage_rate) {
+    const int duration = is_root ? params_.outage_duration_cycles
+                                 : params_.zone_outage_duration_cycles;
+    d.down_cycles_left = duration - 1;  // this cycle counts as the first
+    if (is_root) {
+      ++outages_started_;
+      ++outage_cycles_;
+    } else {
+      ++zone_outages_started_;
+      ++zone_outage_cycles_;
+    }
+    d.down_now = true;
+    return true;
+  }
+  if (is_root && params_.delay_rate > 0.0 &&
+      d.rng.uniform() < params_.delay_rate) {
+    const int stall = static_cast<int>(
+        d.rng.uniform_int(1, params_.delay_max_cycles));
+    d.down_cycles_left = stall - 1;
+    d.stalled = true;
+    ++delayed_cycles_;
+    d.down_now = true;
+    return true;
+  }
+  d.down_now = false;
+  return false;
+}
+
+bool ControlFaultInjector::begin_cycle() {
+  if (!params_.enabled() && !forced_active_) {
+    root_down_ = false;
+    zones_down_now_ = 0;
+    return false;
+  }
+  root_down_ = step(root_domain_, /*is_root=*/true);
+  zones_down_now_ = 0;
+  bool window_open = root_domain_.down_cycles_left > 0;
+  for (Domain& z : zones_) {
+    if (step(z, /*is_root=*/false)) {
+      ++zones_down_now_;
+    }
+    window_open = window_open || z.down_cycles_left > 0;
+  }
+  // With all rates zero, step() never opens a new window, so once every
+  // injected window drains the fast path above is safe again. Stay on the
+  // slow path for one cycle past the last down cycle: step() is what
+  // clears each domain's down_now, and the fast path never touches them.
+  if (!params_.enabled()) {
+    forced_active_ = window_open || root_down_ || zones_down_now_ > 0;
+  }
+  return root_down_;
+}
+
+void ControlFaultInjector::inject_outage(int cycles) {
+  if (cycles < 1) {
+    throw std::invalid_argument(
+        "ControlFaultInjector::inject_outage: 'cycles' must be >= 1");
+  }
+  if (root_domain_.down_cycles_left == 0) {
+    ++outages_started_;
+  }
+  root_domain_.down_cycles_left =
+      std::max(root_domain_.down_cycles_left, cycles);
+  root_domain_.stalled = false;
+  forced_active_ = true;
+}
+
+void ControlFaultInjector::inject_zone_outage(std::size_t z, int cycles) {
+  if (cycles < 1) {
+    throw std::invalid_argument(
+        "ControlFaultInjector::inject_zone_outage: 'cycles' must be >= 1");
+  }
+  ensure_zones(z + 1);
+  Domain& d = zones_[z];
+  if (d.down_cycles_left == 0) {
+    ++zone_outages_started_;
+  }
+  d.down_cycles_left = std::max(d.down_cycles_left, cycles);
+  forced_active_ = true;
+}
+
+}  // namespace pcap::power

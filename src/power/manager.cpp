@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "power/checkpoint.hpp"
+
 namespace pcap::power {
 
 namespace {
@@ -31,7 +33,11 @@ CappingManager::CappingManager(CappingManagerParams params, PolicyPtr policy,
       learner_(params.thresholds),
       engine_(params.capping),
       channel_(params.actuation, rng.fork("actuation")),
-      reconciler_(params.reconciliation) {
+      reconciler_(params.reconciliation),
+      // "control" is forked LAST: appending the new stream after the two
+      // existing forks leaves every pre-existing seed's collector and
+      // actuation streams untouched.
+      ctrl_faults_(params.control, rng.fork("control")) {
   if (!policy_) throw std::invalid_argument("CappingManager: null policy");
   if (params_.cycle_period <= Seconds{0.0}) {
     throw std::invalid_argument("CappingManager: bad cycle period");
@@ -65,6 +71,25 @@ void CappingManager::set_candidate_set(const std::vector<hw::NodeId>& ids) {
   // index so both agree on membership. The refilter itself is deferred to
   // the next context build.
   job_index_.set_candidate_set(collector_.candidate_set());
+  if (owns_watchdog_groups_ && watchdog_ != nullptr) {
+    watchdog_->set_groups({collector_.candidate_set()});
+  }
+}
+
+void CappingManager::set_watchdog(hw::FailsafeWatchdog* wd) {
+  watchdog_ = wd;
+  watchdog_group_ = 0;
+  owns_watchdog_groups_ = wd != nullptr;
+  if (wd != nullptr) {
+    wd->set_groups({collector_.candidate_set()});
+  }
+}
+
+void CappingManager::attach_watchdog(hw::FailsafeWatchdog* wd,
+                                     std::size_t group) {
+  watchdog_ = wd;
+  watchdog_group_ = group;
+  owns_watchdog_groups_ = false;
 }
 
 void ManagerMetrics::bind(obs::Registry& reg) {
@@ -141,6 +166,20 @@ void ManagerMetrics::bind(obs::Registry& reg) {
   m.commands_clamped = reg.counter("pcap_actuation_commands_clamped_total",
                                    "Requests clamped by the node controller");
 
+  m.ctrl_outage_events = reg.counter("pcap_ctrl_outage_events_total",
+                                     "Root controller outage windows started");
+  m.ctrl_outage_cycles = reg.counter("pcap_ctrl_outage_cycles_total",
+                                     "Cycles the root controller was down");
+  m.ctrl_delayed_cycles =
+      reg.counter("pcap_ctrl_delayed_cycles_total",
+                  "Cycles the root controller lost to stalls");
+  m.ctrl_zone_outage_cycles =
+      reg.counter("pcap_ctrl_zone_outage_cycles_total",
+                  "Zone-cycles lost to zone-shard crashes");
+  m.watchdog_adoptions =
+      reg.counter("pcap_watchdog_adoptions_total",
+                  "Failsafe level changes adopted by the reconciler");
+
   m.measured_watts = reg.gauge("pcap_manager_measured_watts",
                                "Facility meter reading at the last cycle");
   m.p_low_watts = reg.gauge("pcap_manager_p_low_watts",
@@ -153,6 +192,8 @@ void ManagerMetrics::bind(obs::Registry& reg) {
                                    "Candidates currently abandoned");
   m.agents_down = reg.gauge("pcap_telemetry_agents_down",
                             "Profiling agents currently silent");
+  m.orphan_zones = reg.gauge("pcap_ctrl_orphan_zones",
+                             "Zone shards down at the last cycle");
 
   const std::string span = "pcap_cycle_phase_seconds";
   const std::string span_help = "Wall-clock time per control-loop phase";
@@ -205,6 +246,12 @@ void ManagerMetrics::publish(const ManagerReport& report,
   reg->set_total(m.reboot_events, report.reboot_events);
   reg->set_total(m.commands_abandoned, report.commands_abandoned);
   reg->set_total(m.commands_clamped, report.commands_clamped);
+  reg->set_total(m.ctrl_outage_events, report.ctrl_outages);
+  reg->set_total(m.ctrl_outage_cycles, report.ctrl_outage_cycles);
+  reg->set_total(m.ctrl_delayed_cycles, report.ctrl_delayed_cycles);
+  reg->set_total(m.ctrl_zone_outage_cycles, report.ctrl_zone_outage_cycles);
+
+  reg->add(m.watchdog_adoptions, report.watchdog_adoptions);
 
   reg->set(m.measured_watts, report.measured.value());
   reg->set(m.p_low_watts, report.p_low.value());
@@ -213,6 +260,7 @@ void ManagerMetrics::publish(const ManagerReport& report,
            static_cast<double>(report.commands_in_flight));
   reg->set(m.unresponsive_nodes, static_cast<double>(unresponsive_now));
   reg->set(m.agents_down, static_cast<double>(report.agents_down));
+  reg->set(m.orphan_zones, static_cast<double>(report.zones_down));
 }
 
 void CappingManager::bind_metrics(obs::Registry& reg) { metrics_.bind(reg); }
@@ -373,10 +421,25 @@ void CappingManager::build_context_with(
     }
     NodeView nv = vr.view;
     if (rec != nullptr && !nv.stale) {
-      // Ack/divergence/readmission processing runs on fresh views only:
-      // a stale sample predates whatever is in flight and can neither
-      // confirm nor contradict it.
-      rec->observe_node(nv.id, nv.level, vr.sample_cycle, now_cycle, *work);
+      if (watchdog_ != nullptr && watchdog_->adoption_pending(nv.id)) {
+        // The failsafe changed this node during an outage. A fresh sample
+        // showing the node's ACTUAL current level is the post-failsafe
+        // truth: adopt it outright — feeding it to observe_node instead
+        // would log a divergence and heal the node back UP against the
+        // watchdog. A fresh-but-earlier sample (collected before the
+        // failsafe stepped the node, still inside the age window) shows a
+        // level the node no longer holds; holding the node out of the
+        // ack machinery for one cycle is strictly safer than acting on it.
+        if (nv.level == nodes[nv.id].level()) {
+          rec->adopt_reality(nv.id, nv.level, vr.sample_cycle, *work);
+          watchdog_->resolve_adoption(nv.id);
+        }
+      } else {
+        // Ack/divergence/readmission processing runs on fresh views only:
+        // a stale sample predates whatever is in flight and can neither
+        // confirm nor contradict it.
+        rec->observe_node(nv.id, nv.level, vr.sample_cycle, now_cycle, *work);
+      }
     }
     if (nv.stale) {
       ++ctx.stale_nodes;
@@ -488,6 +551,16 @@ void CappingManager::context_phase(Watts measured,
   build_context_with(scratch_ctx_, measured, nodes, scheduler, &reconciler_,
                      &recon_work_);
   reconciler_.finish_observation(collector_.cycle_count(), recon_work_);
+  // Failsafe levels adopted above join A_degraded: steady green is what
+  // restores them back up once the controller has been back long enough.
+  // A node adopted AT its top level (uncommon — safe_level at the top)
+  // has nothing to restore and stays out.
+  for (const LevelCommand& adopted : recon_work_.adopted_nodes) {
+    if (adopted.level < nodes[adopted.node].spec().ladder.highest()) {
+      engine_.adopt_degraded(adopted.node);
+    }
+  }
+  report.watchdog_adoptions = recon_work_.adopted_nodes.size();
   report.stale_nodes = scratch_ctx_.stale_nodes;
   report.missing_nodes = scratch_ctx_.missing_nodes;
   report.fallback_nodes = scratch_ctx_.fallback_nodes;
@@ -515,19 +588,108 @@ std::size_t CappingManager::actuate_phase(const CycleDecision& decision,
   // channel, and only what the channel delivered reaches hardware.
   reconciler_.admit(decision.commands, collector_.cycle_count(), recon_work_);
   channel_.send(recon_work_.commands, nodes, delivered_scratch_);
+  stamp_delivery_contacts();
   return controller_.apply(delivered_scratch_, nodes);
 }
 
 std::size_t CappingManager::apply_deliveries(std::vector<hw::Node>& nodes) {
   if (delivered_scratch_.empty()) return 0;
+  stamp_delivery_contacts();
   return controller_.apply(delivered_scratch_, nodes);
+}
+
+void CappingManager::stamp_delivery_contacts() {
+  if (watchdog_ == nullptr) return;
+  // A delivery is controller traffic the node itself can see, so it
+  // resets that node's silence clock — even when it is a leftover delayed
+  // command landing mid-outage (the node cannot tell the sender is dead;
+  // the timeout budget has to absorb such stragglers).
+  for (const LevelCommand& cmd : delivered_scratch_) {
+    watchdog_->contact(cmd.node);
+  }
+}
+
+void CappingManager::fill_telemetry_totals(ManagerReport& report) const {
+  // Fault/transport ground truth is cumulative collector state — cheap to
+  // read and meaningful on every path, including training, steady green
+  // and controller outages where no context is assembled.
+  report.samples_lost = collector_.samples_lost();
+  report.samples_suppressed = collector_.samples_suppressed();
+  const telemetry::FaultInjector& faults = collector_.fault_injector();
+  report.samples_corrupted = faults.samples_corrupted();
+  report.crash_events = faults.crash_events();
+  report.recovery_events = faults.recovery_events();
+  report.agents_down = faults.silent_count();
+}
+
+void CappingManager::fill_actuation_totals(ManagerReport& report) const {
+  report.commands_lost = channel_.commands_lost();
+  report.commands_rebooting = channel_.commands_dropped_rebooting();
+  report.transitions_failed = channel_.transitions_failed();
+  report.transitions_partial = channel_.transitions_partial();
+  report.reboot_events = channel_.reboot_events();
+  report.commands_abandoned = reconciler_.total_abandoned();
+  report.commands_clamped = controller_.commands_clamped();
+  report.commands_in_flight = reconciler_.pending_count();
+}
+
+void CappingManager::fill_control_totals(ManagerReport& report) const {
+  report.ctrl_outages = ctrl_faults_.outages_started();
+  report.ctrl_outage_cycles = ctrl_faults_.outage_cycles();
+  report.ctrl_delayed_cycles = ctrl_faults_.delayed_cycles();
+  report.ctrl_zone_outage_cycles = ctrl_faults_.zone_outage_cycles();
+  report.zones_down = ctrl_faults_.zones_down();
+}
+
+ManagerReport CappingManager::dead_cycle(Watts measured,
+                                         std::vector<hw::Node>& nodes,
+                                         const sched::Scheduler& scheduler,
+                                         Seconds now) {
+  ManagerReport report;
+  report.controller_down = true;
+  report.measured = measured;
+  report.p_low = learner_.p_low();
+  report.p_high = learner_.p_high();
+  report.training = learner_.training();
+  // The band is physical reality whether or not the controller sees it —
+  // classify against the last-learned thresholds so observers (and the
+  // chaos invariant) keep an honest green/yellow/red record of the
+  // outage. The learner itself observes nothing: a dead controller reads
+  // no meter, so its observation window freezes mid-outage.
+  report.state = classify_power(measured, report.p_low, report.p_high);
+  // No heartbeat (that is the whole point), no sweep — but the collector
+  // clock ticks so per-slot sample ages stay well-defined at recovery.
+  collect_phase(false, nodes, now, scheduler.running_count());
+  report.manager_utilization = collector_.last_cycle_manager_utilization();
+  fill_telemetry_totals(report);
+  // Hardware does not pause with the controller: reboots happen and
+  // already-sent delayed commands still land (stamping watchdog contacts
+  // — the node cannot tell the sender is dead).
+  begin_actuation_phase(nodes);
+  report.transitions = apply_deliveries(nodes);
+  fill_actuation_totals(report);
+  fill_control_totals(report);
+  metrics_.publish(report, reconciler_.unresponsive_count());
+  return report;
 }
 
 ManagerReport CappingManager::cycle(Watts measured,
                                     std::vector<hw::Node>& nodes,
                                     const sched::Scheduler& scheduler,
                                     Seconds now) {
-  // 0. Candidate set re-selection (§III.A algorithm (c)). Routed through
+  // 0. Control-plane fault process. A blacked-out (or stalled) controller
+  // contributes nothing this cycle — the dead path models exactly what
+  // still happens without it. With faults disabled begin_cycle() draws
+  // nothing and the healthy path below is bit-identical to pre-fault
+  // builds.
+  if (ctrl_faults_.begin_cycle()) {
+    return dead_cycle(measured, nodes, scheduler, now);
+  }
+  // A live cycle IS the liveness beacon: every node in this manager's
+  // group hears from its controller this control period.
+  if (watchdog_ != nullptr) watchdog_->heartbeat(watchdog_group_);
+
+  // 0b. Candidate set re-selection (§III.A algorithm (c)). Routed through
   // set_candidate_set so the actuation channel learns new nodes too.
   if (selector_ && selector_->due()) {
     set_candidate_set(selector_->select(nodes, scheduler));
@@ -560,16 +722,7 @@ ManagerReport CappingManager::cycle(Watts measured,
   }
   report.manager_utilization = collector_.last_cycle_manager_utilization();
 
-  // Fault/transport ground truth is cumulative collector state — cheap to
-  // read and meaningful on every path, including training and steady
-  // green where no context is assembled.
-  report.samples_lost = collector_.samples_lost();
-  report.samples_suppressed = collector_.samples_suppressed();
-  const telemetry::FaultInjector& faults = collector_.fault_injector();
-  report.samples_corrupted = faults.samples_corrupted();
-  report.crash_events = faults.crash_events();
-  report.recovery_events = faults.recovery_events();
-  report.agents_down = faults.silent_count();
+  fill_telemetry_totals(report);
 
   // 2b. Actuation-plane hardware events happen whether or not the manager
   // is ready to react: nodes reboot (resetting to their highest level)
@@ -577,21 +730,11 @@ ManagerReport CappingManager::cycle(Watts measured,
   // training, when the arrivals are leftovers from before a reset.
   begin_actuation_phase(nodes);
 
-  const auto fill_actuation_totals = [&] {
-    report.commands_lost = channel_.commands_lost();
-    report.commands_rebooting = channel_.commands_dropped_rebooting();
-    report.transitions_failed = channel_.transitions_failed();
-    report.transitions_partial = channel_.transitions_partial();
-    report.reboot_events = channel_.reboot_events();
-    report.commands_abandoned = reconciler_.total_abandoned();
-    report.commands_clamped = controller_.commands_clamped();
-    report.commands_in_flight = reconciler_.pending_count();
-  };
-
   // 3. During training the system runs unmanaged (§V.C).
   if (report.training) {
     apply_deliveries(nodes);
-    fill_actuation_totals();
+    fill_actuation_totals(report);
+    fill_control_totals(report);
     metrics_.publish(report, reconciler_.unresponsive_count());
     return report;
   }
@@ -626,9 +769,29 @@ ManagerReport CappingManager::cycle(Watts measured,
   report.retries = recon_work_.retries;
   report.divergences = recon_work_.divergences;
   report.heals = recon_work_.heals;
-  fill_actuation_totals();
+  fill_actuation_totals(report);
+  fill_control_totals(report);
   metrics_.publish(report, reconciler_.unresponsive_count());
   return report;
+}
+
+ShardCheckpoint CappingManager::checkpoint() const {
+  ShardCheckpoint cp;
+  cp.learner = learner_.checkpoint();
+  cp.engine = engine_.checkpoint();
+  cp.reconciler = reconciler_.checkpoint();
+  cp.collector_cycles = collector_.cycle_count();
+  return cp;
+}
+
+void CappingManager::restore(const ShardCheckpoint& cp) {
+  learner_.restore(cp.learner);
+  engine_.restore(cp.engine);
+  reconciler_.restore(cp.reconciler);
+  // Believed/observed stamps in the restored shadow tables are in the
+  // checkpointed collector timebase; resume the clock there or every ack
+  // and staleness comparison would be skewed by the restart.
+  collector_.restore_cycle_count(cp.collector_cycles);
 }
 
 ManagerReport NoCappingManager::cycle(Watts measured,

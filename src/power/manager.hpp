@@ -20,11 +20,13 @@
 
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
+#include "hw/watchdog.hpp"
 #include "obs/registry.hpp"
 #include "obs/spans.hpp"
 #include "power/actuation_channel.hpp"
 #include "power/candidate_selector.hpp"
 #include "power/capping.hpp"
+#include "power/control_fault_injector.hpp"
 #include "power/job_index.hpp"
 #include "power/node_controller.hpp"
 #include "power/policy.hpp"
@@ -35,6 +37,8 @@
 #include "telemetry/collector.hpp"
 
 namespace pcap::power {
+
+struct ShardCheckpoint;  // power/checkpoint.hpp
 
 /// What one control cycle did — recorded by experiments per cycle.
 struct ManagerReport {
@@ -83,6 +87,18 @@ struct ManagerReport {
   std::uint64_t reboot_events = 0;
   std::uint64_t commands_abandoned = 0;  ///< retry budget exhausted
   std::uint64_t commands_clamped = 0;    ///< request clamped by the node
+
+  // Control-plane failure domain (see power/control_fault_injector.hpp).
+  bool controller_down = false;  ///< root controller silent this cycle
+  std::size_t zones_down = 0;    ///< zone shards silent this cycle
+  /// Failsafe watchdog levels the reconciler adopted as reality this
+  /// cycle (zero divergence warnings for them by construction).
+  std::size_t watchdog_adoptions = 0;
+  // Cumulative control-fault ground truth (injector lifetime totals).
+  std::uint64_t ctrl_outages = 0;  ///< root outage windows started
+  std::uint64_t ctrl_outage_cycles = 0;
+  std::uint64_t ctrl_delayed_cycles = 0;
+  std::uint64_t ctrl_zone_outage_cycles = 0;
 };
 
 /// Registry bindings shared by every capping-style manager (the flat
@@ -104,9 +120,12 @@ struct ManagerMetrics {
   obs::CounterHandle commands_lost, commands_rebooting, transitions_failed,
       transitions_partial, reboot_events, commands_abandoned,
       commands_clamped;
+  obs::CounterHandle ctrl_outage_events, ctrl_outage_cycles,
+      ctrl_delayed_cycles, ctrl_zone_outage_cycles;
+  obs::CounterHandle watchdog_adoptions;
   // Instantaneous state.
   obs::GaugeHandle measured_watts, p_low_watts, p_high_watts,
-      commands_in_flight, unresponsive_nodes, agents_down;
+      commands_in_flight, unresponsive_nodes, agents_down, orphan_zones;
   // Control-loop stage timers.
   obs::SpanTimer collect_span, context_span, policy_span, actuate_span;
 
@@ -140,6 +159,14 @@ class PowerManagerBase {
   /// per-cycle publish is pure array stores; the default implementation
   /// publishes nothing.
   virtual void bind_metrics(obs::Registry& /*reg*/) {}
+
+  /// Offers the cluster's node-local failsafe watchdog (owned by the
+  /// caller, outliving the manager's use of it; nullptr detaches). A live
+  /// manager heartbeats it every cycle and stamps per-node contacts on
+  /// command delivery; managers that model no controller liveness (the
+  /// baselines) ignore it — the watchdog then never times out because it
+  /// has no groups.
+  virtual void set_watchdog(hw::FailsafeWatchdog* /*wd*/) {}
 };
 
 struct CappingManagerParams {
@@ -178,6 +205,11 @@ struct CappingManagerParams {
   /// with perfect actuation every command acks on the next cycle's
   /// telemetry, so the reconciler never emits anything.
   ReconcilerParams reconciliation;
+  /// Controller-failure model (outage/stall windows). Default-constructed
+  /// = an immortal controller; the injector then draws nothing and the
+  /// healthy path is byte-for-byte what it was without one. Under the
+  /// zone tree the root owns all windows and clears this on the shards.
+  ControlFaultParams control;
 };
 
 /// The paper's architecture: candidate-set telemetry + threshold learning
@@ -203,7 +235,7 @@ class CappingManager final : public PowerManagerBase {
 
   /// Preregisters every manager series (counters, gauges, cycle-phase
   /// spans) in `reg`. ManagerReport and the trace CSV then become views
-  /// over the values the registry accumulates — see DESIGN.md §10.
+  /// over the values the registry accumulates — see DESIGN.md §11.
   void bind_metrics(obs::Registry& reg) override;
 
   /// The pool parallelises both the telemetry sweep and context assembly
@@ -231,9 +263,40 @@ class CappingManager final : public PowerManagerBase {
   [[nodiscard]] const ActuationReconciler& reconciler() const {
     return reconciler_;
   }
+  [[nodiscard]] const ControlFaultInjector& control_faults() const {
+    return ctrl_faults_;
+  }
+  /// Mutable access for drills: inject a forced outage window from a test
+  /// or an operator console. Serial with cycle().
+  [[nodiscard]] ControlFaultInjector& control_faults() {
+    return ctrl_faults_;
+  }
   [[nodiscard]] const TargetSelectionPolicy& policy() const {
     return *policy_;
   }
+
+  /// Cluster-owned watchdog: this manager becomes group 0 and (re)groups
+  /// the watchdog over its candidate set now and on every
+  /// set_candidate_set.
+  void set_watchdog(hw::FailsafeWatchdog* wd) override;
+  /// Tree-driven variant: attach as group `group` without touching the
+  /// watchdog's grouping (the zone tree owns the partition).
+  void attach_watchdog(hw::FailsafeWatchdog* wd, std::size_t group);
+  /// Any failsafe-changed levels in this manager's group still awaiting
+  /// reconciler adoption? Forces a context build — adoption only happens
+  /// through one.
+  [[nodiscard]] bool watchdog_pending() const {
+    return watchdog_ != nullptr &&
+           watchdog_->adoption_pending_in_group(watchdog_group_);
+  }
+
+  /// Captures/restores the warm-restart state (learner, engine,
+  /// reconciler shadow tables, collector clock). Restore into a freshly
+  /// constructed manager AFTER set_candidate_set: policy scratch and the
+  /// job index rebuild from the first context, and injector fault streams
+  /// restart — the outside world does not rewind with the controller.
+  [[nodiscard]] ShardCheckpoint checkpoint() const;
+  void restore(const ShardCheckpoint& cp);
 
   /// Builds the policy context from current telemetry and scheduler state;
   /// public so benchmarks can measure selection cost in isolation.
@@ -266,7 +329,7 @@ class CappingManager final : public PowerManagerBase {
     return state != PowerState::kGreen || !engine_.degraded().empty() ||
            reconciler_.pending_count() > 0 ||
            reconciler_.unresponsive_count() > 0 ||
-           channel_.in_flight_count() > 0;
+           channel_.in_flight_count() > 0 || watchdog_pending();
   }
 
   /// True when the steady-green stride schedule says the upcoming cycle
@@ -323,6 +386,25 @@ class CappingManager final : public PowerManagerBase {
   [[nodiscard]] const CappingManagerParams& params() const { return params_; }
 
  private:
+  /// The outage path: the controller is silent this cycle. No meter read
+  /// reaches the learner, no heartbeat, no sweep, no decision — but
+  /// hardware keeps moving (reboots, due deliveries land and stamp
+  /// watchdog contacts) and the collector clock ticks so staleness stays
+  /// well-defined. The report still classifies against the last-learned
+  /// thresholds: the band is physically real whether or not anyone is
+  /// watching it.
+  ManagerReport dead_cycle(Watts measured, std::vector<hw::Node>& nodes,
+                           const sched::Scheduler& scheduler, Seconds now);
+
+  /// Report-filling helpers shared by the live and dead paths.
+  void fill_telemetry_totals(ManagerReport& report) const;
+  void fill_actuation_totals(ManagerReport& report) const;
+  void fill_control_totals(ManagerReport& report) const;
+
+  /// Stamps watchdog contact for every command in delivered_scratch_ —
+  /// a delivery is the one controller signal a node can see directly.
+  void stamp_delivery_contacts();
+
   /// The real context assembly. When `rec` is non-null, each fresh node
   /// view is fed through the reconciler (acks/divergences/heals into
   /// `work`), in-flight commands mark their views, and the safe-side
@@ -368,6 +450,15 @@ class CappingManager final : public PowerManagerBase {
   NodeController controller_;
   ActuationChannel channel_;
   ActuationReconciler reconciler_;
+  // ctrl_faults_'s rng fork ("control") is appended strictly after
+  // "collector" and "actuation": the new stream must not perturb either
+  // existing one, or every pre-PR-8 seed would replay differently.
+  ControlFaultInjector ctrl_faults_;
+  hw::FailsafeWatchdog* watchdog_ = nullptr;
+  std::size_t watchdog_group_ = 0;
+  /// True when this manager owns the watchdog's grouping (flat mode);
+  /// false when the zone tree partitioned it and shards merely attach.
+  bool owns_watchdog_groups_ = false;
   std::optional<CandidateSelector> selector_;
   /// Effective steady-green sweep stride (param clamped against the
   /// staleness bound at construction).

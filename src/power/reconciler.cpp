@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/logging.hpp"
+#include "power/checkpoint.hpp"
 
 namespace pcap::power {
 
@@ -30,6 +31,7 @@ void ActuationReconciler::CycleWork::clear() {
   abandoned = 0;
   suppressed = 0;
   readmitted = 0;
+  adopted_nodes.clear();
 }
 
 ActuationReconciler::ActuationReconciler(ReconcilerParams params)
@@ -131,6 +133,30 @@ void ActuationReconciler::observe_node(hw::NodeId id, hw::Level observed,
   s.observed_cycle = sample_cycle;
 }
 
+void ActuationReconciler::adopt_reality(hw::NodeId id, hw::Level observed,
+                                        std::uint64_t sample_cycle,
+                                        CycleWork& work) {
+  Slot& s = slot(id);
+  if (s.unresponsive) {
+    s.unresponsive = false;
+    --unresponsive_count_;
+    ++work.readmitted;
+    ++readmitted_;
+  }
+  if (s.has_pending) {
+    // The failsafe stomped whatever was in flight; keeping the pending
+    // command alive would retry — and eventually apply — a level the
+    // watchdog deliberately overrode.
+    s.has_pending = false;
+    --pending_count_;
+  }
+  s.has_believed = true;
+  s.believed_level = observed;
+  s.observed_cycle = std::max(s.observed_cycle, sample_cycle);
+  work.adopted_nodes.push_back(LevelCommand{id, observed});
+  ++adopted_;
+}
+
 void ActuationReconciler::finish_observation(std::uint64_t cycle,
                                              CycleWork& work) {
   if (pending_count_ == 0) return;
@@ -195,6 +221,47 @@ hw::Level ActuationReconciler::believed(hw::NodeId id,
                                         hw::Level fallback) const {
   const Slot* s = find_slot(id);
   return s == nullptr || !s->has_believed ? fallback : s->believed_level;
+}
+
+ReconcilerCheckpoint ActuationReconciler::checkpoint() const {
+  ReconcilerCheckpoint cp;
+  for (std::size_t idx = 0; idx < slots_.size(); ++idx) {
+    const Slot& s = slots_[idx];
+    if (!s.has_pending && !s.has_believed && !s.unresponsive) continue;
+    ReconcilerSlotCheckpoint sc;
+    sc.node = static_cast<hw::NodeId>(idx);
+    sc.pending_target = s.pending_target;
+    sc.issued_cycle = s.issued_cycle;
+    sc.next_retry_cycle = s.next_retry_cycle;
+    sc.pending_retries = s.pending_retries;
+    sc.believed_level = s.believed_level;
+    sc.observed_cycle = s.observed_cycle;
+    sc.has_pending = s.has_pending;
+    sc.has_believed = s.has_believed;
+    sc.unresponsive = s.unresponsive;
+    cp.slots.push_back(sc);
+  }
+  return cp;
+}
+
+void ActuationReconciler::restore(const ReconcilerCheckpoint& cp) {
+  slots_.clear();
+  pending_count_ = 0;
+  unresponsive_count_ = 0;
+  for (const ReconcilerSlotCheckpoint& sc : cp.slots) {
+    Slot& s = slot(sc.node);
+    s.pending_target = sc.pending_target;
+    s.issued_cycle = sc.issued_cycle;
+    s.next_retry_cycle = sc.next_retry_cycle;
+    s.pending_retries = sc.pending_retries;
+    s.believed_level = sc.believed_level;
+    s.observed_cycle = sc.observed_cycle;
+    s.has_pending = sc.has_pending;
+    s.has_believed = sc.has_believed;
+    s.unresponsive = sc.unresponsive;
+    if (s.has_pending) ++pending_count_;
+    if (s.unresponsive) ++unresponsive_count_;
+  }
 }
 
 }  // namespace pcap::power

@@ -40,6 +40,8 @@
 
 namespace pcap::power {
 
+struct ReconcilerCheckpoint;  // power/checkpoint.hpp
+
 struct ReconcilerParams {
   /// A command unacked past its backoff horizon is re-sent at most this
   /// many times before the node is declared unresponsive.
@@ -69,6 +71,10 @@ class ActuationReconciler {
     std::size_t abandoned = 0;
     std::size_t suppressed = 0;  ///< commands dropped: node unresponsive
     std::size_t readmitted = 0;
+    /// Watchdog-changed levels adopted as reality this cycle (node, the
+    /// level it was observed at). The manager feeds these into
+    /// CappingEngine::adopt_degraded so steady-green restores them.
+    std::vector<LevelCommand> adopted_nodes;
     void clear();
   };
 
@@ -86,6 +92,16 @@ class ActuationReconciler {
   void observe_node(hw::NodeId id, hw::Level observed,
                     std::uint64_t sample_cycle, std::uint64_t now_cycle,
                     CycleWork& work);
+
+  /// Adopts a node's observed level as the new believed truth — the
+  /// failsafe watchdog changed it during a controller outage, so the
+  /// divergence machinery must NOT heal it back up. Unlike a readmission,
+  /// adoption also cancels any pending command (the watchdog stomped
+  /// whatever the old intent was; retrying it later would raise a node
+  /// the failsafe deliberately lowered) and clears unresponsive state.
+  /// The adopted (node, level) is appended to `work.adopted_nodes`.
+  void adopt_reality(hw::NodeId id, hw::Level observed,
+                     std::uint64_t sample_cycle, CycleWork& work);
 
   /// After all observations for the cycle: emits due retries into
   /// `work.commands` and abandons commands whose retry budget ran out.
@@ -129,8 +145,16 @@ class ActuationReconciler {
   [[nodiscard]] std::uint64_t total_abandoned() const { return abandoned_; }
   [[nodiscard]] std::uint64_t total_suppressed() const { return suppressed_; }
   [[nodiscard]] std::uint64_t total_readmitted() const { return readmitted_; }
+  [[nodiscard]] std::uint64_t total_adopted() const { return adopted_; }
 
   [[nodiscard]] const ReconcilerParams& params() const { return params_; }
+
+  /// Captures the shadow tables for warm restart (non-empty slots only).
+  /// Lifetime counters are process-scoped and not part of the image.
+  [[nodiscard]] ReconcilerCheckpoint checkpoint() const;
+  /// Rebuilds the shadow tables from a checkpoint; pending/unresponsive
+  /// counts are recomputed from the restored slots.
+  void restore(const ReconcilerCheckpoint& cp);
 
  private:
   /// Per-node reconciliation state, indexed directly by node id. The
@@ -179,6 +203,7 @@ class ActuationReconciler {
   std::uint64_t abandoned_ = 0;
   std::uint64_t suppressed_ = 0;
   std::uint64_t readmitted_ = 0;
+  std::uint64_t adopted_ = 0;
 };
 
 }  // namespace pcap::power

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "power/checkpoint.hpp"
+
 namespace pcap::power {
 
 ThresholdLearner::ThresholdLearner(ThresholdParams params)
@@ -79,6 +81,32 @@ void ThresholdLearner::set_manual_peak(Watts p_peak, bool freeze) {
   // may displace it, and they get a full t_p window to accumulate.
   window_peak_ = Watts{0.0};
   cycles_since_adjust_ = 0;
+}
+
+LearnerCheckpoint ThresholdLearner::checkpoint() const {
+  LearnerCheckpoint cp;
+  cp.p_peak = p_peak_.value();
+  cp.running_peak = running_peak_.value();
+  cp.window_peak = window_peak_.value();
+  cp.cycles = cycles_;
+  cp.cycles_since_adjust = cycles_since_adjust_;
+  cp.adjustments = adjustments_;
+  cp.frozen = frozen_;
+  return cp;
+}
+
+void ThresholdLearner::restore(const LearnerCheckpoint& cp) {
+  if (!(cp.p_peak > 0.0)) {
+    throw std::invalid_argument(
+        "ThresholdLearner::restore: checkpointed p_peak must be > 0");
+  }
+  p_peak_ = Watts{cp.p_peak};
+  running_peak_ = Watts{cp.running_peak};
+  window_peak_ = Watts{cp.window_peak};
+  cycles_ = cp.cycles;
+  cycles_since_adjust_ = cp.cycles_since_adjust;
+  adjustments_ = cp.adjustments;
+  frozen_ = cp.frozen;
 }
 
 }  // namespace pcap::power

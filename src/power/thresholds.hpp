@@ -17,6 +17,8 @@
 
 namespace pcap::power {
 
+struct LearnerCheckpoint;  // power/checkpoint.hpp
+
 struct ThresholdParams {
   Watts provision{0.0};        ///< P_Max: power provision capability.
   double red_margin = 0.07;    ///< P_H = (1 - red_margin) * P_peak.
@@ -61,6 +63,15 @@ class ThresholdLearner {
   /// Manual override (§III.A: thresholds "can be set manually by the
   /// system administrator"). Freezes learning when `freeze` is true.
   void set_manual_peak(Watts p_peak, bool freeze = true);
+
+  /// Captures the full learning state for warm restart; params are not
+  /// part of the image (a restarted controller keeps its configured
+  /// margins). See power/checkpoint.hpp.
+  [[nodiscard]] LearnerCheckpoint checkpoint() const;
+  /// Restores learning state from a checkpoint: the observation window,
+  /// adopted P_peak and training progress resume exactly where the
+  /// checkpointed learner left off.
+  void restore(const LearnerCheckpoint& cp);
 
  private:
   void adjust();

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "power/checkpoint.hpp"
+
 namespace pcap::power {
 
 namespace {
@@ -54,9 +56,13 @@ ZoneTreeManager::ZoneTreeManager(ZoneTreeParams params,
   }
   // The shards never classify or learn: freeze their learners at the
   // provision so their construction is valid and inert, and root-managed
-  // training never double-counts.
+  // training never double-counts. Their control-fault injectors are
+  // cleared for the same reason: the tree owns every outage window (root
+  // blackouts and per-zone crashes alike), drawn from its own streams.
   CappingManagerParams zp = shard_params;
   zp.thresholds.freeze_at_provision = true;
+  zp.control = ControlFaultParams{};
+  orphan_margin_ = shard_params.stale_power_margin;
   zones_.resize(params_.zone_count);
   for (std::size_t z = 0; z < zones_.size(); ++z) {
     // One rng branch per zone: zone z's fault/transport streams depend
@@ -64,6 +70,11 @@ ZoneTreeManager::ZoneTreeManager(ZoneTreeParams params,
     zones_[z].shard = std::make_unique<CappingManager>(
         zp, policy_factory(), rng.fork("zone" + std::to_string(z)));
   }
+  // Forked after every zone branch so enabling/disabling control faults —
+  // or adding this fork at all — cannot perturb the zone streams existing
+  // seeds depend on.
+  ctrl_faults_.emplace(shard_params.control, rng.fork("control"));
+  ctrl_faults_->ensure_zones(zones_.size());
 }
 
 std::string ZoneTreeManager::name() const {
@@ -98,7 +109,26 @@ void ZoneTreeManager::set_candidate_set(const std::vector<hw::NodeId>& ids) {
   for (Zone& zone : zones_) {
     zone.shard->set_candidate_set(zone.members);
     zone.hints_valid = false;  // membership changed: hints describe the past
+    zone.ever_measured = false;
+    zone.worst_case_valid = false;
   }
+  refresh_watchdog_groups();
+}
+
+void ZoneTreeManager::set_watchdog(hw::FailsafeWatchdog* wd) {
+  watchdog_ = wd;
+  for (std::size_t z = 0; z < zones_.size(); ++z) {
+    zones_[z].shard->attach_watchdog(wd, z);
+  }
+  refresh_watchdog_groups();
+}
+
+void ZoneTreeManager::refresh_watchdog_groups() {
+  if (watchdog_ == nullptr) return;
+  std::vector<std::vector<hw::NodeId>> groups;
+  groups.reserve(zones_.size());
+  for (const Zone& zone : zones_) groups.push_back(zone.members);
+  watchdog_->set_groups(groups);
 }
 
 void ZoneTreeManager::invalidate_hints() {
@@ -129,11 +159,20 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
                                      std::vector<hw::Node>& nodes,
                                      const sched::Scheduler& scheduler,
                                      Seconds now) {
+  // Control-fault windows advance first: a root blackout silences the
+  // whole tree (no learning, no heartbeats, no decisions), a zone window
+  // silences just that shard while the root conservatively re-plans
+  // around the orphan.
+  const bool root_down = ctrl_faults_->begin_cycle();
+
   // Root: threshold learning + global classification — one learner, one
-  // facility meter reading, exactly like the flat manager's step 1.
-  learner_.observe(measured);
+  // facility meter reading, exactly like the flat manager's step 1. A
+  // dead root cannot observe, but the band it last learned is still real,
+  // so classification (and the report) use the frozen thresholds.
+  if (!root_down) learner_.observe(measured);
 
   ManagerReport report;
+  report.controller_down = root_down;
   report.measured = measured;
   report.p_low = learner_.p_low();
   report.p_high = learner_.p_high();
@@ -141,15 +180,36 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
   report.state = classify_power(measured, report.p_low, report.p_high);
   const PowerState state = report.state;
 
-  // Root dirty triggers: a global state change re-arms every zone, and so
-  // does any job start/finish (membership of busy sets — and therefore
-  // shed capacity — may have moved anywhere).
-  const std::size_t job_events = scheduler.job_events().size();
-  if (state != last_state_ || job_events != job_events_seen_) {
+  if (root_down) {
+    // The root is blind this cycle: whatever it believed about the zones
+    // is stale by the time it wakes, and the dirty triggers below did not
+    // run, so every hint is dropped outright.
     invalidate_hints();
+  } else {
+    // Root dirty triggers: a global state change re-arms every zone, and
+    // so does any job start/finish (membership of busy sets — and
+    // therefore shed capacity — may have moved anywhere).
+    const std::size_t job_events = scheduler.job_events().size();
+    if (state != last_state_ || job_events != job_events_seen_) {
+      invalidate_hints();
+    }
+    last_state_ = state;
+    job_events_seen_ = job_events;
   }
-  last_state_ = state;
-  job_events_seen_ = job_events;
+
+  // Zone liveness scratch + watchdog heartbeats — serial (the watchdog is
+  // shared state). Group z heartbeats exactly when zone z's shard is up
+  // AND the root is up: a node's silence clock only resets on controller
+  // traffic it could actually have seen.
+  for (std::size_t z = 0; z < zones_.size(); ++z) {
+    Zone& zone = zones_[z];
+    zone.down = root_down || ctrl_faults_->zone_down(z);
+    if (zone.down) {
+      zone.hints_valid = false;
+    } else if (watchdog_ != nullptr) {
+      watchdog_->heartbeat(z);
+    }
+  }
 
   const bool training = report.training;
   const std::size_t running_jobs = scheduler.running_count();
@@ -168,19 +228,27 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
           zone.share = Watts{0.0};
           zone.transitions = 0;
 
-          const bool gate = m.context_gate(state);
-          if (training) {
+          if (zone.down) {
+            // Crashed shard: no gate, no sweep, no decision — only the
+            // collector clock ticks (sample ages and reconciler deadlines
+            // stay well-defined at recovery).
+            zone.active = false;
+            zone.collected = false;
+          } else if (training) {
+            const bool gate = m.context_gate(state);
             zone.active = false;
             zone.collected = gate || m.collect_due();
           } else if (state == PowerState::kGreen) {
+            const bool gate = m.context_gate(state);
             zone.active = gate;
             zone.collected = gate || m.collect_due();
           } else {
             // Yellow/red quiescence: a hinted zone with nothing left to
             // shed (yellow: zero job capacity; red: every node already at
-            // the floor) is skipped. Anything pending, in flight or
-            // unresponsive forces activity — acks and readmissions only
-            // arrive through a context build.
+            // the floor) is skipped. Anything pending, in flight,
+            // unresponsive or awaiting watchdog adoption forces activity —
+            // acks, readmissions and adoptions only arrive through a
+            // context build.
             const bool nothing_to_shed = state == PowerState::kYellow
                                              ? zone.capacity <= Watts{0.0}
                                              : zone.floored;
@@ -188,7 +256,8 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
                 zone.hints_valid && nothing_to_shed &&
                 m.reconciler().pending_count() == 0 &&
                 m.reconciler().unresponsive_count() == 0 &&
-                m.actuation_channel().in_flight_count() == 0;
+                m.actuation_channel().in_flight_count() == 0 &&
+                !m.watchdog_pending();
             zone.active = !quiescent;
             zone.collected = zone.active;
           }
@@ -235,6 +304,13 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
       report.commands_in_flight += m.reconciler().pending_count();
     }
     report.manager_utilization = utilization;
+    // Control-plane fault truth lives in the tree's injector (the shards'
+    // own injectors are cleared at construction and count nothing).
+    report.zones_down = ctrl_faults_->zones_down();
+    report.ctrl_outages = ctrl_faults_->outages_started();
+    report.ctrl_outage_cycles = ctrl_faults_->outage_cycles();
+    report.ctrl_delayed_cycles = ctrl_faults_->delayed_cycles();
+    report.ctrl_zone_outage_cycles = ctrl_faults_->zone_outage_cycles();
   };
 
   const auto publish = [&] {
@@ -286,6 +362,7 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
           zone.power = power;
           zone.capacity = capacity;
           zone.floored = floored;
+          zone.ever_measured = true;
         }
       });
 
@@ -295,7 +372,31 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
   // count). Only zones that are active AND still have shed capacity are
   // eligible; skipped zones keep share 0.
   if (state == PowerState::kYellow) {
-    const Watts deficit = std::max(Watts{0.0}, measured - report.p_low);
+    Watts deficit = std::max(Watts{0.0}, measured - report.p_low);
+    // Orphan-zone adoption: a downed shard cannot shed its share, and the
+    // root cannot see where its draw is heading. The meter already counts
+    // the orphan's actual power, so the live zones inherit its share of
+    // the deficit by construction (it is simply ineligible below); on top
+    // of that the deficit is inflated by margin × the orphan's accounted
+    // power — last-known context power when it was ever measured, the
+    // members' theoretical max otherwise — so unseen upward drift inside
+    // the orphan is shed by its siblings instead of breaching P_H.
+    for (Zone& zone : zones_) {
+      if (!zone.down) continue;
+      if (zone.ever_measured) {
+        deficit += zone.power * orphan_margin_;
+      } else {
+        if (!zone.worst_case_valid) {
+          Watts wc{0.0};
+          for (const hw::NodeId id : zone.members) {
+            wc += nodes[id].spec().power_model.theoretical_max();
+          }
+          zone.worst_case = wc;
+          zone.worst_case_valid = true;
+        }
+        deficit += zone.worst_case * orphan_margin_;
+      }
+    }
     Watts eligible_power{0.0};
     std::size_t eligible = 0;
     for (const Zone& zone : zones_) {
@@ -325,6 +426,10 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
         for (std::size_t z = begin; z < end; ++z) {
           Zone& zone = zones_[z];
           CappingManager& m = *zone.shard;
+          // A crashed shard decides nothing — not even a green-timer tick
+          // or a non-green reset; its engine clock freezes mid-outage
+          // exactly as the flat manager's does on a dead cycle.
+          if (zone.down) continue;
           switch (state) {
             case PowerState::kGreen:
               zone.decision = m.select_phase(kGreenP, kGreenLow, kGreenHigh);
@@ -357,6 +462,13 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
   // clean build.
   for (Zone& zone : zones_) {
     CappingManager& m = *zone.shard;
+    if (zone.down) {
+      // Dead shard: no admissions, no retries, no heals — but commands
+      // already in the network still land (stamping watchdog contacts;
+      // the node cannot tell the sender died after transmitting).
+      zone.transitions = m.apply_deliveries(nodes);
+      continue;
+    }
     zone.transitions = m.actuate_phase(zone.decision, nodes);
     if (zone.active) {
       const ManagerReport& zr = zone.report;
@@ -385,10 +497,57 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
     report.retries += work.retries;
     report.divergences += work.divergences;
     report.heals += work.heals;
+    report.watchdog_adoptions += zone.report.watchdog_adoptions;
   }
   fill_totals();
   publish();
   return report;
+}
+
+TreeCheckpoint ZoneTreeManager::checkpoint() const {
+  TreeCheckpoint cp;
+  cp.learner = learner_.checkpoint();
+  cp.last_state = static_cast<int>(last_state_);
+  cp.job_events_seen = job_events_seen_;
+  cp.shards.reserve(zones_.size());
+  cp.hints.reserve(zones_.size());
+  for (const Zone& zone : zones_) {
+    cp.shards.push_back(zone.shard->checkpoint());
+    ZoneHintCheckpoint h;
+    h.hints_valid = zone.hints_valid;
+    h.power = zone.power.value();
+    h.capacity = zone.capacity.value();
+    h.floored = zone.floored;
+    h.ever_measured = zone.ever_measured;
+    cp.hints.push_back(h);
+  }
+  return cp;
+}
+
+void ZoneTreeManager::restore(const TreeCheckpoint& cp) {
+  if (cp.shards.size() != zones_.size() ||
+      cp.hints.size() != zones_.size()) {
+    throw std::invalid_argument(
+        "ZoneTreeManager::restore: checkpoint zone count (" +
+        std::to_string(cp.shards.size()) + ") != tree zone count (" +
+        std::to_string(zones_.size()) + ")");
+  }
+  learner_.restore(cp.learner);
+  last_state_ = static_cast<PowerState>(cp.last_state);
+  job_events_seen_ = cp.job_events_seen;
+  for (std::size_t z = 0; z < zones_.size(); ++z) {
+    Zone& zone = zones_[z];
+    zone.shard->restore(cp.shards[z]);
+    const ZoneHintCheckpoint& h = cp.hints[z];
+    zone.hints_valid = h.hints_valid;
+    zone.power = Watts{h.power};
+    zone.capacity = Watts{h.capacity};
+    zone.floored = h.floored;
+    zone.ever_measured = h.ever_measured;
+    // Worst-case caches are re-derived from the live node table, not
+    // carried across a restart.
+    zone.worst_case_valid = false;
+  }
 }
 
 }  // namespace pcap::power

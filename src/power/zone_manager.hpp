@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,8 @@
 #include "power/thresholds.hpp"
 
 namespace pcap::power {
+
+struct TreeCheckpoint;  // power/checkpoint.hpp
 
 struct ZoneTreeParams {
   enum class Assignment : std::uint8_t {
@@ -103,6 +106,27 @@ class ZoneTreeManager final : public PowerManagerBase {
   /// labels.
   void bind_metrics(obs::Registry& reg) override;
 
+  /// Watchdog group z = zone z: each shard attaches under its zone index
+  /// and the tree owns the grouping (refreshed on every repartition).
+  void set_watchdog(hw::FailsafeWatchdog* wd) override;
+
+  /// The tree's control-fault process (root blackouts + per-zone crash
+  /// windows; the shards' own injectors are cleared at construction so
+  /// every window is drawn here, from streams keyed by (seed, zone)).
+  [[nodiscard]] const ControlFaultInjector& control_faults() const {
+    return *ctrl_faults_;
+  }
+  /// Mutable access for drills: inject a forced outage window from a test
+  /// or an operator console. Serial with cycle().
+  [[nodiscard]] ControlFaultInjector& control_faults() { return *ctrl_faults_; }
+
+  /// Captures/restores warm-restart state: root learner, per-shard
+  /// learner/engine/reconciler/collector-clock, zone quiescence hints and
+  /// the root dirty triggers. Restore into a tree with the same zone
+  /// count AFTER set_candidate_set. See power/checkpoint.hpp.
+  [[nodiscard]] TreeCheckpoint checkpoint() const;
+  void restore(const TreeCheckpoint& cp);
+
   [[nodiscard]] std::size_t zone_count() const { return zones_.size(); }
   [[nodiscard]] const std::vector<hw::NodeId>& zone_members(
       std::size_t z) const {
@@ -138,10 +162,19 @@ class ZoneTreeManager final : public PowerManagerBase {
     Watts power{0.0};     ///< sum of context node power
     Watts capacity{0.0};  ///< sum of job-level one-step shed capacity
     bool floored = false; ///< every context node at the ladder floor
+    /// Ever completed a context build? Gates orphan accounting: a downed
+    /// zone with a measured history is accounted at last-known power, one
+    /// that crashed before its first build at theoretical worst case.
+    bool ever_measured = false;
+    /// Σ members' theoretical max draw (lazy; invalidated on membership
+    /// change) — the conservative stand-in for a never-measured orphan.
+    Watts worst_case{0.0};
+    bool worst_case_valid = false;
 
     // Per-cycle scratch.
     bool active = false;   ///< built context + selected this cycle
     bool collected = false;
+    bool down = false;     ///< zone shard crashed this cycle
     Watts share{0.0};
     CycleDecision decision;
     ManagerReport report;  ///< per-zone health/selection fields
@@ -153,6 +186,8 @@ class ZoneTreeManager final : public PowerManagerBase {
   };
 
   void invalidate_hints();
+  /// Re-derives the watchdog's group partition (group z = zone z members).
+  void refresh_watchdog_groups();
 
   ZoneTreeParams params_;
   ThresholdLearner learner_;  ///< the root's (only live) learner
@@ -160,6 +195,14 @@ class ZoneTreeManager final : public PowerManagerBase {
   common::ThreadPool* pool_ = nullptr;
   ManagerMetrics metrics_;  ///< root aggregate series
   obs::Registry* reg_ = nullptr;
+  /// Optional only for construction order: its "control" rng fork must
+  /// come AFTER the per-zone forks (seed compatibility with PR 7 zone
+  /// streams), so it is emplaced at the end of the constructor body.
+  std::optional<ControlFaultInjector> ctrl_faults_;
+  hw::FailsafeWatchdog* watchdog_ = nullptr;
+  /// Safe-side inflation for a downed zone's accounted power — reuses the
+  /// shards' stale_power_margin (both cover "we cannot see this anymore").
+  double orphan_margin_ = 0.10;
 
   // Root dirty triggers.
   PowerState last_state_ = PowerState::kGreen;

@@ -170,6 +170,11 @@ class Collector {
     return cost_model_;
   }
   void set_cycle_period(Seconds period) { cycle_period_ = period; }
+  /// Warm restart: resumes the cycle clock from a checkpoint. Believed/
+  /// observed stamps in the manager's reconciler are in this timebase, so
+  /// a restarted collector restarting from zero would skew every ack and
+  /// staleness comparison until the clock caught up.
+  void restore_cycle_count(std::uint64_t cycles) { cycle_counter_ = cycles; }
 
  private:
   struct InFlight {

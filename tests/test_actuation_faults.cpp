@@ -357,6 +357,88 @@ TEST(Reconciler, RetryScheduleHonorsBackoffAndCapThenAbandons) {
   EXPECT_EQ(rec.unresponsive_count(), 1u);
 }
 
+TEST(Reconciler, BackoffArithmeticIsExactOutToMaxRetries) {
+  // The doubling schedule must clip at the cap — including far past the
+  // point where `base << retries` would overflow (the implementation
+  // guards the shift at 30 doublings). 40 retries with base 1/cap 4:
+  // gaps 1, 2, 4, 4, 4, ... and abandonment exactly one cap after the
+  // last retry.
+  ReconcilerParams p;
+  p.max_retries = 40;
+  p.retry_backoff_base_cycles = 1;
+  p.retry_backoff_cap_cycles = 4;
+  ActuationReconciler rec(p);
+  ActuationReconciler::CycleWork work;
+  rec.admit({{0, 5}}, /*cycle=*/0, work);
+
+  std::vector<std::uint64_t> retry_cycles;
+  std::uint64_t abandoned_at = 0;
+  for (std::uint64_t c = 1; c <= 400 && !rec.unresponsive(0); ++c) {
+    work.clear();
+    rec.finish_observation(c, work);
+    if (work.retries > 0) retry_cycles.push_back(c);
+    if (work.abandoned > 0) abandoned_at = c;
+  }
+  ASSERT_EQ(retry_cycles.size(), 40u);
+  EXPECT_EQ(retry_cycles[0], 1u);       // issue + base
+  EXPECT_EQ(retry_cycles[1], 3u);       // + base*2
+  EXPECT_EQ(retry_cycles[2], 7u);       // + base*4 == cap
+  for (std::size_t i = 3; i < retry_cycles.size(); ++i) {
+    EXPECT_EQ(retry_cycles[i] - retry_cycles[i - 1], 4u)
+        << "retry " << i << " missed the cap";
+  }
+  EXPECT_TRUE(rec.unresponsive(0));
+  EXPECT_EQ(abandoned_at, retry_cycles.back() + 4u);
+  EXPECT_EQ(rec.total_retries(), 40u);
+  EXPECT_EQ(rec.total_abandoned(), 1u);
+}
+
+TEST(Reconciler, AbandonReadmitAcrossARebootWindow) {
+  // The full arc of a node that reboots mid-command: the throttle is
+  // retried into the void, abandoned, and when the rebooted node
+  // resurfaces at full power the reconciler readmits it — believed adopts
+  // the post-reboot level — and a fresh throttle flows and acks.
+  ReconcilerParams p;
+  p.max_retries = 2;
+  p.retry_backoff_base_cycles = 1;
+  p.retry_backoff_cap_cycles = 2;
+  ActuationReconciler rec(p);
+  ActuationReconciler::CycleWork work;
+
+  rec.observe_node(0, 5, /*sample=*/1, /*now=*/1, work);  // believed: 5
+  rec.admit({{0, 3}}, /*cycle=*/1, work);  // throttle as the reboot starts
+  // Cycles 2..6: the node is down — no telemetry, only the retry ladder
+  // (issue+1, +1*2, then abandonment one cap later).
+  for (std::uint64_t c = 2; c <= 6; ++c) {
+    work.clear();
+    rec.finish_observation(c, work);
+  }
+  EXPECT_TRUE(rec.unresponsive(0));
+  EXPECT_EQ(rec.total_abandoned(), 1u);
+  work.clear();
+  rec.admit({{0, 3}}, /*cycle=*/7, work);  // policy still wants it: dropped
+  EXPECT_TRUE(work.commands.empty());
+  EXPECT_EQ(work.suppressed, 1u);
+
+  // Reboot window ends: the node reports in at its reset (highest) level.
+  // Readmission adopts reality instead of resurrecting the dead intent.
+  work.clear();
+  rec.observe_node(0, 9, /*sample=*/8, /*now=*/8, work);
+  EXPECT_FALSE(rec.unresponsive(0));
+  EXPECT_EQ(work.readmitted, 1u);
+  EXPECT_EQ(work.divergences, 0u) << "readmission must not warn";
+  EXPECT_EQ(rec.believed(0, -1), 9);
+
+  // The next decision cycle re-issues the throttle and it acks normally.
+  work.clear();
+  rec.admit({{0, 3}}, /*cycle=*/9, work);
+  ASSERT_EQ(work.commands.size(), 1u);
+  rec.observe_node(0, 3, /*sample=*/10, /*now=*/10, work);
+  EXPECT_EQ(work.acks, 1u);
+  EXPECT_EQ(rec.believed(0, -1), 3);
+  EXPECT_EQ(rec.unresponsive_count(), 0u);
+}
+
 TEST(Reconciler, UnresponsiveNodeSuppressesCommandsUntilReadmitted) {
   ReconcilerParams p;
   p.max_retries = 0;  // abandon on the first missed ack
@@ -501,6 +583,37 @@ power::CappingManagerParams yellow_rig_params() {
   p.collector.agent.utilization_noise = 0.0;
   p.collector.agent.nic_noise = 0.0;
   return p;
+}
+
+TEST(CappingManager, RebootChurnAbandonsAndReadmitsUnderTheRealChannel) {
+  // Manager-level version of the arc above: real reboot windows from the
+  // channel, real telemetry. With aggressive reboot churn and a tiny
+  // retry budget, some commands must get abandoned; every abandoned node
+  // must later readmit (the rig ends with nobody unresponsive for long).
+  Rig rig(4);
+  rig.load(0.9);
+  rig.run_job(1, 48);
+  power::CappingManagerParams p = yellow_rig_params();
+  p.actuation.reboot_rate = 0.08;
+  p.actuation.reboot_duration_cycles = 5;
+  p.reconciliation.max_retries = 1;
+  p.reconciliation.retry_backoff_base_cycles = 1;
+  p.reconciliation.retry_backoff_cap_cycles = 2;
+  power::CappingManager m(p, power::make_policy("mpc"), common::Rng(11));
+  m.set_candidate_set({0, 1, 2, 3});
+
+  for (int c = 1; c <= 120; ++c) {
+    m.cycle(Watts{1700.0}, rig.nodes, rig.scheduler,
+            Seconds{static_cast<double>(c)});
+  }
+  EXPECT_GT(m.actuation_channel().reboot_events(), 0u);
+  EXPECT_GT(m.reconciler().total_abandoned(), 0u);
+  EXPECT_GT(m.reconciler().total_readmitted(), 0u);
+  // Readmission is not a dead letter: every abandonment eventually came
+  // back once the node's telemetry resurfaced.
+  EXPECT_GE(m.reconciler().total_readmitted(),
+            m.reconciler().total_abandoned() -
+                m.reconciler().unresponsive_count());
 }
 
 TEST(CappingManager, DeadActuatorIsRetriedThenAbandonedWithoutThrottling) {

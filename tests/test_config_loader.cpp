@@ -181,5 +181,55 @@ TEST(ConfigLoader, ZonesValidation) {
                std::invalid_argument);
 }
 
+// zones.count goes through the checked_int guard like every other count:
+// garbage and negatives die at the key, not deep inside the tree ctor.
+TEST(ConfigLoader, ZoneCountRejectsGarbage) {
+  EXPECT_THROW(load("[zones]\ncount = banana\n"), std::runtime_error);
+  EXPECT_THROW(load("[zones]\ncount = -4\n"), std::runtime_error);
+  EXPECT_THROW(load("[zones]\ncount = nan\n"), std::runtime_error);
+}
+
+TEST(ConfigLoader, ControlSection) {
+  const ExperimentConfig cfg = load(
+      "[control]\n"
+      "outage_rate = 0.002\n"
+      "outage_duration_cycles = 40\n"
+      "zone_outage_rate = 0.003\n"
+      "zone_outage_duration_cycles = 30\n"
+      "delay_rate = 0.005\n"
+      "delay_max_cycles = 3\n");
+  EXPECT_DOUBLE_EQ(cfg.control.outage_rate, 0.002);
+  EXPECT_EQ(cfg.control.outage_duration_cycles, 40);
+  EXPECT_DOUBLE_EQ(cfg.control.zone_outage_rate, 0.003);
+  EXPECT_EQ(cfg.control.zone_outage_duration_cycles, 30);
+  EXPECT_DOUBLE_EQ(cfg.control.delay_rate, 0.005);
+  EXPECT_EQ(cfg.control.delay_max_cycles, 3);
+  EXPECT_TRUE(cfg.control.enabled());
+}
+
+TEST(ConfigLoader, WatchdogSection) {
+  const ExperimentConfig cfg = load(
+      "[watchdog]\n"
+      "timeout_cycles = 8\n"
+      "safe_level = 2\n");
+  EXPECT_EQ(cfg.cluster.watchdog.timeout_cycles, 8);
+  EXPECT_EQ(cfg.cluster.watchdog.safe_level, 2);
+  EXPECT_TRUE(cfg.cluster.watchdog.enabled());
+}
+
+TEST(ConfigLoader, ControlAndWatchdogValidation) {
+  EXPECT_THROW(load("[control]\noutage_rate = -0.1\n"), std::runtime_error);
+  EXPECT_THROW(load("[control]\noutage_rate = nan\n"), std::runtime_error);
+  EXPECT_THROW(load("[control]\noutage_rate = 1.5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(load("[control]\noutage_duration_cycles = 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(load("[control]\nblackout = 1\n"), std::runtime_error);
+  EXPECT_THROW(load("[watchdog]\ntimeout_cycles = -1\n"),
+               std::runtime_error);
+  EXPECT_THROW(load("[watchdog]\ntimeout_cycles = banana\n"),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace pcap::cluster

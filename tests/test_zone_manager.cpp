@@ -136,6 +136,58 @@ TEST(ZoneTree, StridePartitionRoundRobins) {
   EXPECT_EQ(m.zone_members(3), (std::vector<hw::NodeId>{3, 7}));
 }
 
+TEST(ZoneTree, MoreZonesThanCandidatesLeavesEmptyShardsInert) {
+  // zones.count is an operator knob: configuring more zones than there
+  // are controllable nodes must leave the surplus shards empty and
+  // harmless — no division by the empty-zone count, no spurious
+  // quiescence, no commands from nowhere.
+  Rig rig(2);
+  rig.load(0.9);
+  rig.run_job(1, 24);
+  ZoneTreeManager m = make_tree(4);
+  m.set_candidate_set({0, 1});
+  EXPECT_EQ(m.zone_members(0), (std::vector<hw::NodeId>{0}));
+  EXPECT_EQ(m.zone_members(1), (std::vector<hw::NodeId>{1}));
+  EXPECT_TRUE(m.zone_members(2).empty());
+  EXPECT_TRUE(m.zone_members(3).empty());
+
+  // Yellow: the deficit lands entirely on the populated zones.
+  auto r = m.cycle(Watts{1700.0}, rig.nodes, rig.scheduler, Seconds{1.0});
+  EXPECT_EQ(r.state, PowerState::kYellow);
+  EXPECT_EQ(m.zone_share(2).value(), 0.0);
+  EXPECT_EQ(m.zone_share(3).value(), 0.0);
+  EXPECT_GT(m.zone_share(0).value() + m.zone_share(1).value(), 0.0);
+
+  // Once hinted, an empty zone is quiescent (nothing to shed) — it stops
+  // burning active cycles without wedging the populated zones.
+  r = m.cycle(Watts{1700.0}, rig.nodes, rig.scheduler, Seconds{2.0});
+  EXPECT_LE(m.zones_active_last_cycle(), 2u);
+
+  // Red and green cycles cross the empty shards without incident too.
+  r = m.cycle(Watts{1900.0}, rig.nodes, rig.scheduler, Seconds{3.0});
+  EXPECT_EQ(r.state, PowerState::kRed);
+  r = m.cycle(Watts{100.0}, rig.nodes, rig.scheduler, Seconds{4.0});
+  EXPECT_EQ(r.state, PowerState::kGreen);
+}
+
+TEST(ZoneTree, EmptyShardsAreInertUnderProportionalRedistribution) {
+  // Proportional shares divide by the eligible zones' summed power: empty
+  // zones contribute nothing and must not poison the denominator.
+  Rig rig(2);
+  rig.load(0.9);
+  rig.run_job(1, 24);
+  ZoneTreeParams zp;
+  zp.redistribution = ZoneTreeParams::Redistribution::kProportional;
+  ZoneTreeManager m = make_tree(3, shard_params(), zp);
+  m.set_candidate_set({0, 1});
+  for (int c = 1; c <= 4; ++c) {
+    const auto r = m.cycle(Watts{1700.0}, rig.nodes, rig.scheduler,
+                           Seconds{static_cast<double>(c)});
+    EXPECT_EQ(r.state, PowerState::kYellow) << "cycle " << c;
+    EXPECT_EQ(m.zone_share(2).value(), 0.0) << "cycle " << c;
+  }
+}
+
 TEST(ZoneTree, TrainingCyclesDoNotThrottle) {
   Rig rig(4);
   rig.load(0.9);
