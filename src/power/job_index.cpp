@@ -28,8 +28,10 @@ void JobIndex::sync(const sched::Scheduler& scheduler) {
   if (filter_dirty_) {
     for (Entry& entry : entries_) refilter(entry);
     filter_dirty_ = false;
+    ++change_epoch_;
   }
   const std::vector<sched::JobEvent>& events = scheduler.job_events();
+  if (event_cursor_ < events.size()) ++change_epoch_;
   for (; event_cursor_ < events.size(); ++event_cursor_) {
     const sched::JobEvent& ev = events[event_cursor_];
     if (ev.kind == sched::JobEvent::Kind::kStarted) {

@@ -57,6 +57,11 @@ CappingManager::CappingManager(CappingManagerParams params, PolicyPtr policy,
   // in-context transport-delay staleness only.
   collect_stride_ = params_.green_collect_stride;
   collector_.set_cycle_period(params_.cycle_period);
+  // The incremental context plane needs the collector's per-slot change
+  // cursors; whether a pure temperature drift counts as a change depends
+  // on whether this manager's policy will ever read it.
+  collector_.configure_dedup(params_.incremental_context,
+                             policy_->temperature_sensitive());
   if (params_.selector) selector_.emplace(*params_.selector);
 }
 
@@ -71,6 +76,9 @@ void CappingManager::set_candidate_set(const std::vector<hw::NodeId>& ids) {
   // index so both agree on membership. The refilter itself is deferred to
   // the next context build.
   job_index_.set_candidate_set(collector_.candidate_set());
+  // Slot layout and context positions are stale now: the next context
+  // build must be a full one.
+  inc_valid_ = false;
   if (owns_watchdog_groups_ && watchdog_ != nullptr) {
     watchdog_->set_groups({collector_.candidate_set()});
   }
@@ -283,14 +291,6 @@ void CappingManager::build_context_with(
     PolicyContext& ctx, Watts measured, const std::vector<hw::Node>& nodes,
     const sched::Scheduler& scheduler, ActuationReconciler* rec,
     ActuationReconciler::CycleWork* work) const {
-  ctx.system_power = measured;
-  ctx.p_low = learner_.p_low();
-  ctx.stale_nodes = 0;
-  ctx.missing_nodes = 0;
-  ctx.fallback_nodes = 0;
-  ctx.rejected_samples = 0;
-  ctx.unresponsive_nodes = 0;
-
   const std::uint64_t now_cycle = collector_.cycle_count();
   const auto max_age = static_cast<std::uint64_t>(params_.max_sample_age_cycles);
   const std::vector<hw::NodeId>& candidates = collector_.candidate_set();
@@ -304,6 +304,19 @@ void CappingManager::build_context_with(
     throw std::out_of_range(
         "CappingManager::build_context: candidate id out of range");
   }
+
+  // Delta dispatch: only the persistent reconciled context carries valid
+  // incremental state — benchmark builds into caller-owned contexts (and
+  // read-only builds with rec == nullptr) always assemble from scratch.
+  if (params_.incremental_context && rec != nullptr && &ctx == &scratch_ctx_ &&
+      inc_valid_ && view_records_.size() == candidates.size()) {
+    build_context_delta(ctx, measured, nodes, scheduler, rec, work, now_cycle,
+                        max_age);
+    return;
+  }
+
+  ctx.system_power = measured;
+  ctx.p_low = learner_.p_low();
 
   // Phase 1 — sharded view assembly. One ViewRecord per candidate slot,
   // from strictly per-node inputs: this slot's telemetry history, this
@@ -320,103 +333,161 @@ void CappingManager::build_context_with(
       params_.collector.parallel_grain,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t slot = begin; slot < end; ++slot) {
-          ViewRecord& vr = view_records_[slot];
-          const hw::NodeId id = candidates[slot];
-          const auto& hist = collector_.history_at_slot(slot);
-          const hw::Node& node = nodes[id];
-          const bool unresponsive = rec != nullptr && rec->unresponsive(id);
-          vr.rejected = 0;
-          vr.substituted = false;
-
-          // Walk the history newest-to-oldest for a sample that passes
-          // the sanity check; corrupted deliveries are skipped, not
-          // trusted.
-          std::size_t chosen = 0;
-          bool found = false;
-          for (std::size_t i = hist.size(); i-- > 0;) {
-            if (plausible_sample(hist[i], node)) {
-              chosen = i;
-              found = true;
-              break;
-            }
-            ++vr.rejected;
-          }
-          if (!found) {
-            // Never sampled, or nothing in the window survived the sanity
-            // check. With no level/busy state to act on, the node cannot
-            // be a target; the facility meter still sees its real draw,
-            // so the thresholds remain grounded even while we are blind.
-            vr.status = unresponsive
-                            ? ViewRecord::Status::kMissingUnresponsive
-                            : ViewRecord::Status::kMissing;
-            continue;
-          }
-
-          const telemetry::NodeSample& latest = hist[chosen];
-          NodeView nv;
-          nv.id = id;
-          nv.level = latest.level;
-          nv.highest_level = node.spec().ladder.highest();
-          nv.at_lowest = latest.level == node.spec().ladder.lowest();
-          nv.busy = latest.busy;
-          nv.power = latest.estimated_power;
-          nv.temperature = latest.temperature;
-          nv.stale = now_cycle - latest.cycle > max_age;
-          if (unresponsive && nv.stale) {
-            // Abandoned AND blind: the node stays out of the context
-            // entirely — not selectable, not in A_degraded, not worth a
-            // command — until a fresh sample earns it a readmission in
-            // the merge.
-            vr.status = ViewRecord::Status::kExcludedUnresponsive;
-            continue;
-          }
-          if (nv.stale) {
-            // Conservative fallback: assume the unseen node has drifted
-            // UP from its last known draw. Overstating keeps the job
-            // totals — and thus how aggressively Algorithm 1 sheds — on
-            // the safe side.
-            nv.power *= 1.0 + params_.stale_power_margin;
-          } else if (chosen + 1 != hist.size()) {
-            // Fresh enough, but only after discarding newer corrupt
-            // deliveries: still a substituted estimate.
-            vr.substituted = true;
-          }
-          for (std::size_t i = chosen; i-- > 0;) {
-            if (plausible_sample(hist[i], node)) {
-              nv.power_prev = hist[i].estimated_power;
-              nv.has_prev = true;
-              break;
-            }
-          }
-          // A node already at the ladder floor has no level below it:
-          // estimated_power_at(level - 1) would index off the bottom of
-          // the DVFS table. Clamp the hypothetical to the current draw so
-          // saving_one_level contributes exactly 0 W for floored nodes —
-          // the value every consumer already assumes, since they all skip
-          // at_lowest views before reading it.
-          nv.power_one_level_down =
-              nv.at_lowest ? nv.power
-                           : node.estimated_power_at(latest.level - 1);
-          vr.view = nv;
-          vr.sample_cycle = latest.cycle;
-          vr.status = ViewRecord::Status::kOk;
+          fill_view_record(slot, candidates, nodes, rec, now_cycle, max_age);
         }
       });
 
+  const bool inc_track =
+      params_.incremental_context && rec != nullptr && &ctx == &scratch_ctx_;
+  if (rec != nullptr && &ctx == &scratch_ctx_) ++inc_stats_.full_builds;
+
+  merge_records_full(ctx, nodes, rec, work, now_cycle, inc_track);
+
+  // Phase 2 — job views from the persistent index. entries() mirrors
+  // scheduler.running_jobs() in order, and each entry's candidate_nodes
+  // keeps Nodes(J) order, so every per-job power sum adds the same values
+  // in the same order the full rebuild did.
+  job_index_.sync(scheduler);
+  job_pass_full(ctx, inc_track);
+
+  if (inc_track) {
+    rebuild_job_csr();
+    inc_build_cycle_ = now_cycle;
+    inc_job_epoch_ = job_index_.change_epoch();
+    inc_valid_ = true;
+  }
+}
+
+void CappingManager::fill_view_record(std::size_t slot,
+                                      const std::vector<hw::NodeId>& candidates,
+                                      const std::vector<hw::Node>& nodes,
+                                      const ActuationReconciler* rec,
+                                      std::uint64_t now_cycle,
+                                      std::uint64_t max_age) const {
+  ViewRecord& vr = view_records_[slot];
+  const hw::NodeId id = candidates[slot];
+  const auto& hist = collector_.history_at_slot(slot);
+  const hw::Node& node = nodes[id];
+  const bool unresponsive = rec != nullptr && rec->unresponsive(id);
+  vr.rejected = 0;
+  vr.substituted = false;
+
+  // Walk the history newest-to-oldest for a sample that passes the sanity
+  // check; corrupted deliveries are skipped, not trusted.
+  std::size_t chosen = 0;
+  bool found = false;
+  for (std::size_t i = hist.size(); i-- > 0;) {
+    if (plausible_sample(hist[i], node)) {
+      chosen = i;
+      found = true;
+      break;
+    }
+    ++vr.rejected;
+  }
+  if (!found) {
+    // Never sampled, or nothing in the window survived the sanity check.
+    // With no level/busy state to act on, the node cannot be a target;
+    // the facility meter still sees its real draw, so the thresholds
+    // remain grounded even while we are blind.
+    vr.status = unresponsive ? ViewRecord::Status::kMissingUnresponsive
+                             : ViewRecord::Status::kMissing;
+    return;
+  }
+
+  const telemetry::NodeSample& latest = hist[chosen];
+  NodeView nv;
+  nv.id = id;
+  nv.level = latest.level;
+  nv.highest_level = node.spec().ladder.highest();
+  nv.at_lowest = latest.level == node.spec().ladder.lowest();
+  nv.busy = latest.busy;
+  nv.power = latest.estimated_power;
+  nv.temperature = latest.temperature;
+  // Freshness base: the chosen sample's stamp — or, when the newest
+  // delivery has since been confirmed unchanged by the collector's dedup
+  // (which freezes the history), the confirmation cycle. A suppressed
+  // sweep attests the live counters still reproduce this entry bit for
+  // bit, which is exactly what a fresh delivery would have proven.
+  std::uint64_t fresh_cycle = latest.cycle;
+  if (chosen + 1 == hist.size()) {
+    const std::uint64_t confirmed = collector_.confirm_cycle(slot);
+    if (confirmed > fresh_cycle) fresh_cycle = confirmed;
+  }
+  nv.stale = now_cycle - fresh_cycle > max_age;
+  if (unresponsive && nv.stale) {
+    // Abandoned AND blind: the node stays out of the context entirely —
+    // not selectable, not in A_degraded, not worth a command — until a
+    // fresh sample earns it a readmission in the merge.
+    vr.status = ViewRecord::Status::kExcludedUnresponsive;
+    return;
+  }
+  if (nv.stale) {
+    // Conservative fallback: assume the unseen node has drifted UP from
+    // its last known draw. Overstating keeps the job totals — and thus
+    // how aggressively Algorithm 1 sheds — on the safe side.
+    nv.power *= 1.0 + params_.stale_power_margin;
+  } else if (chosen + 1 != hist.size()) {
+    // Fresh enough, but only after discarding newer corrupt deliveries:
+    // still a substituted estimate.
+    vr.substituted = true;
+  }
+  for (std::size_t i = chosen; i-- > 0;) {
+    if (plausible_sample(hist[i], node)) {
+      nv.power_prev = hist[i].estimated_power;
+      nv.has_prev = true;
+      break;
+    }
+  }
+  // A node already at the ladder floor has no level below it:
+  // estimated_power_at(level - 1) would index off the bottom of the DVFS
+  // table. Clamp the hypothetical to the current draw so saving_one_level
+  // contributes exactly 0 W for floored nodes — the value every consumer
+  // already assumes, since they all skip at_lowest views before reading
+  // it.
+  nv.power_one_level_down =
+      nv.at_lowest ? nv.power : node.estimated_power_at(latest.level - 1);
+  vr.view = nv;
+  vr.sample_cycle = latest.cycle;
+  vr.status = ViewRecord::Status::kOk;
+}
+
+void CappingManager::merge_records_full(PolicyContext& ctx,
+                                        const std::vector<hw::Node>& nodes,
+                                        ActuationReconciler* rec,
+                                        ActuationReconciler::CycleWork* work,
+                                        std::uint64_t now_cycle,
+                                        bool inc_track) const {
   // Serial merge, in candidate order — exactly the order the pre-shard
   // loop visited nodes, so reconciler mutations, heal emission, counters
   // and the context layout are all bit-identical to it. clear() keeps the
   // capacity, so after the first cycle this fills existing storage.
+  //
+  // Also correct as the delta path's fallback over persisted records:
+  // re-observing a clean slot's (unchanged) sample cycle is a reconciler
+  // no-op by its staleness guard, and persisted records never carry the
+  // in-flight inflation (it is applied to the copy `nv`, below).
+  ctx.stale_nodes = 0;
+  ctx.missing_nodes = 0;
+  ctx.fallback_nodes = 0;
+  ctx.rejected_samples = 0;
+  ctx.unresponsive_nodes = 0;
+  if (inc_track) {
+    inc_pos_.assign(view_records_.size(), kNoPos);
+    inc_degraded_.assign(view_records_.size(), 0);
+  }
   ctx.nodes.clear();
-  for (ViewRecord& vr : view_records_) {
+  for (std::size_t slot = 0; slot < view_records_.size(); ++slot) {
+    ViewRecord& vr = view_records_[slot];
     ctx.rejected_samples += vr.rejected;
     if (vr.status == ViewRecord::Status::kMissing) {
       ++ctx.missing_nodes;
+      if (inc_track) inc_degraded_[slot] = 1;
       continue;
     }
     if (vr.status == ViewRecord::Status::kMissingUnresponsive ||
         vr.status == ViewRecord::Status::kExcludedUnresponsive) {
       ++ctx.unresponsive_nodes;
+      if (inc_track) inc_degraded_[slot] = 1;
       continue;
     }
     NodeView nv = vr.view;
@@ -463,17 +534,57 @@ void CappingManager::build_context_with(
         }
       }
     }
+    if (inc_track) {
+      inc_pos_[slot] = static_cast<std::uint32_t>(ctx.nodes.size());
+      // A record whose view depends on clock or actuation state (not just
+      // delivered sample content) must be re-derived every cycle even
+      // without a telemetry change.
+      inc_degraded_[slot] = (vr.rejected > 0 || nv.stale || vr.substituted ||
+                             nv.command_in_flight)
+                                ? 1
+                                : 0;
+    }
     ctx.nodes.push_back(nv);
   }
   ctx.index_nodes();
+}
 
-  // Phase 2 — job views from the persistent index. entries() mirrors
-  // scheduler.running_jobs() in order, and each entry's candidate_nodes
-  // keeps Nodes(J) order, so every per-job power sum adds the same values
-  // in the same order the full rebuild did. Each stage slot is written by
-  // one worker and reads only the frozen context, so this pass shards
-  // too.
-  job_index_.sync(scheduler);
+void CappingManager::fill_job_view(const JobIndex::Entry& e,
+                                   const PolicyContext& ctx, JobView& jv) {
+  jv.id = e.id;
+  jv.nodes.clear();
+  jv.throttleable.clear();
+  jv.power = Watts{0.0};
+  jv.power_prev = Watts{0.0};
+  jv.saving_one_level = Watts{0.0};
+  bool have_all_prev = true;
+  for (const hw::NodeId nid : e.candidate_nodes) {
+    const NodeView* nv = ctx.node(nid);
+    if (nv == nullptr) continue;  // no usable view this cycle
+    jv.nodes.push_back(nid);
+    jv.power += nv->power;
+    // has_prev, not power_prev > 0: an idle or gated node legitimately
+    // reports 0.0 W, and treating that as "no history" zeroed the whole
+    // job's rate-of-increase signal.
+    if (nv->has_prev) {
+      jv.power_prev += nv->power_prev;
+    } else {
+      have_all_prev = false;
+    }
+    // Stale or in-flight nodes contribute (inflated) power but no claimed
+    // saving: a throttle command they will not be selected for cannot be
+    // counted as shed watts.
+    if (nv->busy && !nv->at_lowest && !nv->stale && !nv->command_in_flight) {
+      jv.throttleable.push_back(nid);
+      jv.saving_one_level += nv->power - nv->power_one_level_down;
+    }
+  }
+  if (!have_all_prev) jv.power_prev = Watts{0.0};  // no rate
+}
+
+void CappingManager::job_pass_full(PolicyContext& ctx, bool inc_track) const {
+  // Each stage slot is written by one worker and reads only the frozen
+  // context, so this pass shards.
   const std::vector<JobIndex::Entry>& entries = job_index_.entries();
   job_stage_.resize(entries.size());
   common::maybe_parallel_for(
@@ -481,55 +592,260 @@ void CappingManager::build_context_with(
       params_.collector.parallel_grain,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t k = begin; k < end; ++k) {
-          const JobIndex::Entry& e = entries[k];
-          JobView& jv = job_stage_[k];
-          jv.id = e.id;
-          jv.nodes.clear();
-          jv.power = Watts{0.0};
-          jv.power_prev = Watts{0.0};
-          jv.saving_one_level = Watts{0.0};
-          bool have_all_prev = true;
-          for (const hw::NodeId nid : e.candidate_nodes) {
-            const NodeView* nv = ctx.node(nid);
-            if (nv == nullptr) continue;  // no usable view this cycle
-            jv.nodes.push_back(nid);
-            jv.power += nv->power;
-            // has_prev, not power_prev > 0: an idle or gated node
-            // legitimately reports 0.0 W, and treating that as "no
-            // history" zeroed the whole job's rate-of-increase signal.
-            if (nv->has_prev) {
-              jv.power_prev += nv->power_prev;
-            } else {
-              have_all_prev = false;
-            }
-            // Stale or in-flight nodes contribute (inflated) power but no
-            // claimed saving: a throttle command they will not be
-            // selected for cannot be counted as shed watts.
-            if (nv->busy && !nv->at_lowest && !nv->stale &&
-                !nv->command_in_flight) {
-              jv.saving_one_level += nv->power - nv->power_one_level_down;
-            }
-          }
-          if (!have_all_prev) jv.power_prev = Watts{0.0};  // no rate
+          fill_job_view(entries[k], ctx, job_stage_[k]);
         }
       });
+  if (inc_track) inc_job_pos_.assign(entries.size(), kNoPos);
   // Serial compaction: jobs with no usable node this cycle drop out,
   // order is preserved, and swap keeps both sides' vector capacity.
   std::size_t used = 0;
-  for (JobView& staged : job_stage_) {
+  for (std::size_t k = 0; k < job_stage_.size(); ++k) {
+    JobView& staged = job_stage_[k];
     if (staged.nodes.empty()) continue;
+    if (inc_track) inc_job_pos_[k] = static_cast<std::uint32_t>(used);
     if (used == ctx.jobs.size()) ctx.jobs.emplace_back();
     std::swap(ctx.jobs[used], staged);
     ++used;
   }
   ctx.jobs.erase(ctx.jobs.begin() + static_cast<std::ptrdiff_t>(used),
                  ctx.jobs.end());
+  ctx.jobs_have_throttleable = true;
+}
+
+void CappingManager::rebuild_job_csr() const {
+  // Node id -> list of job-entry indices (ascending, since entries are
+  // scanned in order): maps a dirty slot to exactly the JobViews its view
+  // feeds.
+  const std::vector<JobIndex::Entry>& entries = job_index_.entries();
+  const std::size_t width =
+      collector_.candidate_set().empty()
+          ? 0
+          : static_cast<std::size_t>(collector_.max_candidate_id()) + 1;
+  inc_csr_off_.assign(width + 1, 0);
+  std::size_t total = 0;
+  for (const JobIndex::Entry& e : entries) {
+    total += e.candidate_nodes.size();
+    for (const hw::NodeId nid : e.candidate_nodes) ++inc_csr_off_[nid + 1];
+  }
+  inc_csr_.resize(total);
+  for (std::size_t i = 1; i <= width; ++i) inc_csr_off_[i] += inc_csr_off_[i - 1];
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    for (const hw::NodeId nid : entries[k].candidate_nodes) {
+      inc_csr_[inc_csr_off_[nid]++] = static_cast<std::uint32_t>(k);
+    }
+  }
+  // The cursor fill shifted every offset to its range end; rotate back so
+  // [off[id], off[id+1]) is node id's range again.
+  for (std::size_t i = width; i > 0; --i) inc_csr_off_[i] = inc_csr_off_[i - 1];
+  if (width > 0) inc_csr_off_[0] = 0;
+}
+
+void CappingManager::build_context_delta(
+    PolicyContext& ctx, Watts measured, const std::vector<hw::Node>& nodes,
+    const sched::Scheduler& scheduler, ActuationReconciler* rec,
+    ActuationReconciler::CycleWork* work, std::uint64_t now_cycle,
+    std::uint64_t max_age) const {
+  ctx.system_power = measured;
+  ctx.p_low = learner_.p_low();
+
+  const std::vector<hw::NodeId>& candidates = collector_.candidate_set();
+
+  job_index_.sync(scheduler);
+  const bool jobs_churned = job_index_.change_epoch() != inc_job_epoch_;
+
+  // Dirty scan: a slot must be re-derived when its telemetry content
+  // changed since the last build, when its last delivery is not this
+  // cycle's confirmation (lost/delayed samples age the view), when its
+  // previous record depended on clock or actuation state, or when the
+  // actuation plane is mid-flight on it (pending command, abandoned, or
+  // awaiting watchdog adoption — those paths mutate reconciler state in
+  // the merge and must keep doing so every cycle).
+  inc_dirty_.clear();
+  inc_old_present_.clear();
+  for (std::size_t slot = 0; slot < candidates.size(); ++slot) {
+    bool dirty = inc_degraded_[slot] != 0 ||
+                 collector_.change_cycle(slot) > inc_build_cycle_ ||
+                 collector_.confirm_cycle(slot) != now_cycle;
+    if (!dirty) {
+      const hw::NodeId id = candidates[slot];
+      dirty = rec->in_flight(id) || rec->unresponsive(id) ||
+              (watchdog_ != nullptr && watchdog_->adoption_pending(id));
+    }
+    if (dirty) inc_dirty_.push_back(static_cast<std::uint32_t>(slot));
+  }
+  ++inc_stats_.delta_builds;
+  inc_stats_.dirty_slots += inc_dirty_.size();
+
+  if (inc_dirty_.empty() && !jobs_churned) {
+    ++inc_stats_.noop_builds;
+    // Quiescent: the persisted context IS this cycle's context. This is
+    // the empty-dirty-set special case the zone tree's quiescence hints
+    // approximate from outside.
+    inc_build_cycle_ = now_cycle;
+    return;
+  }
+
+  // Retract the dirty slots' old tally contributions (integer running
+  // totals) and remember their old presence; the refill below overwrites
+  // the records in place.
+  for (const std::uint32_t slot : inc_dirty_) {
+    const ViewRecord& vr = view_records_[slot];
+    ctx.rejected_samples -= vr.rejected;
+    switch (vr.status) {
+      case ViewRecord::Status::kMissing:
+        --ctx.missing_nodes;
+        break;
+      case ViewRecord::Status::kMissingUnresponsive:
+      case ViewRecord::Status::kExcludedUnresponsive:
+        --ctx.unresponsive_nodes;
+        break;
+      case ViewRecord::Status::kOk:
+        if (vr.view.stale) {
+          --ctx.stale_nodes;
+          --ctx.fallback_nodes;
+        } else if (vr.substituted) {
+          --ctx.fallback_nodes;
+        }
+        break;
+    }
+    inc_old_present_.push_back(vr.status == ViewRecord::Status::kOk ? 1 : 0);
+  }
+
+  // Parallel refill of exactly the dirty slots — the same strictly
+  // per-node derivation as the full sharded pass, so chunk boundaries
+  // cannot change the records.
+  common::maybe_parallel_for(
+      pool_, inc_dirty_.size(), params_.collector.parallel_threshold,
+      params_.collector.parallel_grain,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          fill_view_record(inc_dirty_[i], candidates, nodes, rec, now_cycle,
+                           max_age);
+        }
+      });
+
+  bool flipped = false;
+  for (std::size_t i = 0; i < inc_dirty_.size() && !flipped; ++i) {
+    const bool present =
+        view_records_[inc_dirty_[i]].status == ViewRecord::Status::kOk;
+    flipped = present != (inc_old_present_[i] != 0);
+  }
+
+  if (flipped) {
+    // A slot entered or left the context, so every position after it
+    // shifts: fall back to the full serial merge + job pass over the
+    // persisted records (clean slots keep theirs untouched).
+    merge_records_full(ctx, nodes, rec, work, now_cycle, true);
+    if (jobs_churned) rebuild_job_csr();
+    job_pass_full(ctx, true);
+    inc_build_cycle_ = now_cycle;
+    inc_job_epoch_ = job_index_.change_epoch();
+    return;
+  }
+
+  // In-place serial merge of the dirty slots, ascending — the same
+  // relative order the full merge visits them, so reconciler mutations
+  // and heal emission stay bit-identical to it (clean slots in between
+  // would all have been no-ops).
+  for (const std::uint32_t slot : inc_dirty_) {
+    ViewRecord& vr = view_records_[slot];
+    ctx.rejected_samples += vr.rejected;
+    if (vr.status != ViewRecord::Status::kOk) {
+      if (vr.status == ViewRecord::Status::kMissing) {
+        ++ctx.missing_nodes;
+      } else {
+        ++ctx.unresponsive_nodes;
+      }
+      inc_degraded_[slot] = 1;
+      continue;
+    }
+    NodeView nv = vr.view;
+    if (!nv.stale) {
+      if (watchdog_ != nullptr && watchdog_->adoption_pending(nv.id)) {
+        if (nv.level == nodes[nv.id].level()) {
+          rec->adopt_reality(nv.id, nv.level, vr.sample_cycle, *work);
+          watchdog_->resolve_adoption(nv.id);
+        }
+      } else {
+        rec->observe_node(nv.id, nv.level, vr.sample_cycle, now_cycle, *work);
+      }
+    }
+    if (nv.stale) {
+      ++ctx.stale_nodes;
+      ++ctx.fallback_nodes;
+    } else if (vr.substituted) {
+      ++ctx.fallback_nodes;
+    }
+    if (const std::optional<hw::Level> target = rec->pending_target(nv.id)) {
+      nv.command_in_flight = true;
+      if (*target > nv.level) {
+        const Watts assumed = nodes[nv.id].estimated_power_at(*target);
+        if (assumed > nv.power) nv.power = assumed;
+      }
+    }
+    inc_degraded_[slot] = (vr.rejected > 0 || nv.stale || vr.substituted ||
+                           nv.command_in_flight)
+                              ? 1
+                              : 0;
+    ctx.nodes[inc_pos_[slot]] = nv;
+  }
+
+  if (jobs_churned) {
+    // Job start/finish or candidate refilter: entry list shape changed,
+    // recompute every JobView and the node -> entry map.
+    rebuild_job_csr();
+    job_pass_full(ctx, true);
+    inc_build_cycle_ = now_cycle;
+    inc_job_epoch_ = job_index_.change_epoch();
+    return;
+  }
+
+  // Same job list as last build: refresh only the JobViews that contain a
+  // dirty slot, via the CSR. Ascending entry order keeps the recompute
+  // deterministic; the arithmetic is the staged pass's, so values are
+  // bit-identical to a full job pass.
+  const std::vector<JobIndex::Entry>& entries = job_index_.entries();
+  inc_job_dirty_.assign(entries.size(), 0);
+  for (const std::uint32_t slot : inc_dirty_) {
+    const hw::NodeId id = candidates[slot];
+    for (std::uint32_t c = inc_csr_off_[id]; c < inc_csr_off_[id + 1]; ++c) {
+      inc_job_dirty_[inc_csr_[c]] = 1;
+    }
+  }
+  bool job_flip = false;
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    if (inc_job_dirty_[k] == 0) continue;
+    fill_job_view(entries[k], ctx, inc_job_scratch_);
+    const bool now_empty = inc_job_scratch_.nodes.empty();
+    if (now_empty != (inc_job_pos_[k] == kNoPos)) {
+      // A job gained its first usable view or lost its last one: the
+      // compacted ctx.jobs positions shift. CSR stays valid (no churn).
+      job_flip = true;
+      break;
+    }
+    if (!now_empty) std::swap(ctx.jobs[inc_job_pos_[k]], inc_job_scratch_);
+  }
+  if (job_flip) job_pass_full(ctx, true);
+
+  inc_build_cycle_ = now_cycle;
 }
 
 void CappingManager::collect_phase(bool collect_now,
                                    const std::vector<hw::Node>& nodes,
                                    Seconds now, std::size_t monitored_jobs) {
   if (collect_now) {
+    if (collector_.dedup_active()) {
+      // Slots the actuation plane is waiting on (pending acks, abandoned
+      // nodes, failsafe adoptions) consume the sample stream itself:
+      // exempt them from dedup suppression so every such cycle still
+      // delivers a real sample.
+      watch_scratch_.clear();
+      reconciler_.collect_watch(watch_scratch_);
+      if (watchdog_ != nullptr) {
+        watchdog_->collect_adoption_pending(watchdog_group_, watch_scratch_);
+      }
+      collector_.set_watch(watch_scratch_);
+    }
     collector_.collect(nodes, now, monitored_jobs);
   } else {
     // Clock tick only: per-slot staleness stays well-defined and the
@@ -792,6 +1108,9 @@ void CappingManager::restore(const ShardCheckpoint& cp) {
   // checkpointed collector timebase; resume the clock there or every ack
   // and staleness comparison would be skewed by the restart.
   collector_.restore_cycle_count(cp.collector_cycles);
+  // Reconciler state just jumped wholesale; rebuild the context from
+  // scratch rather than trusting pre-restore dirty bookkeeping.
+  inc_valid_ = false;
 }
 
 ManagerReport NoCappingManager::cycle(Watts measured,

@@ -28,6 +28,22 @@ void PolicyContext::index_nodes() {
 void SelectionScratch::build(const PolicyContext& ctx) {
   refs_.clear();
   node_buf_.clear();
+  if (ctx.jobs_have_throttleable) {
+    // The job pass already filtered each job's nodes and accumulated the
+    // one-level saving over exactly that sequence: building the scratch is
+    // a range copy per job, O(jobs + targets) instead of a ctx.node()
+    // probe per node of every job.
+    for (const JobView& j : ctx.jobs) {
+      if (j.throttleable.empty()) continue;
+      const auto begin = static_cast<std::uint32_t>(node_buf_.size());
+      node_buf_.insert(node_buf_.end(), j.throttleable.begin(),
+                       j.throttleable.end());
+      const auto end = static_cast<std::uint32_t>(node_buf_.size());
+      refs_.push_back(
+          Ref{&j, begin, end, j.saving_one_level, j.rate_of_increase()});
+    }
+    return;
+  }
   for (const JobView& j : ctx.jobs) {
     const auto begin = static_cast<std::uint32_t>(node_buf_.size());
     Watts saving{0.0};

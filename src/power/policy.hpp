@@ -51,6 +51,13 @@ struct NodeView {
 struct JobView {
   workload::JobId id = 0;
   std::vector<hw::NodeId> nodes;  ///< candidate nodes running this job
+  /// The subset of `nodes` that is currently throttleable (busy, above the
+  /// floor, fresh, no command in flight), in `nodes` order — the exact
+  /// sequence saving_one_level was accumulated over. Filled by the
+  /// manager's job pass (ctx.jobs_have_throttleable is then true), so
+  /// SelectionScratch::build copies a range instead of re-probing every
+  /// node of every job each yellow cycle.
+  std::vector<hw::NodeId> throttleable;
   Watts power{0.0};               ///< P(J) = sum of P(x) over nodes
   Watts power_prev{0.0};          ///< P^{t-1}(J)
   Watts saving_one_level{0.0};    ///< sum of P(x)-P'(x) over throttleable nodes
@@ -67,6 +74,10 @@ struct PolicyContext {
   Watts p_low{0.0};         ///< P_L (MPC-C/LPC-C/BFP need P - P_L)
   std::vector<NodeView> nodes;
   std::vector<JobView> jobs;
+  /// True when every JobView's `throttleable` list is maintained (the
+  /// manager's builder does this); hand-built contexts leave it false and
+  /// SelectionScratch::build falls back to probing ctx.node() per node.
+  bool jobs_have_throttleable = false;
 
   // Telemetry-health tallies for the cycle this context was built from —
   // the manager copies them into its report so experiments can quantify
@@ -163,6 +174,12 @@ class TargetSelectionPolicy {
   /// level (a "valid target set selection policy" per §III.B), and must
   /// not return duplicates.
   virtual std::vector<hw::NodeId> select(const PolicyContext& ctx) = 0;
+
+  /// Does this policy read NodeView::temperature? Drives whether the
+  /// telemetry layer's change tracking (and dedup) must treat a pure
+  /// temperature drift as a content change — for every other policy that
+  /// would dirty each busy node every cycle for a field nothing reads.
+  [[nodiscard]] virtual bool temperature_sensitive() const { return false; }
 };
 
 using PolicyPtr = std::unique_ptr<TargetSelectionPolicy>;

@@ -214,54 +214,72 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
   const bool training = report.training;
   const std::size_t running_jobs = scheduler.running_count();
 
-  // Phase A — per-zone gate + telemetry (parallel over zones, read-only
-  // on shared state; each shard sweeps only its own slots). The gate is
-  // evaluated exactly once per zone, strictly before phase B, mirroring
-  // the flat cycle's single-evaluation contract.
+  // Phase A — per-zone gate + telemetry. The gate itself is O(1) per zone
+  // and touches only that zone's state, so it runs serially up front; the
+  // sweep that follows goes to the pool only when at least two zones
+  // actually collect. A quiescent (or steady-green strided) cycle
+  // otherwise pays a pool handoff per phase for zero work per zone — the
+  // ~20x quiescent-cycle slowdown recorded in BENCH_control_cycle.json
+  // before this gate existed. The gate is still evaluated exactly once
+  // per zone, strictly before phase B, mirroring the flat cycle's
+  // single-evaluation contract.
+  for (std::size_t z = 0; z < zones_.size(); ++z) {
+    Zone& zone = zones_[z];
+    CappingManager& m = *zone.shard;
+    zone.report = ManagerReport{};
+    zone.decision = CycleDecision{};
+    zone.share = Watts{0.0};
+    zone.transitions = 0;
+
+    if (zone.down) {
+      // Crashed shard: no gate, no sweep, no decision — only the
+      // collector clock ticks (sample ages and reconciler deadlines
+      // stay well-defined at recovery).
+      zone.active = false;
+      zone.collected = false;
+    } else if (training) {
+      const bool gate = m.context_gate(state);
+      zone.active = false;
+      zone.collected = gate || m.collect_due();
+    } else if (state == PowerState::kGreen) {
+      const bool gate = m.context_gate(state);
+      zone.active = gate;
+      zone.collected = gate || m.collect_due();
+    } else {
+      // Yellow/red quiescence: a hinted zone with nothing left to
+      // shed (yellow: zero job capacity; red: every node already at
+      // the floor) is skipped. Anything pending, in flight,
+      // unresponsive or awaiting watchdog adoption forces activity —
+      // acks, readmissions and adoptions only arrive through a
+      // context build.
+      const bool nothing_to_shed = state == PowerState::kYellow
+                                       ? zone.capacity <= Watts{0.0}
+                                       : zone.floored;
+      const bool quiescent =
+          zone.hints_valid && nothing_to_shed &&
+          m.reconciler().pending_count() == 0 &&
+          m.reconciler().unresponsive_count() == 0 &&
+          m.actuation_channel().in_flight_count() == 0 &&
+          !m.watchdog_pending();
+      zone.active = !quiescent;
+      zone.collected = zone.active;
+    }
+  }
+  std::size_t collecting_zones = 0;
+  std::size_t active_zones = 0;
+  for (const Zone& zone : zones_) {
+    collecting_zones += zone.collected ? 1 : 0;
+    active_zones += zone.active ? 1 : 0;
+  }
+  common::ThreadPool* const collect_pool =
+      collecting_zones >= 2 ? pool_ : nullptr;
+  common::ThreadPool* const active_pool = active_zones >= 2 ? pool_ : nullptr;
   common::maybe_parallel_for(
-      pool_, zones_.size(), 2, 1, [&](std::size_t begin, std::size_t end) {
+      collect_pool, zones_.size(), 2, 1,
+      [&](std::size_t begin, std::size_t end) {
         for (std::size_t z = begin; z < end; ++z) {
           Zone& zone = zones_[z];
-          CappingManager& m = *zone.shard;
-          zone.report = ManagerReport{};
-          zone.decision = CycleDecision{};
-          zone.share = Watts{0.0};
-          zone.transitions = 0;
-
-          if (zone.down) {
-            // Crashed shard: no gate, no sweep, no decision — only the
-            // collector clock ticks (sample ages and reconciler deadlines
-            // stay well-defined at recovery).
-            zone.active = false;
-            zone.collected = false;
-          } else if (training) {
-            const bool gate = m.context_gate(state);
-            zone.active = false;
-            zone.collected = gate || m.collect_due();
-          } else if (state == PowerState::kGreen) {
-            const bool gate = m.context_gate(state);
-            zone.active = gate;
-            zone.collected = gate || m.collect_due();
-          } else {
-            // Yellow/red quiescence: a hinted zone with nothing left to
-            // shed (yellow: zero job capacity; red: every node already at
-            // the floor) is skipped. Anything pending, in flight,
-            // unresponsive or awaiting watchdog adoption forces activity —
-            // acks, readmissions and adoptions only arrive through a
-            // context build.
-            const bool nothing_to_shed = state == PowerState::kYellow
-                                             ? zone.capacity <= Watts{0.0}
-                                             : zone.floored;
-            const bool quiescent =
-                zone.hints_valid && nothing_to_shed &&
-                m.reconciler().pending_count() == 0 &&
-                m.reconciler().unresponsive_count() == 0 &&
-                m.actuation_channel().in_flight_count() == 0 &&
-                !m.watchdog_pending();
-            zone.active = !quiescent;
-            zone.collected = zone.active;
-          }
-          m.collect_phase(zone.collected, nodes, now, running_jobs);
+          zone.shard->collect_phase(zone.collected, nodes, now, running_jobs);
         }
       });
 
@@ -338,12 +356,14 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
     return report;
   }
 
-  // Phase C — context assembly (parallel over zones; each shard's
-  // reconciler/collector/job-index state is disjoint). The zone's power
-  // and shed capacity are serial per-zone folds over its own context, so
-  // they are identical whichever worker computed them.
+  // Phase C — context assembly (parallel over zones when at least two
+  // have real work; each shard's reconciler/collector/job-index state is
+  // disjoint). The zone's power and shed capacity are serial per-zone
+  // folds over its own context, so they are identical whichever worker
+  // computed them.
   common::maybe_parallel_for(
-      pool_, zones_.size(), 2, 1, [&](std::size_t begin, std::size_t end) {
+      active_pool, zones_.size(), 2, 1,
+      [&](std::size_t begin, std::size_t end) {
         for (std::size_t z = begin; z < end; ++z) {
           Zone& zone = zones_[z];
           if (!zone.active) continue;
@@ -416,13 +436,16 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
     }
   }
 
-  // Phase D — selection (parallel; per-shard engine/policy state is
-  // disjoint). Green runs every zone's engine — O(1) with nothing
+  // Phase D — selection (parallel when at least two zones are active;
+  // per-shard engine/policy state is disjoint — skipped and green-idle
+  // zones only tick their engine timers, O(1) work that never justifies a
+  // handoff). Green runs every zone's engine — O(1) with nothing
   // degraded — so each shard's green timer ticks exactly as the flat
   // engine's would. Skipped yellow/red zones reset their timer without a
   // decision, as if a decision had run and emitted nothing.
   common::maybe_parallel_for(
-      pool_, zones_.size(), 2, 1, [&](std::size_t begin, std::size_t end) {
+      active_pool, zones_.size(), 2, 1,
+      [&](std::size_t begin, std::size_t end) {
         for (std::size_t z = begin; z < end; ++z) {
           Zone& zone = zones_[z];
           CappingManager& m = *zone.shard;

@@ -7,17 +7,22 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "baselines/uniform_policy.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/experiment.hpp"
 #include "cluster/scenario.hpp"
+#include "common/thread_pool.hpp"
 #include "hw/node_spec.hpp"
 #include "metrics/trace_recorder.hpp"
 #include "obs/registry.hpp"
+#include "power/checkpoint.hpp"
 #include "power/policy_registry.hpp"
 #include "workload/npb.hpp"
 
@@ -448,7 +453,8 @@ struct RunResult {
 /// A degraded-management-plane cluster run under the Z=3 zone tree:
 /// telemetry loss/delay/dropout/crash/corruption AND a lossy, delayed,
 /// reboot-prone actuation plane, with the zone fan-out forced parallel.
-RunResult run_degraded_zone_cluster(std::size_t worker_threads) {
+RunResult run_degraded_zone_cluster(std::size_t worker_threads,
+                                    bool incremental = true) {
   cluster::ClusterConfig cfg;
   cfg.num_nodes = 200;
   cfg.spec = hw::tianhe1a_node_spec();
@@ -481,6 +487,7 @@ RunResult run_degraded_zone_cluster(std::size_t worker_threads) {
   p.actuation.partial_transition_rate = 0.05;
   p.actuation.reboot_rate = 1e-3;
   p.actuation.reboot_duration_cycles = 10;
+  p.incremental_context = incremental;
 
   ZoneTreeParams zp;
   zp.zone_count = 3;
@@ -538,6 +545,287 @@ TEST(ZoneTree, DegradedZonedRunIsBitIdenticalAcrossWorkerCounts) {
 
   const RunResult four = run_degraded_zone_cluster(4);
   expect_identical(serial, four);
+}
+
+// -- incremental context plane: the delta path must be invisible ---------
+
+// Degraded telemetry + lossy actuation: loss and delay disarm the sample
+// dedup (draws must stay aligned) but the delta-maintained contexts stay
+// on, with most slots dirtied by lagging confirmations every cycle —
+// exactly the regime where a missed invalidation would surface. Together
+// with DegradedZonedRunIsBitIdenticalAcrossWorkerCounts (incremental,
+// 1 vs 4 workers) this closes the {incremental, rebuild} x {1, 4} matrix.
+TEST(ZoneTree, IncrementalMatchesRebuildUnderDegradedPlane) {
+  const RunResult inc = run_degraded_zone_cluster(1, true);
+  ASSERT_GT(inc.points.size(), 400u);
+  const RunResult reb = run_degraded_zone_cluster(1, false);
+  expect_identical(inc, reb);
+  const RunResult reb4 = run_degraded_zone_cluster(4, false);
+  expect_identical(inc, reb4);
+}
+
+/// Everything a spike episode externally produces: a per-cycle report
+/// trace, the final DVFS levels, and the full Prometheus export with the
+/// wall-clock phase spans (the only legitimately nondeterministic series)
+/// stripped.
+struct EpisodeResult {
+  std::vector<std::string> trace;
+  std::vector<hw::Level> levels;
+  std::string prom;
+  CappingManager::IncrementalStats stats;
+};
+
+std::string strip_spans(const std::string& text) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string_view line(text.data() + pos, eol - pos);
+    if (line.find("phase_seconds") == std::string_view::npos) {
+      out.append(line);
+      out.push_back('\n');
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
+/// A clean-plane (exact transport) Z=4 spike episode: shed leg, T_g-paced
+/// restore leg, full quiescence — optionally with candidate churn and a
+/// mid-episode warm restart folded in. Every externally visible output is
+/// captured for exact comparison across {incremental, rebuild} x threads.
+EpisodeResult run_spike_episode(const char* policy, bool incremental,
+                                std::size_t threads, bool churn,
+                                bool warm_restart) {
+  Rig rig(64);
+  for (std::size_t i = 0; i < rig.nodes.size(); ++i) {
+    rig.set_util(rig.nodes[i],
+                 0.70 + 0.25 * static_cast<double>(i % 16) / 16.0);
+  }
+  for (int j = 0; j < 8; ++j) rig.run_job(j + 1, 8 * 12);
+  const auto draw = [&] {
+    Watts total{0.0};
+    for (const hw::Node& n : rig.nodes) total += n.estimated_power();
+    return total;
+  };
+
+  CappingManagerParams p;
+  p.thresholds.provision = draw() * 2.0;
+  p.thresholds.training_cycles = 0;
+  p.thresholds.freeze_at_provision = true;
+  p.thresholds.adjust_period_cycles = 1'000'000;
+  p.capping.steady_green_cycles = 3;
+  p.collector.agent.utilization_noise = 0.0;
+  p.collector.agent.nic_noise = 0.0;
+  p.collector.parallel_threshold = 8;
+  p.collector.parallel_grain = 4;
+  p.green_collect_stride = 1;
+  p.incremental_context = incremental;
+  ZoneTreeParams zp;
+  zp.zone_count = 4;
+  zp.redistribution = ZoneTreeParams::Redistribution::kProportional;
+  const auto make_mgr = [&] {
+    return std::make_unique<ZoneTreeManager>(
+        zp, p, [policy] { return make_policy(policy); }, common::Rng(42));
+  };
+  auto mgr = make_mgr();
+  std::unique_ptr<common::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<common::ThreadPool>(threads);
+  mgr->set_thread_pool(pool.get());
+
+  std::vector<hw::NodeId> all_ids;
+  for (hw::NodeId i = 0; i < 64; ++i) all_ids.push_back(i);
+  std::vector<hw::NodeId> shrunk = all_ids;
+  for (const hw::NodeId id : {5, 17, 33}) {
+    shrunk.erase(std::find(shrunk.begin(), shrunk.end(), id));
+  }
+  mgr->set_candidate_set(all_ids);
+  obs::Registry reg;
+  if (!warm_restart) mgr->bind_metrics(reg);
+
+  EpisodeResult out;
+  double now = 1.0;
+  for (int i = 0; i < 4; ++i) {  // fill histories in green
+    mgr->cycle(draw(), rig.nodes, rig.scheduler, Seconds{now});
+    now += 1.0;
+  }
+  const Watts offset = p.thresholds.provision * 0.86 - draw();
+  bool spiked = true;
+  for (int c = 0; c < 48; ++c) {
+    if (churn && c == 6) mgr->set_candidate_set(shrunk);
+    if (churn && c == 12) mgr->set_candidate_set(all_ids);
+    if (warm_restart && c == 9) {
+      // Encode through the wire image, restore into a freshly built
+      // controller, swap it in mid-episode — the paper's controller
+      // replacement. Metrics bind to the replacement only (the lifetime
+      // counters restart, identically for both modes).
+      const std::string image = encode_checkpoint(mgr->checkpoint());
+      auto restarted = make_mgr();
+      restarted->set_thread_pool(pool.get());
+      restarted->set_candidate_set(all_ids);
+      restarted->restore(decode_tree_checkpoint(image));
+      mgr = std::move(restarted);
+      mgr->bind_metrics(reg);
+    }
+    const Watts measured = (spiked ? offset : Watts{0.0}) + draw();
+    const ManagerReport r =
+        mgr->cycle(measured, rig.nodes, rig.scheduler, Seconds{now});
+    now += 1.0;
+    if (spiked && r.state == PowerState::kGreen) spiked = false;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "s=%d tg=%zu tr=%zu ack=%zu fl=%zu st=%zu fb=%zu sk=%zu "
+                  "df=%zu un=%zu az=%zu",
+                  static_cast<int>(r.state), r.targets, r.transitions, r.acks,
+                  r.commands_in_flight, r.stale_nodes, r.fallback_nodes,
+                  r.skipped_targets, r.deferred_targets, r.unresponsive_nodes,
+                  mgr->zones_active_last_cycle());
+    out.trace.emplace_back(line);
+  }
+  for (const hw::Node& n : rig.nodes) out.levels.push_back(n.level());
+  out.prom = strip_spans(reg.prometheus_text());
+  for (std::size_t z = 0; z < mgr->zone_count(); ++z) {
+    const CappingManager::IncrementalStats& st =
+        mgr->zone(z).incremental_stats();
+    out.stats.full_builds += st.full_builds;
+    out.stats.delta_builds += st.delta_builds;
+    out.stats.noop_builds += st.noop_builds;
+    out.stats.dirty_slots += st.dirty_slots;
+  }
+  return out;
+}
+
+void expect_episode_identical(const EpisodeResult& a, const EpisodeResult& b) {
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i], b.trace[i]) << "cycle " << i;
+  }
+  EXPECT_EQ(a.levels, b.levels);
+  EXPECT_EQ(a.prom, b.prom);
+}
+
+TEST(ZoneTree, IncrementalEpisodeMatchesRebuildBitForBit) {
+  const EpisodeResult inc = run_spike_episode("mpc-c", true, 1, false, false);
+  // The delta plane actually engaged: quiet cycles resolved as no-ops and
+  // delta builds dominate the full assemblies.
+  EXPECT_GT(inc.stats.noop_builds, 0u);
+  EXPECT_GT(inc.stats.delta_builds, inc.stats.full_builds);
+  const EpisodeResult reb = run_spike_episode("mpc-c", false, 1, false, false);
+  EXPECT_EQ(reb.stats.delta_builds, 0u);
+  expect_episode_identical(inc, reb);
+  // Worker count must not leak into the merge: the same episode, sharded
+  // four ways, in both modes.
+  const EpisodeResult inc4 = run_spike_episode("mpc-c", true, 4, false, false);
+  expect_episode_identical(inc, inc4);
+  const EpisodeResult reb4 = run_spike_episode("mpc-c", false, 4, false, false);
+  expect_episode_identical(inc, reb4);
+}
+
+// Thermal policies read board temperature, which drifts with sim-time
+// without ever passing a pool mutator — the one field the state-epoch
+// fast path cannot vouch for. ht-c must still be bit-identical.
+TEST(ZoneTree, ThermalPolicyEpisodeMatchesRebuild) {
+  const EpisodeResult inc = run_spike_episode("ht-c", true, 1, false, false);
+  const EpisodeResult reb = run_spike_episode("ht-c", false, 1, false, false);
+  expect_episode_identical(inc, reb);
+}
+
+// Candidate churn mid-episode: slots move, appear and vanish under the
+// persistent contexts (the presence-flip path falls back to a full
+// merge); the change-tracking state has to travel with the histories.
+TEST(ZoneTree, CandidateChurnEpisodeMatchesRebuild) {
+  const EpisodeResult inc = run_spike_episode("mpc-c", true, 1, true, false);
+  const EpisodeResult reb = run_spike_episode("mpc-c", false, 1, true, false);
+  expect_episode_identical(inc, reb);
+  const EpisodeResult inc4 = run_spike_episode("mpc-c", true, 4, true, false);
+  expect_episode_identical(inc, inc4);
+}
+
+// A warm restart replaces the controller mid-episode: the replacement
+// starts with cold persistent contexts and must rebuild, then re-enter
+// the delta path, without its decisions drifting from the rebuild plane.
+TEST(ZoneTree, WarmRestartEpisodeMatchesRebuild) {
+  const EpisodeResult inc = run_spike_episode("mpc-c", true, 1, false, true);
+  const EpisodeResult reb = run_spike_episode("mpc-c", false, 1, false, true);
+  expect_episode_identical(inc, reb);
+}
+
+// The drain-length regression the bench gates on wall clock, pinned down
+// functionally at 8k nodes: a demand step must reach all-zones-quiescent
+// in bounded cycles on the delta path, and a second, context-warm episode
+// must take exactly as long (the persistent contexts do not accumulate
+// state that changes decisions).
+TEST(ZoneTree, DemandStepDrainsInBoundedCyclesOnTheDeltaPath) {
+  Rig rig(8192);
+  for (std::size_t i = 0; i < rig.nodes.size(); ++i) {
+    rig.set_util(rig.nodes[i],
+                 0.70 + 0.25 * static_cast<double>(i % 16) / 16.0);
+  }
+  for (int j = 0; j < 64; ++j) rig.run_job(j + 1, 128 * 12);
+  const auto draw = [&] {
+    Watts total{0.0};
+    for (const hw::Node& n : rig.nodes) total += n.estimated_power();
+    return total;
+  };
+  CappingManagerParams p;
+  p.thresholds.provision = draw() * 2.0;
+  p.thresholds.training_cycles = 0;
+  p.thresholds.freeze_at_provision = true;
+  p.thresholds.adjust_period_cycles = 1'000'000;
+  p.collector.agent.utilization_noise = 0.0;
+  p.collector.agent.nic_noise = 0.0;
+  p.green_collect_stride = 1;
+  p.incremental_context = true;
+  ZoneTreeParams zp;
+  zp.zone_count = 8;
+  zp.redistribution = ZoneTreeParams::Redistribution::kProportional;
+  ZoneTreeManager mgr(
+      zp, p, [] { return make_policy("mpc-c"); }, common::Rng(42));
+  std::vector<hw::NodeId> ids;
+  for (hw::NodeId i = 0; i < 8192; ++i) ids.push_back(i);
+  mgr.set_candidate_set(ids);
+
+  double now = 1.0;
+  for (int i = 0; i < 4; ++i) {
+    mgr.cycle(draw(), rig.nodes, rig.scheduler, Seconds{now});
+    now += 1.0;
+  }
+  const auto episode = [&] {
+    const Watts offset = p.thresholds.provision * 0.845 - draw();
+    bool spiked = true;
+    int cycles = 0;
+    while (cycles < 64) {
+      const Watts measured = (spiked ? offset : Watts{0.0}) + draw();
+      const ManagerReport r =
+          mgr.cycle(measured, rig.nodes, rig.scheduler, Seconds{now});
+      now += 1.0;
+      ++cycles;
+      if (spiked && r.state == PowerState::kGreen) spiked = false;
+      if (!spiked && mgr.zones_active_last_cycle() == 0) break;
+    }
+    return cycles;
+  };
+  const int cold = episode();
+  EXPECT_LT(cold, 64) << "demand step never reached quiescence";
+  const int warm = episode();
+  EXPECT_EQ(cold, warm);
+  CappingManager::IncrementalStats total;
+  for (std::size_t z = 0; z < mgr.zone_count(); ++z) {
+    const CappingManager::IncrementalStats& st =
+        mgr.zone(z).incremental_stats();
+    total.full_builds += st.full_builds;
+    total.delta_builds += st.delta_builds;
+    total.noop_builds += st.noop_builds;
+    total.dirty_slots += st.dirty_slots;
+  }
+  // The episodes ran on the delta path: quiet drain cycles resolved as
+  // no-ops, and the dirty waves touched only the shed cohort — not the
+  // whole candidate set every active cycle.
+  EXPECT_GT(total.noop_builds, 0u);
+  EXPECT_GT(total.delta_builds, total.full_builds);
+  EXPECT_LT(total.dirty_slots,
+            static_cast<std::uint64_t>(cold + warm) * 8192u / 2u);
 }
 
 }  // namespace
