@@ -28,6 +28,9 @@ struct AveragedResult {
   double red_s = 0.0;
   double manager_utilization = 0.0;
   std::size_t finished_jobs = 0;
+  double predictive_elevations = 0.0;
+  double predictor_overshoots = 0.0;
+  double predictor_misses = 0.0;
 };
 
 inline AveragedResult average_over_seeds(
@@ -54,6 +57,11 @@ inline AveragedResult average_over_seeds(
     avg.red_s += static_cast<double>(r.red_cycles) / n;
     avg.manager_utilization += r.mean_manager_utilization / n;
     avg.finished_jobs += r.perf.finished_jobs;
+    avg.predictive_elevations +=
+        static_cast<double>(r.predictive_elevations) / n;
+    avg.predictor_overshoots +=
+        static_cast<double>(r.predictor_overshoots) / n;
+    avg.predictor_misses += static_cast<double>(r.predictor_misses) / n;
   }
   return avg;
 }

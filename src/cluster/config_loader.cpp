@@ -59,6 +59,16 @@ const std::set<std::string>& known_keys() {
       "zones.count",
       "zones.assignment",
       "zones.redistribution",
+      "prediction.enabled",
+      "prediction.kind",
+      "prediction.horizon_cycles",
+      "prediction.ewma_alpha",
+      "prediction.ewma_beta",
+      "prediction.window_cycles",
+      "prediction.refresh_cycles",
+      "pi.kp",
+      "pi.ki",
+      "pi.integral_cap",
       "control.outage_rate",
       "control.outage_duration_cycles",
       "control.zone_outage_rate",
@@ -234,6 +244,30 @@ ExperimentConfig apply_config(ExperimentConfig base,
   out.zone_redistribution = common::to_lower(
       cfg.get_string("zones.redistribution", out.zone_redistribution));
   power::parse_zone_redistribution(out.zone_redistribution);
+
+  // [prediction] — system-power forecasting for the predictive policies.
+  out.prediction.enabled =
+      cfg.get_bool("prediction.enabled", out.prediction.enabled);
+  out.prediction.kind = common::to_lower(
+      cfg.get_string("prediction.kind", out.prediction.kind));
+  out.prediction.horizon_cycles = checked_int(
+      cfg, "prediction.horizon_cycles", out.prediction.horizon_cycles);
+  out.prediction.ewma_alpha =
+      checked_double(cfg, "prediction.ewma_alpha", out.prediction.ewma_alpha);
+  out.prediction.ewma_beta =
+      checked_double(cfg, "prediction.ewma_beta", out.prediction.ewma_beta);
+  out.prediction.window_cycles = checked_int(
+      cfg, "prediction.window_cycles", out.prediction.window_cycles);
+  out.prediction.refresh_cycles = checked_int(
+      cfg, "prediction.refresh_cycles", out.prediction.refresh_cycles);
+  out.prediction.validate();  // validated even while disabled: fail early
+
+  // [pi] — PI-C controller tuning.
+  out.pi.kp = checked_double(cfg, "pi.kp", out.pi.kp);
+  out.pi.ki = checked_double(cfg, "pi.ki", out.pi.ki);
+  out.pi.integral_cap =
+      checked_double(cfg, "pi.integral_cap", out.pi.integral_cap);
+  out.pi.validate();
 
   // [control] — controller-failure injection + the node-local failsafe.
   out.control.outage_rate =

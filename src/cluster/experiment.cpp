@@ -21,12 +21,13 @@ bool is_registry_policy(const std::string& name) {
   return std::find(names.begin(), names.end(), name) != names.end();
 }
 
-power::PolicyPtr make_policy_any(const std::string& name) {
+power::PolicyPtr make_policy_any(const std::string& name,
+                                 const power::PiTuning& pi) {
   if (name == "uniform") {
     return std::make_unique<baselines::UniformAllNodesPolicy>();
   }
   if (name == "sla") return std::make_unique<baselines::SlaPriorityPolicy>();
-  return power::make_policy(name);
+  return power::make_policy(name, pi);
 }
 
 }  // namespace
@@ -121,6 +122,14 @@ std::unique_ptr<power::PowerManagerBase> make_manager(
   p.actuation = config.actuation;
   p.reconciliation = config.reconciliation;
   p.control = config.control;
+  p.prediction = config.prediction;
+  if (!p.prediction.enabled &&
+      (config.manager == "pi-c" || config.manager == "pred-c")) {
+    // The predictive policies are inert without a forecast: selecting one
+    // opts into the default predictor (the explicit [prediction] section
+    // still overrides every knob).
+    p.prediction.enabled = true;
+  }
   if (config.zone_count >= 2) {
     power::ZoneTreeParams zp;
     zp.zone_count = static_cast<std::size_t>(config.zone_count);
@@ -128,13 +137,15 @@ std::unique_ptr<power::PowerManagerBase> make_manager(
     zp.redistribution =
         power::parse_zone_redistribution(config.zone_redistribution);
     const std::string policy_name = config.manager;
+    const power::PiTuning pi = config.pi;
     auto mgr = std::make_unique<power::ZoneTreeManager>(
-        zp, p, [policy_name] { return make_policy_any(policy_name); }, rng);
+        zp, p, [policy_name, pi] { return make_policy_any(policy_name, pi); },
+        rng);
     mgr->set_candidate_set(candidates);
     return mgr;
   }
   auto mgr = std::make_unique<power::CappingManager>(
-      p, make_policy_any(config.manager), rng);
+      p, make_policy_any(config.manager, config.pi), rng);
   mgr->set_candidate_set(candidates);
   return mgr;
 }
@@ -242,6 +253,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   r.ctrl_outage_cycles = cl.last_report().ctrl_outage_cycles;
   r.ctrl_delayed_cycles = cl.last_report().ctrl_delayed_cycles;
   r.ctrl_zone_outage_cycles = cl.last_report().ctrl_zone_outage_cycles;
+  r.predictor_overshoots = cl.last_report().predictor_overshoots;
+  r.predictor_misses = cl.last_report().predictor_misses;
+  r.predictive_elevations = cl.last_report().predictive_elevations;
   r.watchdog_engagements = cl.watchdog().engagements();
   r.watchdog_transitions = cl.watchdog().failsafe_transitions();
   r.watchdog_adoptions = static_cast<std::size_t>(

@@ -17,6 +17,8 @@
 #include "metrics/performance.hpp"
 #include "power/actuation_channel.hpp"
 #include "power/capping.hpp"
+#include "power/policies_predictive.hpp"
+#include "power/predictor.hpp"
 #include "power/reconciler.hpp"
 #include "power/thresholds.hpp"
 
@@ -79,6 +81,13 @@ struct ExperimentConfig {
   /// only the capping managers support it (the baselines throw).
   power::ControlFaultParams control;
 
+  /// System-power forecasting (power/predictor.hpp). Off by default; the
+  /// predictive policies (pi-c/pred-c) auto-enable it with these params —
+  /// they are inert without a forecast.
+  power::PredictionParams prediction;
+  /// PI controller tuning; consumed only by manager == "pi-c".
+  power::PiTuning pi;
+
   /// Hierarchical control plane: with zone_count >= 2 the capping-policy
   /// managers run as a ZoneTreeManager (Z zone shards + a root learner /
   /// headroom redistributor) instead of one flat CappingManager. 1 = the
@@ -137,6 +146,11 @@ struct ExperimentResult {
   std::uint64_t ctrl_outage_cycles = 0;
   std::uint64_t ctrl_delayed_cycles = 0;
   std::uint64_t ctrl_zone_outage_cycles = 0;
+  // Predictor ground truth (lifetime totals at the end of the run;
+  // all-zero for managers without a forecaster).
+  std::uint64_t predictor_overshoots = 0;
+  std::uint64_t predictor_misses = 0;
+  std::uint64_t predictive_elevations = 0;
   std::uint64_t watchdog_engagements = 0;
   std::uint64_t watchdog_transitions = 0;
   std::size_t watchdog_adoptions = 0;  ///< measured-window delta

@@ -29,6 +29,16 @@ CycleDecision CappingEngine::cycle(Watts measured, Watts p_low, Watts p_high,
 
   switch (classify_power(measured, p_low, p_high)) {
     case PowerState::kGreen:
+      // Predictive elevation: the meter says green, but a forecast-driven
+      // policy expects the threshold to be crossed within its horizon —
+      // run the yellow path now so the saving lands before the crossing.
+      // Only green→yellow: a red decision stays strictly meter-driven so
+      // a bad forecast can never floor the whole cluster.
+      if (ctx.has_forecast && policy.forecast_driven() &&
+          ctx.forecast_power >= p_low) {
+        ++predictive_elevations_;
+        return yellow_cycle(policy, ctx);
+      }
       return green_cycle(ctx);
     case PowerState::kYellow:
       return yellow_cycle(policy, ctx);

@@ -77,6 +77,12 @@ class CappingEngine {
   [[nodiscard]] std::uint64_t skipped_targets() const {
     return skipped_targets_;
   }
+  /// Green cycles promoted to the yellow path because a forecast-driven
+  /// policy saw the threshold crossing coming (lifetime, process-scoped
+  /// like skipped_targets()).
+  [[nodiscard]] std::uint64_t predictive_elevations() const {
+    return predictive_elevations_;
+  }
   [[nodiscard]] const CappingParams& params() const { return params_; }
 
   /// Forgets all throttling history (e.g. when capping is switched off).
@@ -111,6 +117,7 @@ class CappingEngine {
   CappingParams params_;
   std::int64_t time_g_ = 0;
   std::uint64_t skipped_targets_ = 0;
+  std::uint64_t predictive_elevations_ = 0;
   std::set<hw::NodeId> degraded_;  ///< A_degraded
 };
 

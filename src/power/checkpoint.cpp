@@ -9,8 +9,13 @@ namespace pcap::power {
 
 namespace {
 
-constexpr const char* kShardHeader = "pcap-shard-checkpoint v1";
-constexpr const char* kTreeHeader = "pcap-tree-checkpoint v1";
+// v2: learner line grew a training_done flag; shard bodies carry opaque
+// predictor/policy state vectors; the tree carries the root predictor.
+// v1 images are not readable (warm restart is same-binary by design —
+// rejecting the old header loudly beats silently resuming without the
+// flag that says training already ended).
+constexpr const char* kShardHeader = "pcap-shard-checkpoint v2";
+constexpr const char* kTreeHeader = "pcap-tree-checkpoint v2";
 
 /// C99 hexfloat: every bit of the mantissa survives the text round trip
 /// (iostream hexfloat extraction is unreliable across standard libraries,
@@ -93,7 +98,8 @@ void encode_learner(std::ostringstream& out, const LearnerCheckpoint& l) {
   out << "learner " << hex_double(l.p_peak) << ' '
       << hex_double(l.running_peak) << ' ' << hex_double(l.window_peak) << ' '
       << l.cycles << ' ' << l.cycles_since_adjust << ' ' << l.adjustments
-      << ' ' << (l.frozen ? 1 : 0) << '\n';
+      << ' ' << (l.frozen ? 1 : 0) << ' ' << (l.training_done ? 1 : 0)
+      << '\n';
 }
 
 LearnerCheckpoint decode_learner(Tokens& t) {
@@ -106,7 +112,29 @@ LearnerCheckpoint decode_learner(Tokens& t) {
   l.cycles_since_adjust = t.next_i64("cycles_since_adjust");
   l.adjustments = t.next_i64("adjustments");
   l.frozen = t.next_bool("frozen");
+  l.training_done = t.next_bool("training_done");
   return l;
+}
+
+/// Opaque flat-double state vectors (predictor / policy). One line:
+/// "<tag> <count> <hex> <hex> ..." — hexfloat for the same bit-exact
+/// round trip the learner doubles get.
+void encode_doubles(std::ostringstream& out, const char* tag,
+                    const std::vector<double>& v) {
+  out << tag << ' ' << v.size();
+  for (const double d : v) out << ' ' << hex_double(d);
+  out << '\n';
+}
+
+std::vector<double> decode_doubles(Tokens& t, const char* tag) {
+  t.expect(tag);
+  const std::uint64_t n = t.next_u64("state length");
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    v.push_back(t.next_double("state entry"));
+  }
+  return v;
 }
 
 void encode_shard_body(std::ostringstream& out, const ShardCheckpoint& cp) {
@@ -124,6 +152,8 @@ void encode_shard_body(std::ostringstream& out, const ShardCheckpoint& cp) {
         << '\n';
   }
   out << "collector " << cp.collector_cycles << '\n';
+  encode_doubles(out, "predictor", cp.predictor_state);
+  encode_doubles(out, "policy", cp.policy_state);
 }
 
 ShardCheckpoint decode_shard_body(Tokens& t) {
@@ -157,6 +187,8 @@ ShardCheckpoint decode_shard_body(Tokens& t) {
   }
   t.expect("collector");
   cp.collector_cycles = t.next_u64("collector cycles");
+  cp.predictor_state = decode_doubles(t, "predictor");
+  cp.policy_state = decode_doubles(t, "policy");
   return cp;
 }
 
@@ -172,7 +204,7 @@ std::string encode_checkpoint(const ShardCheckpoint& cp) {
 ShardCheckpoint decode_shard_checkpoint(const std::string& text) {
   Tokens t(text);
   t.expect("pcap-shard-checkpoint");
-  t.expect("v1");
+  t.expect("v2");
   return decode_shard_body(t);
 }
 
@@ -184,6 +216,7 @@ std::string encode_checkpoint(const TreeCheckpoint& cp) {
   std::ostringstream out;
   out << kTreeHeader << '\n';
   encode_learner(out, cp.learner);
+  encode_doubles(out, "predictor", cp.predictor_state);
   out << "state " << cp.last_state << ' ' << cp.job_events_seen << '\n';
   out << "zones " << cp.shards.size() << '\n';
   for (std::size_t z = 0; z < cp.shards.size(); ++z) {
@@ -200,9 +233,10 @@ std::string encode_checkpoint(const TreeCheckpoint& cp) {
 TreeCheckpoint decode_tree_checkpoint(const std::string& text) {
   Tokens t(text);
   t.expect("pcap-tree-checkpoint");
-  t.expect("v1");
+  t.expect("v2");
   TreeCheckpoint cp;
   cp.learner = decode_learner(t);
+  cp.predictor_state = decode_doubles(t, "predictor");
   t.expect("state");
   cp.last_state = static_cast<int>(t.next_i64("last_state"));
   cp.job_events_seen = t.next_u64("job_events_seen");

@@ -37,6 +37,8 @@ struct LearnerCheckpoint {
   std::int64_t cycles_since_adjust = 0;
   std::int64_t adjustments = 0;
   bool frozen = false;
+  /// Training ended early via set_manual_peak() (v2).
+  bool training_done = false;
 };
 
 struct EngineCheckpoint {
@@ -71,6 +73,15 @@ struct ShardCheckpoint {
   /// timebase, so the restored collector must resume from it or every
   /// ack comparison would be skewed.
   std::uint64_t collector_cycles = 0;
+  /// Opaque PowerPredictor::checkpoint_state() image (v2); empty when the
+  /// manager runs without a predictor. A warm-restarted predictor must
+  /// resume bit-identically or the first post-restart forecast (and thus
+  /// the first predictive elevation) would diverge from the uninterrupted
+  /// run.
+  std::vector<double> predictor_state;
+  /// Opaque TargetSelectionPolicy::checkpoint_state() image (v2); empty
+  /// for stateless policies. Carries e.g. PI-C's integral term.
+  std::vector<double> policy_state;
 };
 
 struct ZoneHintCheckpoint {
@@ -88,6 +99,9 @@ struct TreeCheckpoint {
   std::vector<ZoneHintCheckpoint> hints;  ///< parallel to shards
   int last_state = 0;                     ///< root dirty-trigger state
   std::uint64_t job_events_seen = 0;
+  /// Root predictor image (v2); the shards' own predictor_state vectors
+  /// stay empty — prediction runs at the root only.
+  std::vector<double> predictor_state;
 };
 
 // Text codecs. decode_* throws std::runtime_error on a malformed or

@@ -57,6 +57,14 @@ CappingManager::CappingManager(CappingManagerParams params, PolicyPtr policy,
   // in-context transport-delay staleness only.
   collect_stride_ = params_.green_collect_stride;
   collector_.set_cycle_period(params_.cycle_period);
+  if (params_.prediction.enabled) {
+    params_.prediction.validate();
+    predictor_ = make_predictor(params_.prediction);
+    predictor_refresh_cycles_ = params_.prediction.refresh_cycles > 0
+                                    ? params_.prediction.refresh_cycles
+                                    : params_.thresholds.adjust_period_cycles;
+    scorer_.reset(params_.prediction.horizon_cycles);
+  }
   // The incremental context plane needs the collector's per-slot change
   // cursors; whether a pure temperature drift counts as a change depends
   // on whether this manager's policy will ever read it.
@@ -188,6 +196,16 @@ void ManagerMetrics::bind(obs::Registry& reg) {
       reg.counter("pcap_watchdog_adoptions_total",
                   "Failsafe level changes adopted by the reconciler");
 
+  m.predictor_overshoots =
+      reg.counter("pcap_predictor_overshoots_total",
+                  "Forecasts that called a P_L crossing that never came");
+  m.predictor_misses =
+      reg.counter("pcap_predictor_misses_total",
+                  "P_L crossings the forecast did not see coming");
+  m.predictive_elevations =
+      reg.counter("pcap_manager_predictive_elevations_total",
+                  "Green cycles promoted to the yellow path by a forecast");
+
   m.measured_watts = reg.gauge("pcap_manager_measured_watts",
                                "Facility meter reading at the last cycle");
   m.p_low_watts = reg.gauge("pcap_manager_p_low_watts",
@@ -202,6 +220,12 @@ void ManagerMetrics::bind(obs::Registry& reg) {
                             "Profiling agents currently silent");
   m.orphan_zones = reg.gauge("pcap_ctrl_orphan_zones",
                              "Zone shards down at the last cycle");
+  m.predictor_forecast_watts =
+      reg.gauge("pcap_predictor_forecast_watts",
+                "Predicted system power, horizon cycles ahead");
+  m.predictor_abs_error_watts =
+      reg.gauge("pcap_predictor_abs_error_watts",
+                "Absolute error of the forecast that targeted this cycle");
 
   const std::string span = "pcap_cycle_phase_seconds";
   const std::string span_help = "Wall-clock time per control-loop phase";
@@ -260,6 +284,14 @@ void ManagerMetrics::publish(const ManagerReport& report,
   reg->set_total(m.ctrl_zone_outage_cycles, report.ctrl_zone_outage_cycles);
 
   reg->add(m.watchdog_adoptions, report.watchdog_adoptions);
+
+  reg->set_total(m.predictor_overshoots, report.predictor_overshoots);
+  reg->set_total(m.predictor_misses, report.predictor_misses);
+  reg->set_total(m.predictive_elevations, report.predictive_elevations);
+  reg->set(m.predictor_forecast_watts,
+           report.has_forecast ? report.forecast.value() : 0.0);
+  reg->set(m.predictor_abs_error_watts,
+           report.forecast_scored ? report.forecast_abs_error : 0.0);
 
   reg->set(m.measured_watts, report.measured.value());
   reg->set(m.p_low_watts, report.p_low.value());
@@ -949,6 +981,36 @@ void CappingManager::fill_actuation_totals(ManagerReport& report) const {
   report.commands_in_flight = reconciler_.pending_count();
 }
 
+void CappingManager::predictor_phase(Watts measured, ManagerReport& report) {
+  if (!predictor_) return;
+  predictor_->observe(measured);
+  ++predictor_observations_;
+  if (auto* periodic = dynamic_cast<PeriodicityPredictor*>(predictor_.get());
+      periodic != nullptr &&
+      predictor_observations_ % predictor_refresh_cycles_ == 0) {
+    // The only super-O(1) model work, scheduled on the learner's t_p
+    // cadence — never on the per-cycle hot path.
+    periodic->refresh();
+  }
+  forecast_ = predictor_->forecast(params_.prediction.horizon_cycles);
+  std::optional<double> raw;
+  if (forecast_) raw = forecast_->value();
+  const std::optional<ForecastScorer::Score> score =
+      scorer_.step(measured.value(), learner_.p_low().value(), raw);
+  if (score) {
+    report.forecast_abs_error = score->abs_error;
+    report.forecast_scored = true;
+  }
+  report.has_forecast = forecast_.has_value();
+  if (forecast_) report.forecast = *forecast_;
+}
+
+void CappingManager::fill_predictor_totals(ManagerReport& report) const {
+  report.predictor_overshoots = scorer_.overshoots();
+  report.predictor_misses = scorer_.misses();
+  report.predictive_elevations = engine_.predictive_elevations();
+}
+
 void CappingManager::fill_control_totals(ManagerReport& report) const {
   report.ctrl_outages = ctrl_faults_.outages_started();
   report.ctrl_outage_cycles = ctrl_faults_.outage_cycles();
@@ -985,6 +1047,7 @@ ManagerReport CappingManager::dead_cycle(Watts measured,
   report.transitions = apply_deliveries(nodes);
   fill_actuation_totals(report);
   fill_control_totals(report);
+  fill_predictor_totals(report);
   metrics_.publish(report, reconciler_.unresponsive_count());
   return report;
 }
@@ -1023,14 +1086,25 @@ ManagerReport CappingManager::cycle(Watts measured,
   report.training = learner_.training();
   report.state = classify_power(measured, report.p_low, report.p_high);
 
+  // 1b. Forecasting: model update + this cycle's forecast. Runs during
+  // training too (the model is warm the moment capping starts), but only
+  // arms the predictive path once training is over.
+  predictor_phase(measured, report);
+  const bool predictive_alarm =
+      !report.training && forecast_.has_value() &&
+      policy_->forecast_driven() && *forecast_ >= report.p_low;
+
   // 2. Telemetry sweep over A_candidate — or, on a quiet green cycle
   // between stride marks, just a clock tick. The context/collect gate is
   // evaluated exactly ONCE, here, strictly before begin_actuation_phase:
   // that call processes reboots and due deliveries and can shrink the
   // in-flight set, so a second evaluation after it could disagree with
   // the collect decision made now — skipping the sweep yet building a
-  // context, or (worse) collecting and then not consuming the acks.
-  const bool needs_context = context_gate(report.state);
+  // context, or (worse) collecting and then not consuming the acks. A
+  // predictive alarm forces the build the same way a non-green state
+  // does: the elevated yellow path selects against this context, so it
+  // must be fresh.
+  const bool needs_context = context_gate(report.state) || predictive_alarm;
   const bool collect_now = needs_context || collect_due();
   {
     const obs::SpanTimer::Scope span = metrics_.collect_span.start();
@@ -1051,6 +1125,7 @@ ManagerReport CappingManager::cycle(Watts measured,
     apply_deliveries(nodes);
     fill_actuation_totals(report);
     fill_control_totals(report);
+    fill_predictor_totals(report);
     metrics_.publish(report, reconciler_.unresponsive_count());
     return report;
   }
@@ -1066,6 +1141,14 @@ ManagerReport CappingManager::cycle(Watts measured,
     const obs::SpanTimer::Scope span = metrics_.context_span.start();
     context_phase(measured, nodes, scheduler, report);
   }
+  // Stamp THIS cycle's forecast into the context (clearing any stale
+  // stamp from a previous build): the engine's predictive elevation and
+  // the forecast-driven policies read it from here. When the alarm is
+  // armed the context above was just rebuilt, so the selection acts on
+  // data as fresh as any reactive yellow cycle's.
+  scratch_ctx_.has_forecast = !report.training && forecast_.has_value();
+  scratch_ctx_.forecast_power =
+      forecast_.has_value() ? *forecast_ : Watts{0.0};
   CycleDecision decision;
   {
     const obs::SpanTimer::Scope span = metrics_.policy_span.start();
@@ -1087,6 +1170,7 @@ ManagerReport CappingManager::cycle(Watts measured,
   report.heals = recon_work_.heals;
   fill_actuation_totals(report);
   fill_control_totals(report);
+  fill_predictor_totals(report);
   metrics_.publish(report, reconciler_.unresponsive_count());
   return report;
 }
@@ -1097,6 +1181,16 @@ ShardCheckpoint CappingManager::checkpoint() const {
   cp.engine = engine_.checkpoint();
   cp.reconciler = reconciler_.checkpoint();
   cp.collector_cycles = collector_.cycle_count();
+  // The observation counter rides in front of the opaque model state so
+  // the restored refresh cadence stays phase-aligned with the old run.
+  if (predictor_) {
+    cp.predictor_state.push_back(
+        static_cast<double>(predictor_observations_));
+    const std::vector<double> model = predictor_->checkpoint_state();
+    cp.predictor_state.insert(cp.predictor_state.end(), model.begin(),
+                              model.end());
+  }
+  cp.policy_state = policy_->checkpoint_state();
   return cp;
 }
 
@@ -1104,6 +1198,14 @@ void CappingManager::restore(const ShardCheckpoint& cp) {
   learner_.restore(cp.learner);
   engine_.restore(cp.engine);
   reconciler_.restore(cp.reconciler);
+  if (predictor_ && !cp.predictor_state.empty()) {
+    predictor_observations_ =
+        static_cast<std::int64_t>(cp.predictor_state[0]);
+    predictor_->restore_state(std::vector<double>(
+        cp.predictor_state.begin() + 1, cp.predictor_state.end()));
+    forecast_ = predictor_->forecast(params_.prediction.horizon_cycles);
+  }
+  if (!cp.policy_state.empty()) policy_->restore_state(cp.policy_state);
   // Believed/observed stamps in the restored shadow tables are in the
   // checkpointed collector timebase; resume the clock there or every ack
   // and staleness comparison would be skewed by the restart.

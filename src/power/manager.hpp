@@ -30,6 +30,7 @@
 #include "power/job_index.hpp"
 #include "power/node_controller.hpp"
 #include "power/policy.hpp"
+#include "power/predictor.hpp"
 #include "power/reconciler.hpp"
 #include "power/state.hpp"
 #include "power/thresholds.hpp"
@@ -88,6 +89,18 @@ struct ManagerReport {
   std::uint64_t commands_abandoned = 0;  ///< retry budget exhausted
   std::uint64_t commands_clamped = 0;    ///< request clamped by the node
 
+  // Forecasting (managers running a PowerPredictor; all-zero otherwise).
+  bool has_forecast = false;  ///< a forecast informed this cycle
+  Watts forecast{0.0};        ///< predicted P, horizon cycles ahead
+  /// |forecast - realised| for the forecast that targeted THIS cycle
+  /// (made horizon cycles ago); valid only when forecast_scored.
+  double forecast_abs_error = 0.0;
+  bool forecast_scored = false;
+  // Cumulative predictor ground truth (scorer/engine lifetime totals).
+  std::uint64_t predictor_overshoots = 0;  ///< false alarms (pred>=P_L, real<P_L)
+  std::uint64_t predictor_misses = 0;      ///< unseen ramps (pred<P_L, real>=P_L)
+  std::uint64_t predictive_elevations = 0; ///< green cycles promoted to yellow
+
   // Control-plane failure domain (see power/control_fault_injector.hpp).
   bool controller_down = false;  ///< root controller silent this cycle
   std::size_t zones_down = 0;    ///< zone shards silent this cycle
@@ -123,9 +136,12 @@ struct ManagerMetrics {
   obs::CounterHandle ctrl_outage_events, ctrl_outage_cycles,
       ctrl_delayed_cycles, ctrl_zone_outage_cycles;
   obs::CounterHandle watchdog_adoptions;
+  obs::CounterHandle predictor_overshoots, predictor_misses,
+      predictive_elevations;
   // Instantaneous state.
   obs::GaugeHandle measured_watts, p_low_watts, p_high_watts,
       commands_in_flight, unresponsive_nodes, agents_down, orphan_zones;
+  obs::GaugeHandle predictor_forecast_watts, predictor_abs_error_watts;
   // Control-loop stage timers.
   obs::SpanTimer collect_span, context_span, policy_span, actuate_span;
 
@@ -210,6 +226,12 @@ struct CappingManagerParams {
   /// healthy path is byte-for-byte what it was without one. Under the
   /// zone tree the root owns all windows and clears this on the shards.
   ControlFaultParams control;
+  /// System-power forecasting. Disabled by default; when enabled the
+  /// manager runs a PowerPredictor over the facility meter stream, stamps
+  /// its forecast into every policy context, and lets forecast-driven
+  /// policies act before P_L is crossed. refresh_cycles == 0 resolves to
+  /// thresholds.adjust_period_cycles (the learner's t_p cadence).
+  PredictionParams prediction;
   /// Incremental context plane: keep the policy context, per-slot view
   /// records and per-job aggregates alive across cycles and re-derive only
   /// what changed — telemetry deltas from the collector's change cursors,
@@ -282,6 +304,18 @@ class CappingManager final : public PowerManagerBase {
   }
   [[nodiscard]] const TargetSelectionPolicy& policy() const {
     return *policy_;
+  }
+  /// The forecaster, or nullptr when params.prediction is disabled.
+  [[nodiscard]] const PowerPredictor* predictor() const {
+    return predictor_.get();
+  }
+  /// The forecast made this cycle for horizon cycles ahead (empty before
+  /// the predictor warms up, on dead cycles, or without a predictor).
+  [[nodiscard]] std::optional<Watts> current_forecast() const {
+    return forecast_;
+  }
+  [[nodiscard]] const ForecastScorer& forecast_scorer() const {
+    return scorer_;
   }
 
   /// Which path each context build took (lifetime totals). Lets tests and
@@ -418,10 +452,18 @@ class CappingManager final : public PowerManagerBase {
   ManagerReport dead_cycle(Watts measured, std::vector<hw::Node>& nodes,
                            const sched::Scheduler& scheduler, Seconds now);
 
+  /// Feeds the meter reading through the predictor (model update, t_p
+  /// spectrum refresh, fresh forecast, accuracy scoring) and stamps the
+  /// forecast fields of `report`. No-op without a predictor. Runs only on
+  /// live cycles — a dead controller reads no meter, so the predictor's
+  /// window freezes mid-outage exactly like the learner's.
+  void predictor_phase(Watts measured, ManagerReport& report);
+
   /// Report-filling helpers shared by the live and dead paths.
   void fill_telemetry_totals(ManagerReport& report) const;
   void fill_actuation_totals(ManagerReport& report) const;
   void fill_control_totals(ManagerReport& report) const;
+  void fill_predictor_totals(ManagerReport& report) const;
 
   /// Stamps watchdog contact for every command in delivered_scratch_ —
   /// a delivery is the one controller signal a node can see directly.
@@ -518,6 +560,15 @@ class CappingManager final : public PowerManagerBase {
   // "collector" and "actuation": the new stream must not perturb either
   // existing one, or every pre-PR-8 seed would replay differently.
   ControlFaultInjector ctrl_faults_;
+  /// Forecasting (params_.prediction.enabled). The predictor is fed the
+  /// facility meter on every live cycle; forecast_ is this cycle's output.
+  PredictorPtr predictor_;
+  ForecastScorer scorer_;
+  std::optional<Watts> forecast_;
+  /// Resolved spectrum refresh cadence (params value, or the learner's
+  /// t_p when configured 0); counts live observations.
+  std::int64_t predictor_refresh_cycles_ = 0;
+  std::int64_t predictor_observations_ = 0;
   hw::FailsafeWatchdog* watchdog_ = nullptr;
   std::size_t watchdog_group_ = 0;
   /// True when this manager owns the watchdog's grouping (flat mode);

@@ -1,0 +1,86 @@
+#include "power/policies_predictive.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcap::power {
+
+namespace {
+
+// Both predictive policies spend the demanded saving on the most power
+// consuming jobs first, like MPC-C: the fewest whole jobs disturbed per
+// watt shed.
+constexpr auto kDescendingPower = [](const SelectionScratch::Ref& a,
+                                     const SelectionScratch::Ref& b) {
+  return a.job->power > b.job->power;
+};
+
+}  // namespace
+
+void PiTuning::validate() const {
+  if (!(kp >= 0.0) || !(ki >= 0.0)) {
+    throw std::invalid_argument("pi gains must be >= 0");
+  }
+  if (!(kp > 0.0 || ki > 0.0)) {
+    throw std::invalid_argument("pi controller needs kp or ki > 0");
+  }
+  if (!(integral_cap >= 0.0)) {
+    throw std::invalid_argument("pi.integral_cap must be >= 0");
+  }
+}
+
+PiCollection::PiCollection(PiTuning tuning) : tuning_(tuning) {
+  tuning_.validate();
+}
+
+std::vector<hw::NodeId> PiCollection::select(const PolicyContext& ctx) {
+  if (ctx.p_low <= Watts{0.0}) {
+    // Zone-shard share mode: the deficit was shaped upstream; honour it.
+    return accumulate_watts(ctx, scratch_, kDescendingPower,
+                            ctx.required_saving());
+  }
+  const Watts p =
+      ctx.has_forecast ? ctx.forecast_power : ctx.system_power;
+  const double error = (p - ctx.p_low) / ctx.p_low;
+  // Conditional integration with a hard clamp: positive error charges
+  // the integral up to the cap, negative error (headroom) discharges it
+  // back towards zero — the controller never "owes" throttling from a
+  // past excursion once the system has been green for a while.
+  integral_ = std::clamp(integral_ + error, 0.0, tuning_.integral_cap);
+  const double intensity = tuning_.kp * error + tuning_.ki * integral_;
+  // The forecast only ever ADDS shedding: when the meter itself is over
+  // P_L, never demand less than Algorithm 2's reactive requirement — a
+  // forecast lagging a fast ramp must not talk the controller out of the
+  // saving the measured excursion already mandates (that undershoot is
+  // how red excursions slip through).
+  const Watts demand =
+      std::max(ctx.p_low * intensity, ctx.required_saving());
+  return accumulate_watts(ctx, scratch_, kDescendingPower, demand);
+}
+
+std::vector<double> PiCollection::checkpoint_state() const {
+  return {integral_};
+}
+
+void PiCollection::restore_state(const std::vector<double>& state) {
+  if (state.size() != 1) {
+    throw std::invalid_argument("pi-c policy state must have 1 entry");
+  }
+  integral_ = state[0];
+}
+
+std::vector<hw::NodeId> PredictiveCollection::select(
+    const PolicyContext& ctx) {
+  if (ctx.p_low <= Watts{0.0}) {
+    return accumulate_watts(ctx, scratch_, kDescendingPower,
+                            ctx.required_saving());
+  }
+  const Watts p =
+      ctx.has_forecast ? ctx.forecast_power : ctx.system_power;
+  // Same floor as PI-C: cover max(forecast, measured) - P_L, so a lagging
+  // forecast never undercuts the reactive requirement.
+  return accumulate_watts(ctx, scratch_, kDescendingPower,
+                          std::max(p - ctx.p_low, ctx.required_saving()));
+}
+
+}  // namespace pcap::power

@@ -1,0 +1,76 @@
+// Forecast-driven target set selection policies (ROADMAP "Predictive
+// capping").
+//
+// Both policies read PolicyContext::forecast_power — the system power the
+// manager's PowerPredictor expects h control cycles ahead — instead of
+// waiting for the meter to cross P_L:
+//   PI-C   — Cerf-style proportional-integral controller on the predicted
+//            relative threshold error, with integral anti-windup. The
+//            controller output is a continuous demanded saving in watts,
+//            mapped onto the discrete DVFS ladder by accumulating whole
+//            jobs (descending power) until their one-level savings cover
+//            it — the repo's continuous-to-discrete throttle mapping.
+//   PRED-C — MPC-C's state-based collection, but keyed on the forecast:
+//            accumulate until the saving covers forecast - P_L.
+//
+// Both return forecast_driven() == true, which lets the capping engine
+// elevate a green cycle onto the yellow path when the forecast crosses
+// P_L (acting before the threshold is crossed). Without a forecast in the
+// context they degrade gracefully to their reactive equivalents.
+//
+// Zone-shard compatibility: ZoneTreeManager drives shards with synthetic
+// contexts whose p_low is 0 and whose system_power is the zone's deficit
+// share; required_saving() == share is the contract. Both policies detect
+// that mode (p_low <= 0) and honour the share verbatim — no PI state
+// update, since the root controller already shaped the demand.
+#pragma once
+
+#include "power/policy.hpp"
+
+namespace pcap::power {
+
+/// PI-C gains. The controller runs on the *relative* error
+/// e = (P_pred - P_L) / P_L, so the gains are dimensionless and one
+/// tuning works across cluster sizes; the output is scaled back by P_L
+/// into watts of demanded saving.
+struct PiTuning {
+  double kp = 1.0;           ///< proportional gain
+  double ki = 0.05;          ///< integral gain (per control cycle)
+  double integral_cap = 0.5; ///< anti-windup clamp on the integral term
+
+  void validate() const;
+};
+
+class PiCollection final : public TargetSelectionPolicy {
+ public:
+  explicit PiCollection(PiTuning tuning = {});
+
+  [[nodiscard]] std::string name() const override { return "pi-c"; }
+  std::vector<hw::NodeId> select(const PolicyContext& ctx) override;
+  [[nodiscard]] bool forecast_driven() const override { return true; }
+  [[nodiscard]] std::vector<double> checkpoint_state() const override;
+  void restore_state(const std::vector<double>& state) override;
+
+  [[nodiscard]] double integral() const { return integral_; }
+
+ private:
+  PiTuning tuning_;
+  /// Accumulated relative error, clamped to [0, integral_cap]. The zero
+  /// floor is the anti-windup: sustained green (negative error) bleeds
+  /// the integral instead of charging a debt that would delay the next
+  /// capping response.
+  double integral_ = 0.0;
+  SelectionScratch scratch_;
+};
+
+class PredictiveCollection final : public TargetSelectionPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "pred-c"; }
+  std::vector<hw::NodeId> select(const PolicyContext& ctx) override;
+  [[nodiscard]] bool forecast_driven() const override { return true; }
+
+ private:
+  SelectionScratch scratch_;
+};
+
+}  // namespace pcap::power

@@ -72,6 +72,12 @@ struct JobView {
 struct PolicyContext {
   Watts system_power{0.0};  ///< P: the meter reading this cycle
   Watts p_low{0.0};         ///< P_L (MPC-C/LPC-C/BFP need P - P_L)
+  /// Predicted system power h control cycles ahead, stamped by a manager
+  /// running a PowerPredictor. Valid only while has_forecast is true;
+  /// forecast-driven policies (PI-C, PRED-C) fall back to system_power
+  /// otherwise, so they stay usable in managers without a predictor.
+  Watts forecast_power{0.0};
+  bool has_forecast = false;
   std::vector<NodeView> nodes;
   std::vector<JobView> jobs;
   /// True when every JobView's `throttleable` list is maintained (the
@@ -180,6 +186,23 @@ class TargetSelectionPolicy {
   /// temperature drift as a content change — for every other policy that
   /// would dirty each busy node every cycle for a field nothing reads.
   [[nodiscard]] virtual bool temperature_sensitive() const { return false; }
+
+  /// Does this policy act on PolicyContext::forecast_power? Gates the
+  /// engine's predictive elevation (a green cycle promoted to the yellow
+  /// path because the forecast crosses P_L): elevating a reactive
+  /// collection policy would hand it required_saving() == 0 and it would
+  /// still grab its first whole job — throttling with nothing to save.
+  [[nodiscard]] virtual bool forecast_driven() const { return false; }
+
+  /// Internal controller state (e.g. a PI integral) as a flat double
+  /// vector for warm restart; stateless policies return {}. A restored
+  /// policy must continue bit-identically.
+  [[nodiscard]] virtual std::vector<double> checkpoint_state() const {
+    return {};
+  }
+  virtual void restore_state(const std::vector<double>& state) {
+    (void)state;
+  }
 };
 
 using PolicyPtr = std::unique_ptr<TargetSelectionPolicy>;
@@ -192,11 +215,45 @@ using PolicyPtr = std::unique_ptr<TargetSelectionPolicy>;
 std::vector<hw::NodeId> throttleable_nodes(const PolicyContext& ctx,
                                            const JobView& job);
 
+/// Algorithm 2's accumulation loop with an explicit saving goal: rebuild
+/// the scratch from ctx, order the refs by `cmp` (stable, so ties keep
+/// job order), then take whole jobs in that order — deduplicating nodes
+/// shared between them — until the accumulated saving covers `needed`.
+/// A non-positive goal selects nothing (predictive policies legitimately
+/// compute a zero or negative demand; reactive callers never pass one
+/// because required_saving() > 0 whenever the engine is in yellow).
+template <typename Compare>
+std::vector<hw::NodeId> accumulate_watts(const PolicyContext& ctx,
+                                         SelectionScratch& scratch,
+                                         Compare cmp, Watts needed) {
+  if (needed <= Watts{0.0}) return {};
+  scratch.build(ctx);
+  std::vector<SelectionScratch::Ref>& jobs = scratch.refs();
+  if (jobs.empty()) return {};
+  std::stable_sort(jobs.begin(), jobs.end(), cmp);
+
+  std::vector<hw::NodeId> targets;
+  scratch.begin_visit();
+  Watts saved{0.0};
+  for (const SelectionScratch::Ref& tj : jobs) {
+    for (std::uint32_t i = tj.begin; i < tj.end; ++i) {
+      const hw::NodeId id = scratch.node_buf()[i];
+      if (!scratch.visit(id)) continue;  // Nodes(J_i) - A
+      targets.push_back(id);
+      const NodeView* nv = ctx.node(id);
+      saved += nv->power - nv->power_one_level_down;
+    }
+    if (saved >= needed) break;  // "if Saved >= P - P_L then exit"
+  }
+  return targets;
+}
+
 /// Algorithm 2's shared skeleton (used by MPC-C, LPC-C, HRI-C, HT-C):
-/// rebuild the scratch from ctx, order the refs by `cmp` (stable, so ties
-/// keep job order), then take whole jobs in that order — deduplicating
-/// nodes shared between them — until the accumulated saving covers
-/// required_saving().
+/// accumulate until the saving covers required_saving() = max(0, P-P_L).
+/// Keeps the historical behaviour of selecting the first job even when
+/// required_saving() is 0 (the engine only calls policies in yellow,
+/// where P >= P_L makes that unreachable, but zone shards drive shares
+/// through this path and rely on the >= comparison semantics).
 template <typename Compare>
 std::vector<hw::NodeId> accumulate_collection(const PolicyContext& ctx,
                                               SelectionScratch& scratch,

@@ -10,6 +10,10 @@
 namespace pcap::power {
 
 PolicyPtr make_policy(const std::string& name) {
+  return make_policy(name, PiTuning{});
+}
+
+PolicyPtr make_policy(const std::string& name, const PiTuning& pi) {
   const std::string n = common::to_lower(name);
   if (n == "mpc") return std::make_unique<MostPowerConsumingJob>();
   if (n == "mpc-c") return std::make_unique<MostPowerConsumingCollection>();
@@ -20,11 +24,14 @@ PolicyPtr make_policy(const std::string& name) {
   if (n == "hri-c") return std::make_unique<HighestRateOfIncreaseCollection>();
   if (n == "ht") return std::make_unique<HottestJob>();
   if (n == "ht-c") return std::make_unique<HottestJobCollection>();
+  if (n == "pi-c") return std::make_unique<PiCollection>(pi);
+  if (n == "pred-c") return std::make_unique<PredictiveCollection>();
   throw std::invalid_argument("make_policy: unknown policy '" + name + "'");
 }
 
 std::vector<std::string> policy_names() {
-  return {"mpc", "mpc-c", "lpc", "lpc-c", "bfp", "hri", "hri-c", "ht", "ht-c"};
+  return {"mpc",  "mpc-c", "lpc", "lpc-c",  "bfp",   "hri",
+          "hri-c", "ht",   "ht-c", "pi-c", "pred-c"};
 }
 
 }  // namespace pcap::power

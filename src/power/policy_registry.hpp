@@ -4,14 +4,18 @@
 #include <string>
 #include <vector>
 
+#include "power/policies_predictive.hpp"
 #include "power/policy.hpp"
 
 namespace pcap::power {
 
 /// Instantiates a policy by (case-insensitive) name: "mpc", "mpc-c",
-/// "lpc", "lpc-c", "bfp", "hri", "hri-c". Throws std::invalid_argument
-/// for unknown names.
+/// "lpc", "lpc-c", "bfp", "hri", "hri-c", "ht", "ht-c", "pi-c",
+/// "pred-c". Throws std::invalid_argument for unknown names.
 PolicyPtr make_policy(const std::string& name);
+
+/// Same, but routes PI gains into "pi-c" (other names ignore `pi`).
+PolicyPtr make_policy(const std::string& name, const PiTuning& pi);
 
 /// All registered policy names, stable order.
 std::vector<std::string> policy_names();

@@ -1,8 +1,10 @@
 #include "power/thresholds.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "common/logging.hpp"
 #include "power/checkpoint.hpp"
 
 namespace pcap::power {
@@ -27,8 +29,19 @@ ThresholdLearner::ThresholdLearner(ThresholdParams params)
 }
 
 void ThresholdLearner::observe(Watts system_power) {
-  running_peak_ = std::max(running_peak_, system_power);
-  window_peak_ = std::max(window_peak_, system_power);
+  // A corrupt reading that slips past telemetry rejection must not poison
+  // the peaks: a NaN would stick in every std::max from here on, and a
+  // negative or infinite value would skew what adjust() adopts as P_peak
+  // permanently. The cycle still happened, so the clocks advance — only
+  // the peak learning skips the sample.
+  if (!std::isfinite(system_power.value()) || system_power < Watts{0.0}) {
+    ++rejected_observations_;
+    PCAP_WARN("thresholds: rejected implausible power reading %g W",
+              system_power.value());
+  } else {
+    running_peak_ = std::max(running_peak_, system_power);
+    window_peak_ = std::max(window_peak_, system_power);
+  }
   const bool was_training = training();
   ++cycles_;
   if (frozen_) return;
@@ -74,6 +87,12 @@ void ThresholdLearner::set_manual_peak(Watts p_peak, bool freeze) {
   }
   p_peak_ = p_peak;
   frozen_ = freeze;
+  // §III.A: a manually set peak takes effect immediately. Before this
+  // latch, an override issued during the training period left training()
+  // true, so capping stayed disabled (and the admin's value was silently
+  // replaced by the observed peak) until all 86,400 training cycles
+  // elapsed — the override appeared to be ignored for a day.
+  training_done_ = true;
   // The override starts a fresh observation window. Without this, the next
   // adjust() would adopt a window_peak_ accumulated from samples observed
   // BEFORE the administrator intervened, silently undoing the manual value
@@ -92,6 +111,7 @@ LearnerCheckpoint ThresholdLearner::checkpoint() const {
   cp.cycles_since_adjust = cycles_since_adjust_;
   cp.adjustments = adjustments_;
   cp.frozen = frozen_;
+  cp.training_done = training_done_;
   return cp;
 }
 
@@ -107,6 +127,7 @@ void ThresholdLearner::restore(const LearnerCheckpoint& cp) {
   cycles_since_adjust_ = cp.cycles_since_adjust;
   adjustments_ = cp.adjustments;
   frozen_ = cp.frozen;
+  training_done_ = cp.training_done;
 }
 
 }  // namespace pcap::power

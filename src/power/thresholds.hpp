@@ -41,8 +41,11 @@ class ThresholdLearner {
   void observe(Watts system_power);
 
   /// True while still inside the initial training period (no capping).
+  /// A manual peak override ends training immediately (§III.A "set
+  /// manually"): the administrator supplied the value training exists to
+  /// discover, so capping must start now, not 86,400 cycles later.
   [[nodiscard]] bool training() const {
-    return cycles_ < params_.training_cycles;
+    return !training_done_ && cycles_ < params_.training_cycles;
   }
 
   [[nodiscard]] Watts p_peak() const { return p_peak_; }
@@ -58,6 +61,11 @@ class ThresholdLearner {
   [[nodiscard]] Watts window_peak() const { return window_peak_; }
   [[nodiscard]] std::int64_t cycles_observed() const { return cycles_; }
   [[nodiscard]] std::int64_t adjustments() const { return adjustments_; }
+  /// Non-finite/negative readings observe() refused to learn from
+  /// (lifetime; process-scoped, not checkpointed).
+  [[nodiscard]] std::uint64_t rejected_observations() const {
+    return rejected_observations_;
+  }
   [[nodiscard]] const ThresholdParams& params() const { return params_; }
 
   /// Manual override (§III.A: thresholds "can be set manually by the
@@ -83,7 +91,12 @@ class ThresholdLearner {
   std::int64_t cycles_ = 0;
   std::int64_t cycles_since_adjust_ = 0;
   std::int64_t adjustments_ = 0;
+  std::uint64_t rejected_observations_ = 0;
   bool frozen_ = false;
+  /// Latched by set_manual_peak(): training is over regardless of how few
+  /// cycles have elapsed. Checkpointed — a warm-restarted learner must
+  /// not resume a training period the administrator already ended.
+  bool training_done_ = false;
 };
 
 }  // namespace pcap::power

@@ -62,7 +62,22 @@ ZoneTreeManager::ZoneTreeManager(ZoneTreeParams params,
   CappingManagerParams zp = shard_params;
   zp.thresholds.freeze_at_provision = true;
   zp.control = ControlFaultParams{};
+  // Prediction runs at the root for the same reason learning does: there
+  // is one facility meter, so there is one forecastable power series. The
+  // shards' prediction params are cleared so they never grow predictors
+  // of their own (their "meter" input is the global reading anyway).
+  zp.prediction = PredictionParams{};
   orphan_margin_ = shard_params.stale_power_margin;
+  prediction_ = shard_params.prediction;
+  if (prediction_.enabled) {
+    prediction_.validate();
+    predictor_ = make_predictor(prediction_);
+    predictor_refresh_cycles_ =
+        prediction_.refresh_cycles > 0
+            ? prediction_.refresh_cycles
+            : shard_params.thresholds.adjust_period_cycles;
+    scorer_.reset(prediction_.horizon_cycles);
+  }
   zones_.resize(params_.zone_count);
   for (std::size_t z = 0; z < zones_.size(); ++z) {
     // One rng branch per zone: zone z's fault/transport streams depend
@@ -180,6 +195,27 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
   report.state = classify_power(measured, report.p_low, report.p_high);
   const PowerState state = report.state;
 
+  // Root forecasting (the flat manager's step 1b): model update + this
+  // cycle's forecast. Runs during training too — the model is warm the
+  // moment capping starts — but only arms the predictive path after.
+  if (!root_down) predictor_phase(measured, report);
+  const bool predictive_alarm =
+      !root_down && !report.training && forecast_.has_value() &&
+      zones_.front().shard->policy().forecast_driven() &&
+      *forecast_ >= report.p_low;
+
+  // Predictive elevation: a green root cycle with an armed alarm drives
+  // the zones down the yellow deficit-distribution path, shedding for
+  // where the meter is heading instead of where it is. Green→yellow only,
+  // never →red — a bad forecast can cost a few conservative throttles but
+  // can never floor the whole cluster.
+  PowerState effective = state;
+  if (predictive_alarm && state == PowerState::kGreen) {
+    effective = PowerState::kYellow;
+    ++predictive_elevations_;
+    report.state = effective;
+  }
+
   if (root_down) {
     // The root is blind this cycle: whatever it believed about the zones
     // is stale by the time it wakes, and the dirty triggers below did not
@@ -188,12 +224,15 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
   } else {
     // Root dirty triggers: a global state change re-arms every zone, and
     // so does any job start/finish (membership of busy sets — and
-    // therefore shed capacity — may have moved anywhere).
+    // therefore shed capacity — may have moved anywhere). The EFFECTIVE
+    // state participates: a predictive elevation starting or ending moves
+    // the zones between the green and yellow regimes exactly as a real
+    // classification change would.
     const std::size_t job_events = scheduler.job_events().size();
-    if (state != last_state_ || job_events != job_events_seen_) {
+    if (effective != last_state_ || job_events != job_events_seen_) {
       invalidate_hints();
     }
-    last_state_ = state;
+    last_state_ = effective;
     job_events_seen_ = job_events;
   }
 
@@ -238,11 +277,11 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
       zone.active = false;
       zone.collected = false;
     } else if (training) {
-      const bool gate = m.context_gate(state);
+      const bool gate = m.context_gate(effective);
       zone.active = false;
       zone.collected = gate || m.collect_due();
-    } else if (state == PowerState::kGreen) {
-      const bool gate = m.context_gate(state);
+    } else if (effective == PowerState::kGreen) {
+      const bool gate = m.context_gate(effective);
       zone.active = gate;
       zone.collected = gate || m.collect_due();
     } else {
@@ -252,7 +291,7 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
       // unresponsive or awaiting watchdog adoption forces activity —
       // acks, readmissions and adoptions only arrive through a
       // context build.
-      const bool nothing_to_shed = state == PowerState::kYellow
+      const bool nothing_to_shed = effective == PowerState::kYellow
                                        ? zone.capacity <= Watts{0.0}
                                        : zone.floored;
       const bool quiescent =
@@ -325,6 +364,9 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
     // Control-plane fault truth lives in the tree's injector (the shards'
     // own injectors are cleared at construction and count nothing).
     report.zones_down = ctrl_faults_->zones_down();
+    report.predictor_overshoots = scorer_.overshoots();
+    report.predictor_misses = scorer_.misses();
+    report.predictive_elevations = predictive_elevations_;
     report.ctrl_outages = ctrl_faults_->outages_started();
     report.ctrl_outage_cycles = ctrl_faults_->outage_cycles();
     report.ctrl_delayed_cycles = ctrl_faults_->delayed_cycles();
@@ -391,8 +433,18 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
   // already pinned above, so the fold is bit-identical for any worker
   // count). Only zones that are active AND still have shed capacity are
   // eligible; skipped zones keep share 0.
-  if (state == PowerState::kYellow) {
-    Watts deficit = std::max(Watts{0.0}, measured - report.p_low);
+  if (effective == PowerState::kYellow) {
+    // Forecast-driven deficit base: with an armed alarm the root sheds
+    // for where the meter is heading, not just where it is — on an
+    // elevated green cycle the measured deficit is zero by definition, so
+    // without this the elevation would distribute nothing. The base never
+    // drops below the measured reading: a forecast that undershoots
+    // reality can't shrink the reactive response.
+    Watts deficit_base = measured;
+    if (predictive_alarm && *forecast_ > deficit_base) {
+      deficit_base = *forecast_;
+    }
+    Watts deficit = std::max(Watts{0.0}, deficit_base - report.p_low);
     // Orphan-zone adoption: a downed shard cannot shed its share, and the
     // root cannot see where its draw is heading. The meter already counts
     // the orphan's actual power, so the live zones inherit its share of
@@ -453,7 +505,7 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
           // or a non-green reset; its engine clock freezes mid-outage
           // exactly as the flat manager's does on a dead cycle.
           if (zone.down) continue;
-          switch (state) {
+          switch (effective) {
             case PowerState::kGreen:
               zone.decision = m.select_phase(kGreenP, kGreenLow, kGreenHigh);
               break;
@@ -527,9 +579,42 @@ ManagerReport ZoneTreeManager::cycle(Watts measured,
   return report;
 }
 
+void ZoneTreeManager::predictor_phase(Watts measured, ManagerReport& report) {
+  if (!predictor_) return;
+  predictor_->observe(measured);
+  ++predictor_observations_;
+  if (auto* periodic = dynamic_cast<PeriodicityPredictor*>(predictor_.get());
+      periodic != nullptr &&
+      predictor_observations_ % predictor_refresh_cycles_ == 0) {
+    // The only super-O(1) model work, scheduled on the root learner's t_p
+    // cadence — never on the per-cycle hot path.
+    periodic->refresh();
+  }
+  forecast_ = predictor_->forecast(prediction_.horizon_cycles);
+  std::optional<double> raw;
+  if (forecast_) raw = forecast_->value();
+  const std::optional<ForecastScorer::Score> score =
+      scorer_.step(measured.value(), learner_.p_low().value(), raw);
+  if (score) {
+    report.forecast_abs_error = score->abs_error;
+    report.forecast_scored = true;
+  }
+  report.has_forecast = forecast_.has_value();
+  if (forecast_) report.forecast = *forecast_;
+}
+
 TreeCheckpoint ZoneTreeManager::checkpoint() const {
   TreeCheckpoint cp;
   cp.learner = learner_.checkpoint();
+  // The observation counter rides in front of the opaque model state so
+  // the restored refresh cadence stays phase-aligned with the old run.
+  if (predictor_) {
+    cp.predictor_state.push_back(
+        static_cast<double>(predictor_observations_));
+    const std::vector<double> model = predictor_->checkpoint_state();
+    cp.predictor_state.insert(cp.predictor_state.end(), model.begin(),
+                              model.end());
+  }
   cp.last_state = static_cast<int>(last_state_);
   cp.job_events_seen = job_events_seen_;
   cp.shards.reserve(zones_.size());
@@ -556,6 +641,13 @@ void ZoneTreeManager::restore(const TreeCheckpoint& cp) {
         std::to_string(zones_.size()) + ")");
   }
   learner_.restore(cp.learner);
+  if (predictor_ && !cp.predictor_state.empty()) {
+    predictor_observations_ =
+        static_cast<std::int64_t>(cp.predictor_state[0]);
+    predictor_->restore_state(std::vector<double>(
+        cp.predictor_state.begin() + 1, cp.predictor_state.end()));
+    forecast_ = predictor_->forecast(prediction_.horizon_cycles);
+  }
   last_state_ = static_cast<PowerState>(cp.last_state);
   job_events_seen_ = cp.job_events_seen;
   for (std::size_t z = 0; z < zones_.size(); ++z) {

@@ -567,8 +567,14 @@ TEST(Checkpoint, MalformedImagesThrow) {
   EXPECT_THROW(decode_shard_checkpoint(""), std::runtime_error);
   EXPECT_THROW(decode_shard_checkpoint("not a checkpoint"),
                std::runtime_error);
-  EXPECT_THROW(decode_tree_checkpoint("pcap-shard-checkpoint v1\n"),
+  EXPECT_THROW(decode_tree_checkpoint("pcap-shard-checkpoint v2\n"),
                std::runtime_error);  // wrong kind
+  // v1 images predate the learner training_done flag and the predictor/
+  // policy state lines: rejected loudly rather than resumed wrong.
+  EXPECT_THROW(decode_shard_checkpoint("pcap-shard-checkpoint v1\n"),
+               std::runtime_error);
+  EXPECT_THROW(decode_tree_checkpoint("pcap-tree-checkpoint v1\n"),
+               std::runtime_error);
   CappingManager m = make_manager();
   const std::string text = encode_checkpoint(m.checkpoint());
   EXPECT_THROW(decode_shard_checkpoint(text.substr(0, text.size() / 2)),

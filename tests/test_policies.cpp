@@ -340,8 +340,8 @@ TEST(Registry, UnknownThrows) {
   EXPECT_THROW(make_policy(""), std::invalid_argument);
 }
 
-TEST(Registry, HasNinePolicies) {
-  EXPECT_EQ(policy_names().size(), 9u);
+TEST(Registry, HasElevenPolicies) {
+  EXPECT_EQ(policy_names().size(), 11u);
 }
 
 // Property: every registered policy (plus baselines) only ever returns
@@ -414,7 +414,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllPolicies, PolicyValidity,
     ::testing::Combine(::testing::Values("mpc", "mpc-c", "lpc", "lpc-c",
                                          "bfp", "hri", "hri-c", "ht",
-                                         "ht-c", "uniform", "sla"),
+                                         "ht-c", "pi-c", "pred-c",
+                                         "uniform", "sla"),
                        ::testing::Range(1, 4)));
 
 }  // namespace

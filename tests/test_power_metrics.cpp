@@ -132,6 +132,20 @@ TEST(AccumulatedOverspend, AllAtThresholdIsZero) {
       0.0);
 }
 
+TEST(BoundaryConvention, AllFourMetricsAgreeOnAThresholdExactSample) {
+  // ΔP×T boundary pin: one sample exactly AT the threshold, one below,
+  // one strictly above. All four metrics must count only the strict
+  // excursion — an exact-at-threshold sample contributes zero overspend,
+  // zero time and zero fraction, never a mix of conventions.
+  const auto t = trace({150.0, 149.0, 151.0}, 2.0);
+  const Watts th{150.0};
+  EXPECT_DOUBLE_EQ(overspent_energy(t, th).value(), 1.0 * 2.0);
+  EXPECT_DOUBLE_EQ(time_above(t, th).value(), 2.0);
+  EXPECT_DOUBLE_EQ(fraction_above(t, th), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accumulated_overspend(t, th),
+                   (1.0 * 2.0) / ((150.0 + 149.0 + 151.0) * 2.0));
+}
+
 TEST(EnergyDelayProduct, Powers) {
   EXPECT_DOUBLE_EQ(energy_delay_product(Joules{100.0}, Seconds{2.0}, 1),
                    200.0);

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/rng.hpp"
+#include "power/checkpoint.hpp"
 
 namespace pcap::power {
 namespace {
@@ -150,6 +154,60 @@ TEST(Thresholds, ManualPeakStartsFreshObservationWindow) {
   for (int i = 0; i < 4; ++i) l.observe(Watts{400.0});
   // A full post-override window elapsed: fresh readings take over.
   EXPECT_EQ(l.p_peak(), Watts{400.0});
+}
+
+// Regression: a manual override issued DURING the training period used to
+// leave training() true (the flag was derived purely from the cycle
+// count), so capping stayed disabled — and the admin's value was silently
+// replaced by the observed peak — until the full training period elapsed.
+// §III.A says the override takes effect immediately, frozen or not.
+TEST(Thresholds, ManualPeakDuringTrainingEndsTrainingImmediately) {
+  ThresholdLearner live(params(100, 5));
+  live.observe(Watts{500.0});
+  ASSERT_TRUE(live.training());
+  live.set_manual_peak(Watts{900.0}, /*freeze=*/false);
+  EXPECT_FALSE(live.training());
+  EXPECT_EQ(live.p_peak(), Watts{900.0});
+
+  ThresholdLearner frozen(params(100, 5));
+  frozen.observe(Watts{500.0});
+  ASSERT_TRUE(frozen.training());
+  frozen.set_manual_peak(Watts{900.0}, /*freeze=*/true);
+  EXPECT_FALSE(frozen.training());
+
+  // The latch survives warm restart: a restored learner must not fall
+  // back into the training period it already left.
+  ThresholdLearner restored(params(100, 5));
+  restored.restore(live.checkpoint());
+  EXPECT_FALSE(restored.training());
+  EXPECT_EQ(restored.p_peak(), Watts{900.0});
+}
+
+// Regression: a non-finite or negative meter reading slipping past
+// telemetry rejection used to poison the peaks — a NaN sticks in every
+// std::max from then on, and a negative/infinite value skews what
+// adjust() adopts as P_peak permanently. Rejected samples still advance
+// the clocks (the cycle did happen), but never touch the peaks.
+TEST(Thresholds, RejectsNonFiniteAndNegativeObservations) {
+  ThresholdLearner l(params(3, 5));
+  l.observe(Watts{500.0});
+  l.observe(Watts{std::numeric_limits<double>::quiet_NaN()});
+  l.observe(Watts{-50.0});
+  EXPECT_EQ(l.rejected_observations(), 2u);
+  // The clock advanced through the rejected samples: training ended on
+  // schedule, adopting the one plausible reading as P_peak.
+  EXPECT_FALSE(l.training());
+  EXPECT_EQ(l.p_peak(), Watts{500.0});
+  EXPECT_EQ(l.running_peak(), Watts{500.0});
+  EXPECT_FALSE(std::isnan(l.p_low().value()));
+
+  l.observe(Watts{std::numeric_limits<double>::infinity()});
+  EXPECT_EQ(l.rejected_observations(), 3u);
+  EXPECT_EQ(l.running_peak(), Watts{500.0});
+  // A zero reading is plausible (an idle PDU leg) and must NOT count as
+  // rejected.
+  l.observe(Watts{0.0});
+  EXPECT_EQ(l.rejected_observations(), 3u);
 }
 
 TEST(Thresholds, CustomMargins) {
